@@ -1,0 +1,132 @@
+//! Criterion micro-benchmarks of the OptiWISE pipeline components:
+//! functional interpretation, the timing model, DBI instrumentation, CFG +
+//! loop analysis, and the profile-fusion step. These measure the *tool's*
+//! cost, complementing the figure 7 harness which measures the modeled
+//! overhead on the profiled program.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use optiwise::{Analysis, AnalysisOptions};
+use wiser_cfg::{build_cfg, find_all_loops, MERGE_THRESHOLD};
+use wiser_dbi::{instrument_run, DbiConfig};
+use wiser_isa::Module;
+use wiser_sampler::{sample_run, SamplerConfig};
+use wiser_sim::{run_timed, CoreConfig, Interp, LoadConfig, ModuleId, NoProbes, ProcessImage, Step};
+use wiser_workloads::InputSize;
+
+fn modules() -> Vec<Module> {
+    wiser_workloads::by_name("mcf_like")
+        .unwrap()
+        .build(InputSize::Test)
+        .unwrap()
+}
+
+fn image() -> ProcessImage {
+    ProcessImage::load(&modules(), &LoadConfig::default()).unwrap()
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let image = image();
+    c.bench_function("interp_functional_mcf_test", |b| {
+        b.iter(|| {
+            let mut interp = Interp::new(&image, 0).unwrap();
+            let mut n = 0u64;
+            loop {
+                match interp.step().unwrap() {
+                    Step::Retired(_) => n += 1,
+                    Step::Exited(_) => break,
+                }
+            }
+            n
+        })
+    });
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let image = image();
+    c.bench_function("timing_model_mcf_test", |b| {
+        b.iter(|| {
+            run_timed(&image, 0, CoreConfig::xeon_like(), &mut NoProbes, 50_000_000)
+                .unwrap()
+                .stats
+                .cycles
+        })
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let image = image();
+    c.bench_function("sampling_run_mcf_test", |b| {
+        b.iter(|| {
+            sample_run(
+                &image,
+                0,
+                CoreConfig::xeon_like(),
+                SamplerConfig::with_period(512),
+                50_000_000,
+            )
+            .unwrap()
+            .0
+            .samples
+            .len()
+        })
+    });
+}
+
+fn bench_dbi(c: &mut Criterion) {
+    let image = image();
+    c.bench_function("dbi_instrument_mcf_test", |b| {
+        b.iter(|| {
+            instrument_run(&image, &DbiConfig::default())
+                .unwrap()
+                .cost
+                .native_insns
+        })
+    });
+}
+
+fn bench_cfg_and_loops(c: &mut Criterion) {
+    let image = image();
+    let counts = instrument_run(&image, &DbiConfig::default()).unwrap();
+    let linked = image.modules[0].linked.clone();
+    c.bench_function("cfg_build_plus_loops_mcf_test", |b| {
+        b.iter(|| {
+            let cfg = build_cfg(ModuleId(0), &linked, &counts);
+            let forests = find_all_loops(&cfg, Some(MERGE_THRESHOLD));
+            forests.iter().map(|f| f.loops.len()).sum::<usize>()
+        })
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let image = image();
+    let counts = instrument_run(&image, &DbiConfig::default()).unwrap();
+    let (samples, _) = sample_run(
+        &image,
+        0,
+        CoreConfig::xeon_like(),
+        SamplerConfig::with_period(512),
+        50_000_000,
+    )
+    .unwrap();
+    let linked: Vec<Module> = image.modules.iter().map(|m| m.linked.clone()).collect();
+    c.bench_function("analysis_fuse_mcf_test", |b| {
+        b.iter(|| {
+            let analysis = Analysis::new(&linked, &samples, &counts, AnalysisOptions::default());
+            analysis.loops().len()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets =
+        bench_interp,
+        bench_timing,
+        bench_sampling,
+        bench_dbi,
+        bench_cfg_and_loops,
+        bench_analysis
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! §III ablation: attribution error vs aggregation granularity.
+
+use wiser_bench::{attribution_accuracy, harness};
+use wiser_workloads::InputSize;
+
+fn main() {
+    let data = attribution_accuracy(InputSize::Train);
+    let mut out = String::new();
+    out.push_str(
+        "Attribution accuracy vs granularity (total-variation distance to\n\
+         PEBS-precise ground truth; smaller is better)\n\n",
+    );
+    out.push_str(&format!(
+        "{:<14} {:>12} {:>12} {:>12}\n",
+        "MODE", "INSN", "BLOCK", "FUNCTION"
+    ));
+    for (name, i, b, f) in &data.rows {
+        out.push_str(&format!(
+            "{:<14} {:>11.1}% {:>11.1}% {:>11.1}%\n",
+            name,
+            100.0 * i,
+            100.0 * b,
+            100.0 * f
+        ));
+    }
+    out.push_str(
+        "\nThe paper (§III, citing TIP) reports error shrinking from ~60% per\n\
+         instruction to 29.9% per block and 9.1% per function; the same\n\
+         coarser-is-more-accurate trend must hold here.\n",
+    );
+    print!("{out}");
+    harness::write_result("attribution_accuracy.txt", &out);
+}

@@ -1,0 +1,31 @@
+//! Regenerates the §VI case studies: baseline vs optimized speedups.
+
+use wiser_bench::{case_studies, harness};
+use wiser_workloads::InputSize;
+
+fn main() {
+    let size = match std::env::args().nth(1).as_deref() {
+        Some("test") => InputSize::Test,
+        Some("train") => InputSize::Train,
+        _ => InputSize::Ref,
+    };
+    let results = case_studies(size);
+    let mut out = String::new();
+    out.push_str("Case studies (§VI): speedup from the paper's optimizations\n\n");
+    out.push_str(&format!(
+        "{:<18} {:>14} {:>14} {:>10} {:>10}\n",
+        "BENCHMARK", "BASE CYCLES", "OPT CYCLES", "SPEEDUP", "PAPER"
+    ));
+    for c in &results {
+        out.push_str(&format!(
+            "{:<18} {:>14} {:>14} {:>9.1}% {:>9.1}%\n",
+            c.name,
+            c.base_cycles,
+            c.opt_cycles,
+            c.speedup_pct(),
+            c.paper_speedup_pct
+        ));
+    }
+    print!("{out}");
+    harness::write_result("case_studies.txt", &out);
+}

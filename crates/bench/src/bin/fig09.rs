@@ -1,0 +1,33 @@
+//! Regenerates figure 9: early-release displacement after a slow divide.
+
+use wiser_bench::{fig09, harness};
+use wiser_workloads::InputSize;
+
+fn main() {
+    let data = fig09(InputSize::Train);
+    let mut out = String::new();
+    out.push_str("Figure 9: samples by distance (instructions) after the udiv\n\n");
+    out.push_str(&format!(
+        "{:>7} {:>14} {:>14}\n",
+        "DELTA", "IN-ORDER", "EARLY-RELEASE"
+    ));
+    let lookup = |hist: &[(i64, u64)], d: i64| {
+        hist.iter().find(|(x, _)| *x == d).map(|(_, n)| *n).unwrap_or(0)
+    };
+    for d in -2..=70 {
+        let a = lookup(&data.inorder, d);
+        let b = lookup(&data.early_release, d);
+        if a > 0 || b > 0 {
+            out.push_str(&format!("{:>7} {:>14} {:>14}\n", d, a, b));
+        }
+    }
+    out.push_str(&format!(
+        "\npeak displacement: in-order at +{}, early-release at +{} instructions\n\
+         (paper: ~48 instructions after the udiv on Neoverse N1 — the issue-\n\
+         queue capacity; this model's IQ holds 48 entries). The udiv itself\n\
+         also collects {} samples as a recurring commit-group leader.\n",
+        data.inorder_peak_delta, data.early_peak_delta, data.early_udiv_samples
+    ));
+    print!("{out}");
+    harness::write_result("fig09.txt", &out);
+}

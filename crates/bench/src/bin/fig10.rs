@@ -1,0 +1,23 @@
+//! Regenerates figure 10: mcf's cost_compare, annotated.
+
+use wiser_bench::{fig10, harness, render_annotated};
+use wiser_workloads::InputSize;
+
+fn main() {
+    let data = fig10(InputSize::Train);
+    let mut out = String::new();
+    out.push_str("Figure 10: per-instruction profile of mcf's cost_compare (train)\n\n");
+    out.push_str(&render_annotated(&data.rows, data.total_cycles));
+    out.push_str(&format!(
+        "\ncost_compare self time: {:.1}% (paper: 23.7%)\n\
+         spec_qsort + callees:   {:.1}% (paper: 61.1%)\n\
+         qsort division CPI:     {} (paper: 38.12)\n",
+        100.0 * data.cost_compare_share,
+        100.0 * data.qsort_inclusive_share,
+        data.div_cpi
+            .map(|c| format!("{c:.1}"))
+            .unwrap_or_else(|| "-".into()),
+    ));
+    print!("{out}");
+    harness::write_result("fig10.txt", &out);
+}

@@ -1,0 +1,38 @@
+//! Shared helpers for the experiment binaries.
+
+use std::path::PathBuf;
+
+/// Geometric mean; panics on empty or non-positive input in debug builds.
+pub fn geomean(values: &[f64]) -> f64 {
+    debug_assert!(!values.is_empty());
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// The workspace `results/` directory (created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes an experiment artifact to `results/<name>`.
+pub fn write_result(name: &str, contents: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    eprintln!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,470 @@
+//! `optiwise` — command-line interface mirroring the paper's artifact.
+//!
+//! ```text
+//! optiwise check
+//! optiwise list
+//! optiwise run [OPTIONS] <workload>          # both passes + report
+//! optiwise sample [OPTIONS] <workload>       # sampling pass only
+//! optiwise instrument [OPTIONS] <workload>   # instrumentation pass only
+//! optiwise analyze [OPTIONS] <workload> --samples F --counts F
+//! optiwise annotate [OPTIONS] <workload> --function NAME
+//! ```
+//!
+//! Options: `--size test|train|ref`, `--arch xeon|neoverse`, `--period N`,
+//! `--attribution interrupt|precise|predecessor`, `--no-stack-profiling`,
+//! `--merge-threshold N|off`, `--seed N`, `--top N`, `--out FILE`.
+
+use std::process::ExitCode;
+
+use optiwise::{report, run_optiwise, Analysis, AnalysisOptions, OptiwiseConfig};
+use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
+use wiser_isa::Module;
+use wiser_sampler::{sample_run, Attribution, SampleProfile, SamplerConfig};
+use wiser_sim::{CoreConfig, LoadConfig, ProcessImage};
+use wiser_workloads::InputSize;
+
+struct Options {
+    size: InputSize,
+    core: CoreConfig,
+    sampler: SamplerConfig,
+    stack_profiling: bool,
+    merge_threshold: Option<u64>,
+    seed: u64,
+    top: usize,
+    out: Option<String>,
+    samples_path: Option<String>,
+    counts_path: Option<String>,
+    function: Option<String>,
+    csv_dir: Option<String>,
+    workload: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            size: InputSize::Train,
+            core: CoreConfig::xeon_like(),
+            sampler: SamplerConfig::default(),
+            stack_profiling: true,
+            merge_threshold: Some(wiser_cfg::MERGE_THRESHOLD),
+            seed: 0,
+            top: 15,
+            out: None,
+            samples_path: None,
+            counts_path: None,
+            function: None,
+            csv_dir: None,
+            workload: None,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("`{arg}` needs a value"))
+        };
+        match args[i].as_str() {
+            "--size" => {
+                opts.size = match value(&mut i)?.as_str() {
+                    "test" => InputSize::Test,
+                    "train" => InputSize::Train,
+                    "ref" => InputSize::Ref,
+                    other => return Err(format!("unknown size `{other}`")),
+                }
+            }
+            "--arch" => {
+                opts.core = match value(&mut i)?.as_str() {
+                    "xeon" => CoreConfig::xeon_like(),
+                    "neoverse" => CoreConfig::neoverse_like(),
+                    other => return Err(format!("unknown arch `{other}`")),
+                }
+            }
+            "--period" => {
+                let p: u64 = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad period: {e}"))?;
+                opts.sampler = SamplerConfig::with_period(p);
+            }
+            "--attribution" => {
+                opts.sampler.attribution = match value(&mut i)?.as_str() {
+                    "interrupt" => Attribution::Interrupt,
+                    "precise" => Attribution::Precise,
+                    "predecessor" => Attribution::Predecessor,
+                    other => return Err(format!("unknown attribution `{other}`")),
+                }
+            }
+            "--no-stack-profiling" => opts.stack_profiling = false,
+            "--merge-threshold" => {
+                let v = value(&mut i)?;
+                opts.merge_threshold = if v == "off" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|e| format!("bad threshold: {e}"))?)
+                };
+            }
+            "--seed" => {
+                opts.seed = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--top" => {
+                opts.top = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad top: {e}"))?
+            }
+            "--out" => opts.out = Some(value(&mut i)?),
+            "--samples" => opts.samples_path = Some(value(&mut i)?),
+            "--counts" => opts.counts_path = Some(value(&mut i)?),
+            "--function" => opts.function = Some(value(&mut i)?),
+            "--csv-dir" => opts.csv_dir = Some(value(&mut i)?),
+            "--" => {}
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"))
+            }
+            _ => {
+                if opts.workload.is_some() {
+                    return Err(format!("unexpected argument `{}`", args[i]));
+                }
+                opts.workload = Some(args[i].clone());
+            }
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn build_workload(opts: &Options) -> Result<Vec<Module>, String> {
+    let name = opts
+        .workload
+        .as_deref()
+        .ok_or("no workload given; see `optiwise list`")?;
+    let workload = wiser_workloads::by_name(name)
+        .ok_or_else(|| format!("unknown workload `{name}`; see `optiwise list`"))?;
+    workload
+        .build(opts.size)
+        .map_err(|e| format!("assembling `{name}`: {e}"))
+}
+
+fn pipeline_config(opts: &Options) -> OptiwiseConfig {
+    OptiwiseConfig {
+        core: opts.core,
+        sampler: opts.sampler,
+        dbi: DbiConfig {
+            stack_profiling: opts.stack_profiling,
+            ..DbiConfig::default()
+        },
+        analysis: AnalysisOptions {
+            merge_threshold: opts.merge_threshold,
+        },
+        rand_seed: opts.seed,
+        ..OptiwiseConfig::default()
+    }
+}
+
+fn emit(opts: &Options, text: &str) -> Result<(), String> {
+    match &opts.out {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_check() -> Result<(), String> {
+    // Assemble, run both passes, fuse. The artifact's `optiwise check`.
+    let module = wiser_isa::assemble(
+        "check",
+        r#"
+        .func _start global
+            li x8, 2000
+            li x9, 0
+        loop:
+            subi x8, x8, 1
+            bne x8, x9, loop
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#,
+    )
+    .map_err(|e| e.to_string())?;
+    let run = run_optiwise(&[module], &OptiwiseConfig::default()).map_err(|e| e.to_string())?;
+    if run.analysis.loops().len() != 1 {
+        return Err("self-check failed: expected exactly one loop".into());
+    }
+    println!(
+        "optiwise check: ok (sampled {} cycles, counted {} instructions)",
+        run.analysis.wall_cycles, run.analysis.total_insns
+    );
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("{:<22} {:<9} DESCRIPTION", "NAME", "KIND");
+    for w in wiser_workloads::all() {
+        let kind = match w.kind {
+            wiser_workloads::Kind::Micro => "micro",
+            wiser_workloads::Kind::SpecLike => "spec-like",
+        };
+        println!("{:<22} {:<9} {}", w.name, kind, w.description);
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: &Options) -> Result<(), String> {
+    let modules = build_workload(opts)?;
+    let run = run_optiwise(&modules, &pipeline_config(opts)).map_err(|e| e.to_string())?;
+    let mut text = report::full_report(&run.analysis, opts.top);
+    if let Some(func) = &opts.function {
+        let rows = run
+            .analysis
+            .annotate_function(module_of(&run.analysis, func), func);
+        text.push_str(&format!("\n-- {func} --\n"));
+        text.push_str(&report::annotate(&rows, run.analysis.total_cycles));
+    }
+    if let Some(dir) = &opts.csv_dir {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        let write = |name: &str, contents: String| -> Result<(), String> {
+            let path = dir.join(name);
+            std::fs::write(&path, contents).map_err(|e| format!("{}: {e}", path.display()))
+        };
+        write("functions.csv", optiwise::export::functions_csv(&run.analysis))?;
+        write("loops.csv", optiwise::export::loops_csv(&run.analysis))?;
+        write("blocks.csv", optiwise::export::blocks_csv(&run.analysis))?;
+        if let Some(func) = &opts.function {
+            write(
+                "annotate.csv",
+                optiwise::export::annotate_csv(
+                    &run.analysis,
+                    module_of(&run.analysis, func),
+                    func,
+                ),
+            )?;
+        }
+        eprintln!("wrote CSV tables to {}", dir.display());
+    }
+    emit(opts, &text)
+}
+
+fn module_of(analysis: &Analysis, func: &str) -> u32 {
+    analysis
+        .functions()
+        .iter()
+        .find(|f| f.name == func)
+        .map(|f| f.module)
+        .unwrap_or(0)
+}
+
+fn cmd_sample(opts: &Options) -> Result<(), String> {
+    let modules = build_workload(opts)?;
+    let mut load = LoadConfig::default();
+    load.aslr_seed = Some(0x5a5a);
+    let image = ProcessImage::load(&modules, &load).map_err(|e| e.to_string())?;
+    let (profile, run) =
+        sample_run(&image, opts.seed, opts.core, opts.sampler, 200_000_000)
+            .map_err(|e| e.to_string())?;
+    eprintln!(
+        "sampled {} cycles, {} samples, overhead estimate {:.3}x",
+        run.stats.cycles,
+        profile.samples.len(),
+        wiser_sampler::sampling_overhead(&profile)
+    );
+    emit(opts, &profile.to_text())
+}
+
+fn cmd_instrument(opts: &Options) -> Result<(), String> {
+    let modules = build_workload(opts)?;
+    let mut load = LoadConfig::default();
+    load.aslr_seed = Some(0xa5a5);
+    let image = ProcessImage::load(&modules, &load).map_err(|e| e.to_string())?;
+    let counts = instrument_run(
+        &image,
+        &DbiConfig {
+            stack_profiling: opts.stack_profiling,
+            rand_seed: opts.seed,
+            ..DbiConfig::default()
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "counted {} instructions in {} blocks, overhead estimate {:.1}x",
+        counts.cost.native_insns,
+        counts.cost.unique_blocks,
+        counts.cost.overhead()
+    );
+    emit(opts, &counts.to_text())
+}
+
+fn cmd_analyze(opts: &Options) -> Result<(), String> {
+    let modules = build_workload(opts)?;
+    let samples_path = opts
+        .samples_path
+        .as_deref()
+        .ok_or("analyze needs --samples FILE")?;
+    let counts_path = opts
+        .counts_path
+        .as_deref()
+        .ok_or("analyze needs --counts FILE")?;
+    let samples_text =
+        std::fs::read_to_string(samples_path).map_err(|e| format!("{samples_path}: {e}"))?;
+    let counts_text =
+        std::fs::read_to_string(counts_path).map_err(|e| format!("{counts_path}: {e}"))?;
+    let samples = SampleProfile::from_text(&samples_text)?;
+    let counts = CountsProfile::from_text(&counts_text)?;
+    // Rebuild the linked view for disassembly/line info.
+    let mut load = LoadConfig::default();
+    load.aslr_seed = Some(0xa5a5);
+    let image = ProcessImage::load(&modules, &load).map_err(|e| e.to_string())?;
+    let linked: Vec<Module> = image.modules.iter().map(|m| m.linked.clone()).collect();
+    let analysis = Analysis::new(
+        &linked,
+        &samples,
+        &counts,
+        AnalysisOptions {
+            merge_threshold: opts.merge_threshold,
+        },
+    );
+    emit(opts, &report::full_report(&analysis, opts.top))
+}
+
+fn cmd_annotate(opts: &Options) -> Result<(), String> {
+    let func = opts
+        .function
+        .as_deref()
+        .ok_or("annotate needs --function NAME")?
+        .to_string();
+    let modules = build_workload(opts)?;
+    let run = run_optiwise(&modules, &pipeline_config(opts)).map_err(|e| e.to_string())?;
+    let rows = run
+        .analysis
+        .annotate_function(module_of(&run.analysis, &func), &func);
+    if rows.is_empty() {
+        return Err(format!("function `{func}` not found or never executed"));
+    }
+    emit(opts, &report::annotate(&rows, run.analysis.total_cycles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_options(&owned)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&["mcf_like"]).unwrap();
+        assert_eq!(o.workload.as_deref(), Some("mcf_like"));
+        assert_eq!(o.size, InputSize::Train);
+        assert!(o.stack_profiling);
+        assert_eq!(o.merge_threshold, Some(wiser_cfg::MERGE_THRESHOLD));
+    }
+
+    #[test]
+    fn all_options_parse() {
+        let o = parse(&[
+            "--size", "ref",
+            "--arch", "neoverse",
+            "--period", "4096",
+            "--attribution", "precise",
+            "--no-stack-profiling",
+            "--merge-threshold", "off",
+            "--seed", "42",
+            "--top", "5",
+            "--out", "/tmp/x.txt",
+            "--function", "main",
+            "udiv_chain",
+        ])
+        .unwrap();
+        assert_eq!(o.size, InputSize::Ref);
+        assert_eq!(o.sampler.period, 4096);
+        assert_eq!(o.sampler.attribution, Attribution::Precise);
+        assert!(!o.stack_profiling);
+        assert_eq!(o.merge_threshold, None);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.top, 5);
+        assert_eq!(o.out.as_deref(), Some("/tmp/x.txt"));
+        assert_eq!(o.function.as_deref(), Some("main"));
+        assert_eq!(o.workload.as_deref(), Some("udiv_chain"));
+    }
+
+    #[test]
+    fn rejects_unknown_option_and_extra_positional() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["a", "b"]).is_err());
+        assert!(parse(&["--size"]).is_err());
+        assert!(parse(&["--size", "gigantic"]).is_err());
+        assert!(parse(&["--attribution", "psychic"]).is_err());
+    }
+
+    #[test]
+    fn merge_threshold_numeric() {
+        let o = parse(&["--merge-threshold", "7"]).unwrap();
+        assert_eq!(o.merge_threshold, Some(7));
+        assert!(parse(&["--merge-threshold", "many"]).is_err());
+    }
+}
+
+const USAGE: &str = "\
+usage: optiwise <command> [options] [workload]
+commands:
+  check                 end-to-end self test
+  list                  list registered workloads
+  run <workload>        sample + instrument + fused report
+  sample <workload>     sampling pass; write profile text
+  instrument <workload> instrumentation pass; write counts text
+  analyze <workload> --samples F --counts F
+  annotate <workload> --function NAME
+options:
+  --size test|train|ref   --arch xeon|neoverse   --period N
+  --attribution interrupt|precise|predecessor
+  --no-stack-profiling    --merge-threshold N|off
+  --seed N  --top N  --out FILE  --csv-dir DIR
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "check" => cmd_check(),
+        "list" => cmd_list(),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        cmd => match parse_options(rest) {
+            Err(e) => Err(e),
+            Ok(opts) => match cmd {
+                "run" => cmd_run(&opts),
+                "sample" => cmd_sample(&opts),
+                "instrument" => cmd_instrument(&opts),
+                "analyze" => cmd_analyze(&opts),
+                "annotate" => cmd_annotate(&opts),
+                other => Err(format!("unknown command `{other}`\n{USAGE}")),
+            },
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("optiwise: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end tests of the `optiwise` binary, driving the same workflows
+//! the paper's artifact documents.
+
+use std::process::Command;
+
+fn optiwise(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_optiwise"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn check_passes() {
+    let out = optiwise(&["check"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok"), "{stdout}");
+}
+
+#[test]
+fn list_shows_workloads() {
+    let out = optiwise(&["list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("mcf_like"));
+    assert!(stdout.contains("xalancbmk_like"));
+    assert!(stdout.contains("slow_store"));
+}
+
+#[test]
+fn run_produces_report() {
+    let out = optiwise(&["run", "loop_merge", "--size", "test"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("-- loops --"), "{stdout}");
+    assert!(stdout.contains("-- functions --"));
+}
+
+#[test]
+fn split_sample_instrument_analyze_workflow() {
+    let dir = std::env::temp_dir().join("optiwise-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let samples = dir.join("samples.txt");
+    let counts = dir.join("counts.txt");
+
+    let out = optiwise(&[
+        "sample",
+        "stack_attr",
+        "--size",
+        "test",
+        "--out",
+        samples.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = optiwise(&[
+        "instrument",
+        "stack_attr",
+        "--size",
+        "test",
+        "--out",
+        counts.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = optiwise(&[
+        "analyze",
+        "stack_attr",
+        "--size",
+        "test",
+        "--samples",
+        samples.to_str().unwrap(),
+        "--counts",
+        counts.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("func3"), "{stdout}");
+}
+
+#[test]
+fn annotate_prints_instruction_rows() {
+    let out = optiwise(&[
+        "annotate",
+        "udiv_chain",
+        "--size",
+        "test",
+        "--function",
+        "_start",
+        "--attribution",
+        "precise",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("udiv"), "{stdout}");
+    assert!(stdout.contains("CPI"), "{stdout}");
+}
+
+#[test]
+fn run_exports_csv_tables() {
+    let dir = std::env::temp_dir().join("optiwise-csv-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = optiwise(&[
+        "run",
+        "loop_merge",
+        "--size",
+        "test",
+        "--csv-dir",
+        dir.to_str().unwrap(),
+        "--out",
+        dir.join("report.txt").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    for name in ["functions.csv", "loops.csv", "blocks.csv", "report.txt"] {
+        let path = dir.join(name);
+        let contents = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(contents.lines().count() >= 2, "{name} too small");
+    }
+}
+
+#[test]
+fn unknown_workload_fails_gracefully() {
+    let out = optiwise(&["run", "not_a_workload"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown workload"), "{stderr}");
+}
+
+#[test]
+fn usage_on_no_args() {
+    let out = optiwise(&[]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+}

@@ -1,0 +1,186 @@
+//! Machine-readable exports (CSV) of the analysis tables, for plotting the
+//! figures the way the artifact's gnuplot scripts do.
+
+use std::fmt::Write as _;
+
+use crate::analysis::Analysis;
+use crate::blocks::block_stats;
+
+fn esc(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Functions table as CSV.
+pub fn functions_csv(analysis: &Analysis) -> String {
+    let mut out = String::from(
+        "module,function,self_cycles,incl_cycles,self_samples,self_insns,incl_insns,ipc,cpi\n",
+    );
+    for f in analysis.functions() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{}",
+            f.module,
+            esc(&f.name),
+            f.self_cycles,
+            f.incl_cycles,
+            f.self_samples,
+            f.self_insns,
+            f.incl_insns,
+            f.ipc().map(|v| format!("{v:.4}")).unwrap_or_default(),
+            f.cpi().map(|v| format!("{v:.4}")).unwrap_or_default(),
+        );
+    }
+    out
+}
+
+/// Loops table as CSV.
+pub fn loops_csv(analysis: &Analysis) -> String {
+    let mut out = String::from(
+        "module,function,header_offset,depth,iterations,invocations,body_insns,total_insns,cycles,samples,insns_per_iter,cpi,file,line_lo,line_hi\n",
+    );
+    for l in analysis.loops() {
+        let (file, lo, hi) = match &l.lines {
+            Some((f, lo, hi)) => (f.clone(), lo.to_string(), hi.to_string()),
+            None => (String::new(), String::new(), String::new()),
+        };
+        let _ = writeln!(
+            out,
+            "{},{},{:#x},{},{},{},{},{},{},{},{:.2},{},{},{},{}",
+            l.module,
+            esc(&l.function),
+            l.header_offset,
+            l.depth,
+            l.iterations,
+            l.invocations,
+            l.body_insns,
+            l.total_insns,
+            l.cycles,
+            l.samples,
+            l.insns_per_iteration(),
+            l.cpi().map(|v| format!("{v:.4}")).unwrap_or_default(),
+            esc(&file),
+            lo,
+            hi,
+        );
+    }
+    out
+}
+
+/// Per-instruction rows of one function as CSV.
+pub fn annotate_csv(analysis: &Analysis, module: u32, function: &str) -> String {
+    let mut out = String::from("offset,instruction,samples,cycles,execs,cpi\n");
+    for r in analysis.annotate_function(module, function) {
+        let _ = writeln!(
+            out,
+            "{:#x},{},{},{},{},{}",
+            r.loc.offset,
+            esc(&r.text),
+            r.samples,
+            r.cycles,
+            r.count,
+            r.cpi.map(|v| format!("{v:.4}")).unwrap_or_default(),
+        );
+    }
+    out
+}
+
+/// Block table as CSV.
+pub fn blocks_csv(analysis: &Analysis) -> String {
+    let mut out = String::from("module,function,start,len,count,cycles,samples,cpi\n");
+    for b in block_stats(analysis) {
+        let _ = writeln!(
+            out,
+            "{},{},{:#x},{},{},{},{},{}",
+            b.module,
+            esc(&b.function),
+            b.start,
+            b.len,
+            b.count,
+            b.cycles,
+            b.samples,
+            b.cpi().map(|v| format!("{v:.4}")).unwrap_or_default(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_optiwise, OptiwiseConfig};
+    use wiser_isa::assemble;
+
+    fn analysis() -> Analysis {
+        let module = assemble(
+            "csv",
+            r#"
+            .func helper
+                addi x0, x1, 1
+                ret
+            .endfunc
+            .func _start global
+            .loc "c.c" 2
+                li x8, 500
+                li x9, 0
+            loop:
+                call helper
+                subi x8, x8, 1
+                bne x8, x9, loop
+                li x1, 0
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        )
+        .unwrap();
+        run_optiwise(&[module], &OptiwiseConfig::default())
+            .unwrap()
+            .analysis
+    }
+
+    /// Minimal RFC-4180-ish field counter for the test.
+    fn csv_fields(line: &str) -> usize {
+        let mut fields = 1;
+        let mut in_quotes = false;
+        for c in line.chars() {
+            match c {
+                '"' => in_quotes = !in_quotes,
+                ',' if !in_quotes => fields += 1,
+                _ => {}
+            }
+        }
+        fields
+    }
+
+    #[test]
+    fn csv_outputs_parse_as_tables() {
+        let a = analysis();
+        for csv in [
+            functions_csv(&a),
+            loops_csv(&a),
+            annotate_csv(&a, 0, "_start"),
+            blocks_csv(&a),
+        ] {
+            let mut lines = csv.lines();
+            let header_cols = csv_fields(lines.next().unwrap());
+            let mut rows = 0;
+            for line in lines {
+                assert_eq!(csv_fields(line), header_cols, "{line}");
+                rows += 1;
+            }
+            assert!(rows >= 1);
+        }
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(esc("plain"), "plain");
+        assert_eq!(esc("a,b"), "\"a,b\"");
+        assert_eq!(esc("q\"q"), "\"q\"\"q\"");
+    }
+}

@@ -1,0 +1,32 @@
+//! # optiwise
+//!
+//! The core of the OptiWISE reproduction (CGO 2024): fuses a low-overhead
+//! sampling profile with an instrumentation profile to produce granular
+//! cycles-per-instruction analysis at instruction, basic-block, loop,
+//! source-line and function granularity.
+//!
+//! The pipeline (paper figure 3):
+//!
+//! 1. sample the program under the out-of-order timing model (`wiser-sampler`),
+//! 2. instrument a second execution for exact edge counts and stack
+//!    profiling (`wiser-dbi`),
+//! 3. reconstruct the CFG, find and merge loops (`wiser-cfg`),
+//! 4. join the two profiles on `(module, offset)` keys and aggregate
+//!    ([`Analysis`]).
+//!
+//! Use [`run_optiwise`] for the whole pipeline in one call, or drive the
+//! stages separately for custom workflows.
+
+#![warn(missing_docs)]
+
+mod analysis;
+mod blocks;
+pub mod export;
+pub mod report;
+mod runner;
+mod types;
+
+pub use analysis::{Analysis, AnalysisOptions, ModuleAnalysis};
+pub use blocks::{block_stats, blocks_table, BlockStats};
+pub use runner::{run_optiwise, OptiwiseConfig, OptiwiseRun};
+pub use types::{FuncStats, InsnRow, LineStats, LoopStats};

@@ -1,0 +1,194 @@
+//! Text report rendering: the tables OptiWISE prints for its users.
+
+use std::fmt::Write as _;
+
+use crate::analysis::Analysis;
+use crate::types::InsnRow;
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x >= 100.0 => format!("{x:.0}"),
+        Some(x) => format!("{x:.2}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Renders the function table (top `limit` by self cycles).
+pub fn functions_table(analysis: &Analysis, limit: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>7} {:>14} {:>7} {:>7}",
+        "FUNCTION", "SELF%", "INCL%", "INSNS", "IPC", "CPI"
+    );
+    for f in analysis.functions().iter().take(limit) {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6.1}% {:>6.1}% {:>14} {:>7} {:>7}",
+            truncate(&f.name, 28),
+            pct(f.self_cycles, analysis.total_cycles),
+            pct(f.incl_cycles, analysis.total_cycles),
+            f.self_insns,
+            fmt_opt(f.ipc()),
+            fmt_opt(f.cpi()),
+        );
+    }
+    out
+}
+
+/// Renders the loop table (top `limit` by attributed cycles) — the view the
+/// paper highlights for finding optimization candidates.
+pub fn loops_table(analysis: &Analysis, limit: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:<16} {:>7} {:>10} {:>9} {:>9} {:>7} {:>7}",
+        "LOOP (function)", "LINES", "CYCLE%", "ITERS", "INVOCS", "INS/ITER", "CPI", "DEPTH"
+    );
+    for l in analysis.loops().iter().take(limit) {
+        let lines = match &l.lines {
+            Some((file, lo, hi)) if lo == hi => format!("{}:{}", short_file(file), lo),
+            Some((file, lo, hi)) => format!("{}:{}-{}", short_file(file), lo, hi),
+            None => format!("@{:#x}", l.header_offset),
+        };
+        let _ = writeln!(
+            out,
+            "{:<24} {:<16} {:>6.1}% {:>10} {:>9} {:>9.1} {:>7} {:>7}",
+            truncate(&l.function, 24),
+            truncate(&lines, 16),
+            pct(l.cycles, analysis.total_cycles),
+            l.iterations,
+            l.invocations,
+            l.insns_per_iteration(),
+            fmt_opt(l.cpi()),
+            l.depth,
+        );
+    }
+    out
+}
+
+/// Renders the source-line table.
+pub fn lines_table(analysis: &Analysis, limit: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<28} {:>7} {:>12} {:>12} {:>7}",
+        "FILE:LINE", "CYCLE%", "CYCLES", "EXECS", "CPI"
+    );
+    for l in analysis.lines().iter().take(limit) {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6.1}% {:>12} {:>12} {:>7}",
+            truncate(&format!("{}:{}", short_file(&l.file), l.line), 28),
+            pct(l.cycles, analysis.total_cycles),
+            l.cycles,
+            l.count,
+            fmt_opt(l.cpi()),
+        );
+    }
+    out
+}
+
+/// Renders per-instruction rows in the figure 1 / figure 10 style:
+/// disassembly annotated with samples, execution counts and CPI.
+pub fn annotate(rows: &[InsnRow], total_cycles: u64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8}  {:<34} {:>8} {:>10} {:>12} {:>8} {:>7}",
+        "OFFSET", "INSTRUCTION", "SAMPLES", "CYCLES", "EXECS", "CPI", "CYCLE%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>8x}  {:<34} {:>8} {:>10} {:>12} {:>8} {:>6.1}%",
+            r.loc.offset,
+            truncate(&r.text, 34),
+            r.samples,
+            r.cycles,
+            r.count,
+            fmt_opt(r.cpi),
+            pct(r.cycles, total_cycles),
+        );
+    }
+    out
+}
+
+/// The full default report: summary, functions, loops, lines.
+pub fn full_report(analysis: &Analysis, limit: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== OptiWISE report ==");
+    let _ = writeln!(
+        out,
+        "total cycles (sampled): {}   total instructions (counted): {}   overall IPC: {:.2}",
+        analysis.wall_cycles,
+        analysis.total_insns,
+        if analysis.wall_cycles > 0 {
+            analysis.total_insns as f64 / analysis.wall_cycles as f64
+        } else {
+            0.0
+        }
+    );
+    let _ = writeln!(out, "\n-- functions --\n{}", functions_table(analysis, limit));
+    let _ = writeln!(out, "-- loops --\n{}", loops_table(analysis, limit));
+    let _ = writeln!(out, "-- lines --\n{}", lines_table(analysis, limit));
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max.saturating_sub(1)])
+    }
+}
+
+fn short_file(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiser_sim::{CodeLoc, ModuleId};
+
+    #[test]
+    fn annotate_formats_rows() {
+        let rows = vec![InsnRow {
+            loc: CodeLoc {
+                module: ModuleId(0),
+                offset: 0x40,
+            },
+            text: "udiv x5, x7, x6".into(),
+            samples: 10,
+            cycles: 20000,
+            count: 500,
+            cpi: Some(40.0),
+        }];
+        let text = annotate(&rows, 40000);
+        assert!(text.contains("udiv"));
+        assert!(text.contains("40.00"));
+        assert!(text.contains("50.0%"));
+    }
+
+    #[test]
+    fn truncation() {
+        assert_eq!(truncate("short", 10), "short");
+        let t = truncate("averyverylongname", 8);
+        assert!(t.chars().count() <= 8);
+    }
+
+    #[test]
+    fn short_file_strips_dirs() {
+        assert_eq!(short_file("a/b/c.c"), "c.c");
+        assert_eq!(short_file("c.c"), "c.c");
+    }
+}

@@ -1,0 +1,222 @@
+//! One-call pipeline: the equivalent of `optiwise run -- <binary>`.
+//!
+//! Loads the program twice with different ASLR layouts, performs the
+//! sampling run on the timing model and the instrumentation run on the DBI
+//! engine, then fuses both profiles into an [`Analysis`] (figure 3's five
+//! components end to end).
+
+use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
+use wiser_isa::Module;
+use wiser_sampler::{sample_run, SampleProfile, SamplerConfig};
+use wiser_sim::{CoreConfig, LoadConfig, ProcessImage, SimError, TimedRun};
+
+use crate::analysis::{Analysis, AnalysisOptions};
+
+/// Configuration of the whole OptiWISE pipeline.
+#[derive(Clone, Debug)]
+pub struct OptiwiseConfig {
+    /// Microarchitecture to sample on.
+    pub core: CoreConfig,
+    /// Sampling parameters.
+    pub sampler: SamplerConfig,
+    /// Instrumentation parameters.
+    pub dbi: DbiConfig,
+    /// Analysis options (loop merging).
+    pub analysis: AnalysisOptions,
+    /// Program input seed (the deterministic `rand` syscall); identical in
+    /// both runs so control flow matches (§IV-F).
+    pub rand_seed: u64,
+    /// Instruction budget per run.
+    pub max_insns: u64,
+    /// ASLR seeds for the two runs; distinct values prove the analysis is
+    /// keyed on module-relative addresses.
+    pub aslr_seeds: (u64, u64),
+}
+
+impl Default for OptiwiseConfig {
+    fn default() -> OptiwiseConfig {
+        OptiwiseConfig {
+            core: CoreConfig::xeon_like(),
+            sampler: SamplerConfig::default(),
+            dbi: DbiConfig::default(),
+            analysis: AnalysisOptions::default(),
+            rand_seed: 0,
+            max_insns: 200_000_000,
+            aslr_seeds: (0x5a5a, 0xa5a5),
+        }
+    }
+}
+
+/// Everything OptiWISE produced for one program.
+pub struct OptiwiseRun {
+    /// The fused analysis.
+    pub analysis: Analysis,
+    /// Raw sampling profile (run 1).
+    pub samples: SampleProfile,
+    /// Raw instrumentation profile (run 2).
+    pub counts: CountsProfile,
+    /// Timing statistics of the sampled run.
+    pub timed: TimedRun,
+}
+
+/// Runs the full OptiWISE pipeline on a set of modules.
+///
+/// # Errors
+///
+/// Propagates loader and simulator errors from either run.
+///
+/// # Examples
+///
+/// ```
+/// use optiwise::{run_optiwise, OptiwiseConfig};
+/// use wiser_isa::assemble;
+///
+/// let module = assemble(
+///     "demo",
+///     r#"
+///     .func _start global
+///         li x8, 10000
+///         li x9, 0
+///     loop:
+///         subi x8, x8, 1
+///         bne x8, x9, loop
+///         li x0, 0
+///         syscall
+///     .endfunc
+///     .entry _start
+///     "#,
+/// )?;
+/// let run = run_optiwise(&[module], &OptiwiseConfig::default())?;
+/// assert!(!run.analysis.loops().is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_optiwise(
+    modules: &[Module],
+    config: &OptiwiseConfig,
+) -> Result<OptiwiseRun, SimError> {
+    // Run 1: sampling on the timing model.
+    let mut load_a = LoadConfig::default();
+    load_a.aslr_seed = Some(config.aslr_seeds.0);
+    let image_a = ProcessImage::load(modules, &load_a)?;
+    let (samples, timed) = sample_run(
+        &image_a,
+        config.rand_seed,
+        config.core,
+        config.sampler,
+        config.max_insns,
+    )?;
+
+    // Run 2: instrumentation, under a different layout.
+    let mut load_b = LoadConfig::default();
+    load_b.aslr_seed = Some(config.aslr_seeds.1);
+    let image_b = ProcessImage::load(modules, &load_b)?;
+    let dbi_cfg = DbiConfig {
+        rand_seed: config.rand_seed,
+        max_insns: config.max_insns,
+        ..config.dbi
+    };
+    let counts = instrument_run(&image_b, &dbi_cfg)?;
+
+    // Analysis over the linked modules (module-relative, layout agnostic).
+    let linked: Vec<Module> = image_b.modules.iter().map(|m| m.linked.clone()).collect();
+    let analysis = Analysis::new(&linked, &samples, &counts, config.analysis);
+    Ok(OptiwiseRun {
+        analysis,
+        samples,
+        counts,
+        timed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiser_isa::assemble;
+
+    #[test]
+    fn pipeline_end_to_end() {
+        let module = assemble(
+            "e2e",
+            r#"
+            .func _start global
+                li x8, 5000
+                li x9, 0
+            loop:
+                addi x1, x1, 1
+                subi x8, x8, 1
+                bne x8, x9, loop
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        )
+        .unwrap();
+        let run = run_optiwise(&[module], &OptiwiseConfig::default()).unwrap();
+        // Exit code is x1, the loop counter.
+        assert_eq!(run.timed.exit_code, Some(5000));
+        assert_eq!(run.analysis.loops().len(), 1);
+        assert_eq!(run.analysis.loops()[0].iterations, 4999);
+        assert!(run.analysis.total_cycles > 0);
+        // Same program, both runs: instruction totals agree exactly.
+        assert_eq!(run.counts.total_insns(), run.timed.stats.retired);
+    }
+
+    #[test]
+    fn cross_module_pipeline() {
+        let main = assemble(
+            "main",
+            r#"
+            .import busy
+            .func _start global
+                li x8, 200
+                li x9, 0
+            loop:
+                call busy
+                subi x8, x8, 1
+                bne x8, x9, loop
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        )
+        .unwrap();
+        let lib = assemble(
+            "libbusy",
+            r#"
+            .func busy global
+                li x1, 50
+                li x2, 0
+            spin:
+                subi x1, x1, 1
+                bne x1, x2, spin
+                ret
+            .endfunc
+            "#,
+        )
+        .unwrap();
+        let run = run_optiwise(&[main, lib], &OptiwiseConfig::default()).unwrap();
+        // The caller loop subsumes the callee's spin loop, so it sorts on
+        // top; the spin loop in the library module is second.
+        let caller_loop = run
+            .analysis
+            .loops()
+            .iter()
+            .find(|l| l.function == "_start")
+            .unwrap();
+        let spin_loop = run
+            .analysis
+            .loops()
+            .iter()
+            .find(|l| l.function == "busy")
+            .expect("spin loop in library module");
+        assert_eq!(spin_loop.module, 1);
+        assert!(caller_loop.cycles >= spin_loop.cycles);
+        // The callee still holds the lion's share of the time.
+        assert!(spin_loop.cycles * 2 > caller_loop.cycles);
+        // And its instruction total includes callee instructions via the
+        // callee table (200 calls × ~102 insns each).
+        assert!(caller_loop.total_insns > 200 * 100);
+    }
+}

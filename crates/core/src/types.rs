@@ -1,0 +1,208 @@
+//! Result types of the combined analysis.
+
+use wiser_sim::CodeLoc;
+
+/// Per-instruction fused row: the core OptiWISE output (figures 1 and 10).
+#[derive(Clone, Debug, PartialEq)]
+pub struct InsnRow {
+    /// Instruction location.
+    pub loc: CodeLoc,
+    /// Disassembled text.
+    pub text: String,
+    /// Number of samples attributed to this instruction.
+    pub samples: u64,
+    /// Cycle-weighted sample total (estimated cycles spent here).
+    pub cycles: u64,
+    /// Execution count from instrumentation.
+    pub count: u64,
+    /// Estimated cycles per execution: `cycles / count`. `None` when the
+    /// instruction never executed (samples without counts indicate sampling
+    /// skid into cold code).
+    pub cpi: Option<f64>,
+}
+
+/// Per-function aggregate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncStats {
+    /// Module index.
+    pub module: u32,
+    /// Function name.
+    pub name: String,
+    /// Cycles whose sample PC lies in this function.
+    pub self_cycles: u64,
+    /// Cycles with this function anywhere on the call stack (most-recent
+    /// instance only, so recursion is not double counted).
+    pub incl_cycles: u64,
+    /// Samples landing in the function.
+    pub self_samples: u64,
+    /// Instructions executed inside the function body.
+    pub self_insns: u64,
+    /// Instructions including all callees (via the stack-profiling callee
+    /// table).
+    pub incl_insns: u64,
+}
+
+impl FuncStats {
+    /// Instructions per cycle over the function body.
+    pub fn ipc(&self) -> Option<f64> {
+        (self.self_cycles > 0).then(|| self.self_insns as f64 / self.self_cycles as f64)
+    }
+
+    /// Cycles per instruction over the function body.
+    pub fn cpi(&self) -> Option<f64> {
+        (self.self_insns > 0).then(|| self.self_cycles as f64 / self.self_insns as f64)
+    }
+}
+
+/// Per-loop aggregate (the paper's headline granularity).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopStats {
+    /// Module index.
+    pub module: u32,
+    /// Enclosing function name.
+    pub function: String,
+    /// Header block's first-instruction offset.
+    pub header_offset: u64,
+    /// Nesting depth after merging (0 = outermost).
+    pub depth: usize,
+    /// Index of the parent loop in the analysis' loop list.
+    pub parent: Option<usize>,
+    /// Back-edge traversals (≈ iterations beyond the first of each entry).
+    pub iterations: u64,
+    /// Entries into the loop from outside.
+    pub invocations: u64,
+    /// Instructions executed in the loop body itself.
+    pub body_insns: u64,
+    /// Instructions including callees invoked from the loop.
+    pub total_insns: u64,
+    /// Cycles attributed to the loop via sample stacks (callees included).
+    pub cycles: u64,
+    /// Samples attributed to the loop.
+    pub samples: u64,
+    /// Source file and line range covered by the loop body, if debug info
+    /// exists.
+    pub lines: Option<(String, u32, u32)>,
+}
+
+impl LoopStats {
+    /// Average instructions per header execution (≈ per iteration).
+    pub fn insns_per_iteration(&self) -> f64 {
+        let headers = self.iterations + self.invocations;
+        if headers == 0 {
+            0.0
+        } else {
+            self.total_insns as f64 / headers as f64
+        }
+    }
+
+    /// Iterations per invocation.
+    pub fn iterations_per_invocation(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            (self.iterations + self.invocations) as f64 / self.invocations as f64
+        }
+    }
+
+    /// Cycles per instruction over the loop (callees included).
+    pub fn cpi(&self) -> Option<f64> {
+        (self.total_insns > 0).then(|| self.cycles as f64 / self.total_insns as f64)
+    }
+
+    /// Instructions per cycle over the loop.
+    pub fn ipc(&self) -> Option<f64> {
+        (self.cycles > 0).then(|| self.total_insns as f64 / self.cycles as f64)
+    }
+}
+
+/// Per-source-line aggregate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LineStats {
+    /// Module index.
+    pub module: u32,
+    /// Source file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Cycles attributed to instructions of this line.
+    pub cycles: u64,
+    /// Samples attributed to the line.
+    pub samples: u64,
+    /// Executions summed over the line's instructions.
+    pub count: u64,
+}
+
+impl LineStats {
+    /// Cycles per instruction-execution on this line.
+    pub fn cpi(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.cycles as f64 / self.count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiser_sim::ModuleId;
+
+    #[test]
+    fn ratios() {
+        let f = FuncStats {
+            module: 0,
+            name: "f".into(),
+            self_cycles: 100,
+            incl_cycles: 150,
+            self_samples: 10,
+            self_insns: 50,
+            incl_insns: 80,
+        };
+        assert_eq!(f.ipc(), Some(0.5));
+        assert_eq!(f.cpi(), Some(2.0));
+
+        let l = LoopStats {
+            module: 0,
+            function: "f".into(),
+            header_offset: 0,
+            depth: 0,
+            parent: None,
+            iterations: 90,
+            invocations: 10,
+            body_insns: 500,
+            total_insns: 1000,
+            cycles: 2000,
+            samples: 2,
+            lines: None,
+        };
+        assert_eq!(l.insns_per_iteration(), 10.0);
+        assert_eq!(l.iterations_per_invocation(), 10.0);
+        assert_eq!(l.cpi(), Some(2.0));
+        assert_eq!(l.ipc(), Some(0.5));
+
+        let row = InsnRow {
+            loc: CodeLoc {
+                module: ModuleId(0),
+                offset: 0,
+            },
+            text: "nop".into(),
+            samples: 0,
+            cycles: 0,
+            count: 0,
+            cpi: None,
+        };
+        assert!(row.cpi.is_none());
+    }
+
+    #[test]
+    fn zero_denominators_are_none() {
+        let f = FuncStats {
+            module: 0,
+            name: "f".into(),
+            self_cycles: 0,
+            incl_cycles: 0,
+            self_samples: 0,
+            self_insns: 0,
+            incl_insns: 0,
+        };
+        assert!(f.ipc().is_none());
+        assert!(f.cpi().is_none());
+    }
+}

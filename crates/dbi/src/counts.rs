@@ -1,0 +1,422 @@
+//! The instrumentation profile: DynamoRIO-style blocks with execution
+//! counts, edge counters, and the stack-profiling callee table.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use wiser_isa::CtiKind;
+use wiser_sim::{CodeLoc, ModuleId};
+
+/// Terminator classification of a DynamoRIO block, determining which edge
+/// instrumentation §IV-C inserts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TermKind {
+    /// Direct unconditional jump.
+    DirectJump,
+    /// Direct conditional branch (fall-through counter inserted).
+    CondBranch,
+    /// Indirect jump/call/return (hash-table counters via clean calls).
+    Indirect,
+    /// Direct call.
+    DirectCall,
+    /// System call (edge to the next sequential block).
+    Syscall,
+    /// Block ran off the end of known text (defensive; should not occur).
+    Fallthrough,
+}
+
+impl TermKind {
+    /// Maps an ISA CTI kind to the instrumentation category.
+    pub fn of_cti(kind: CtiKind) -> TermKind {
+        match kind {
+            CtiKind::DirectJump => TermKind::DirectJump,
+            CtiKind::CondBranch => TermKind::CondBranch,
+            CtiKind::IndirectJump | CtiKind::IndirectCall | CtiKind::Return => TermKind::Indirect,
+            CtiKind::DirectCall => TermKind::DirectCall,
+            CtiKind::Syscall => TermKind::Syscall,
+        }
+    }
+
+    fn code(self) -> char {
+        match self {
+            TermKind::DirectJump => 'j',
+            TermKind::CondBranch => 'c',
+            TermKind::Indirect => 'i',
+            TermKind::DirectCall => 'l',
+            TermKind::Syscall => 's',
+            TermKind::Fallthrough => 'f',
+        }
+    }
+
+    fn from_code(c: char) -> Option<TermKind> {
+        Some(match c {
+            'j' => TermKind::DirectJump,
+            'c' => TermKind::CondBranch,
+            'i' => TermKind::Indirect,
+            'l' => TermKind::DirectCall,
+            's' => TermKind::Syscall,
+            'f' => TermKind::Fallthrough,
+            _ => return None,
+        })
+    }
+}
+
+/// One discovered DynamoRIO block with its counters.
+///
+/// Blocks may overlap (a branch into the middle of an existing block makes a
+/// new block); per-instruction execution counts are recovered by summing all
+/// covering blocks (§IV-C).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlockCount {
+    /// Entry location.
+    pub entry: CodeLoc,
+    /// Number of instructions in the block (terminator included).
+    pub len: u32,
+    /// Times the block was executed.
+    pub count: u64,
+    /// Terminator category.
+    pub term: TermKind,
+    /// Statically-known target of the terminator (direct jump/call/branch).
+    pub direct_target: Option<CodeLoc>,
+    /// Fall-through executions (conditional branches only; the taken count
+    /// is derived as `count - fallthrough`, as in the paper).
+    pub fallthrough: u64,
+    /// Indirect-branch targets and counts (the C++ map updated via clean
+    /// calls).
+    pub targets: Vec<(CodeLoc, u64)>,
+}
+
+impl BlockCount {
+    /// Taken-edge executions for conditional blocks.
+    pub fn taken(&self) -> u64 {
+        self.count.saturating_sub(self.fallthrough)
+    }
+
+    /// Location one past the terminator (the fall-through successor).
+    pub fn fallthrough_loc(&self) -> CodeLoc {
+        CodeLoc {
+            module: self.entry.module,
+            offset: self.entry.offset + self.len as u64 * wiser_isa::INSN_BYTES,
+        }
+    }
+}
+
+/// Totals used for the figure-7 overhead estimate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InstrumentationCost {
+    /// Instructions the native program executed.
+    pub native_insns: u64,
+    /// Instructions the instrumented program executed (native plus inserted
+    /// meta-instructions, clean calls and translation work).
+    pub instrumented_insns: u64,
+    /// Unique blocks translated.
+    pub unique_blocks: u64,
+    /// Block executions.
+    pub block_execs: u64,
+    /// Indirect-branch executions (each a clean call).
+    pub indirect_execs: u64,
+}
+
+impl InstrumentationCost {
+    /// Estimated slowdown of the instrumented run (figure 7's
+    /// "instrumentation" series), as an executed-instruction ratio.
+    pub fn overhead(&self) -> f64 {
+        if self.native_insns == 0 {
+            1.0
+        } else {
+            self.instrumented_insns as f64 / self.native_insns as f64
+        }
+    }
+}
+
+/// The complete output of the instrumentation run (component 2 of figure 3).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CountsProfile {
+    /// Module names, indexed by [`ModuleId`].
+    pub module_names: Vec<String>,
+    /// All discovered blocks with counters, in discovery order.
+    pub blocks: Vec<BlockCount>,
+    /// Stack profiling output: per call site, total instructions executed in
+    /// the callee and everything below it (algorithm 1's
+    /// `callee_count_table`).
+    pub callee_counts: HashMap<CodeLoc, u64>,
+    /// Whether stack profiling was enabled.
+    pub stack_profiling: bool,
+    /// Cost accounting for the overhead estimate.
+    pub cost: InstrumentationCost,
+}
+
+impl CountsProfile {
+    /// Per-instruction execution counts: each block contributes its count to
+    /// every instruction it covers; overlapping blocks sum.
+    pub fn insn_counts(&self) -> HashMap<CodeLoc, u64> {
+        let mut map: HashMap<CodeLoc, u64> = HashMap::new();
+        for b in &self.blocks {
+            for i in 0..b.len as u64 {
+                let loc = CodeLoc {
+                    module: b.entry.module,
+                    offset: b.entry.offset + i * wiser_isa::INSN_BYTES,
+                };
+                *map.entry(loc).or_insert(0) += b.count;
+            }
+        }
+        map
+    }
+
+    /// Total dynamic instructions (sum of block count × len).
+    pub fn total_insns(&self) -> u64 {
+        self.blocks.iter().map(|b| b.count * b.len as u64).sum()
+    }
+
+    /// Serializes to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("optiwise-counts v1\n");
+        let _ = writeln!(out, "stack_profiling {}", self.stack_profiling as u8);
+        let _ = writeln!(
+            out,
+            "cost {} {} {} {} {}",
+            self.cost.native_insns,
+            self.cost.instrumented_insns,
+            self.cost.unique_blocks,
+            self.cost.block_execs,
+            self.cost.indirect_execs
+        );
+        let _ = writeln!(out, "modules {}", self.module_names.len());
+        for (i, name) in self.module_names.iter().enumerate() {
+            let _ = writeln!(out, "module {i} {name}");
+        }
+        for b in &self.blocks {
+            let _ = write!(
+                out,
+                "b {}:{:x} {} {} {}",
+                b.entry.module.0,
+                b.entry.offset,
+                b.len,
+                b.count,
+                b.term.code()
+            );
+            match b.direct_target {
+                Some(t) => {
+                    let _ = write!(out, " {}:{:x}", t.module.0, t.offset);
+                }
+                None => out.push_str(" -"),
+            }
+            let _ = write!(out, " {} {}", b.fallthrough, b.targets.len());
+            for (t, c) in &b.targets {
+                let _ = write!(out, " {}:{:x}={}", t.module.0, t.offset, c);
+            }
+            out.push('\n');
+        }
+        for (site, count) in sorted_callees(&self.callee_counts) {
+            let _ = writeln!(out, "k {}:{:x} {}", site.module.0, site.offset, count);
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`CountsProfile::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<CountsProfile, String> {
+        let mut lines = text.lines();
+        if lines.next() != Some("optiwise-counts v1") {
+            return Err("bad header".into());
+        }
+        let mut p = CountsProfile::default();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                None => continue,
+                Some("stack_profiling") => {
+                    p.stack_profiling = parts.next() == Some("1");
+                }
+                Some("cost") => {
+                    let mut take = || -> Result<u64, String> {
+                        parts
+                            .next()
+                            .ok_or("truncated cost")?
+                            .parse()
+                            .map_err(|e| format!("bad cost: {e}"))
+                    };
+                    p.cost.native_insns = take()?;
+                    p.cost.instrumented_insns = take()?;
+                    p.cost.unique_blocks = take()?;
+                    p.cost.block_execs = take()?;
+                    p.cost.indirect_execs = take()?;
+                }
+                Some("modules") => {}
+                Some("module") => {
+                    let idx: usize = parts
+                        .next()
+                        .ok_or("module without index")?
+                        .parse()
+                        .map_err(|e| format!("bad module index: {e}"))?;
+                    let name = parts.next().ok_or("module without name")?;
+                    if idx != p.module_names.len() {
+                        return Err("module index out of order".into());
+                    }
+                    p.module_names.push(name.to_string());
+                }
+                Some("b") => {
+                    let entry = parse_loc(parts.next().ok_or("block without entry")?)?;
+                    let len: u32 = parse_num(parts.next(), "len")?;
+                    let count: u64 = parse_num(parts.next(), "count")?;
+                    let term_str = parts.next().ok_or("block without terminator")?;
+                    let term = term_str
+                        .chars()
+                        .next()
+                        .and_then(TermKind::from_code)
+                        .ok_or_else(|| format!("bad terminator `{term_str}`"))?;
+                    let dt = parts.next().ok_or("block without target")?;
+                    let direct_target = if dt == "-" { None } else { Some(parse_loc(dt)?) };
+                    let fallthrough: u64 = parse_num(parts.next(), "fallthrough")?;
+                    let n_targets: usize = parse_num(parts.next(), "target count")?;
+                    let mut targets = Vec::with_capacity(n_targets);
+                    for _ in 0..n_targets {
+                        let t = parts.next().ok_or("truncated targets")?;
+                        let (loc, c) = t.split_once('=').ok_or("bad target")?;
+                        targets.push((
+                            parse_loc(loc)?,
+                            c.parse().map_err(|e| format!("bad target count: {e}"))?,
+                        ));
+                    }
+                    p.blocks.push(BlockCount {
+                        entry,
+                        len,
+                        count,
+                        term,
+                        direct_target,
+                        fallthrough,
+                        targets,
+                    });
+                }
+                Some("k") => {
+                    let site = parse_loc(parts.next().ok_or("callee without site")?)?;
+                    let count: u64 = parse_num(parts.next(), "callee count")?;
+                    p.callee_counts.insert(site, count);
+                }
+                Some(other) => return Err(format!("unknown record `{other}`")),
+            }
+        }
+        Ok(p)
+    }
+}
+
+fn sorted_callees(map: &HashMap<CodeLoc, u64>) -> Vec<(CodeLoc, u64)> {
+    let mut v: Vec<_> = map.iter().map(|(k, v)| (*k, *v)).collect();
+    v.sort();
+    v
+}
+
+fn parse_loc(s: &str) -> Result<CodeLoc, String> {
+    let (m, o) = s.split_once(':').ok_or_else(|| format!("bad loc `{s}`"))?;
+    Ok(CodeLoc {
+        module: ModuleId(m.parse().map_err(|e| format!("bad module: {e}"))?),
+        offset: u64::from_str_radix(o, 16).map_err(|e| format!("bad offset: {e}"))?,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(s: Option<&str>, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|e| format!("bad {what}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(m: u32, o: u64) -> CodeLoc {
+        CodeLoc {
+            module: ModuleId(m),
+            offset: o,
+        }
+    }
+
+    fn sample() -> CountsProfile {
+        let mut callee_counts = HashMap::new();
+        callee_counts.insert(loc(0, 0x20), 1234);
+        CountsProfile {
+            module_names: vec!["main".into()],
+            blocks: vec![
+                BlockCount {
+                    entry: loc(0, 0),
+                    len: 4,
+                    count: 100,
+                    term: TermKind::CondBranch,
+                    direct_target: Some(loc(0, 0x40)),
+                    fallthrough: 25,
+                    targets: vec![],
+                },
+                BlockCount {
+                    entry: loc(0, 0x40),
+                    len: 2,
+                    count: 75,
+                    term: TermKind::Indirect,
+                    direct_target: None,
+                    fallthrough: 0,
+                    targets: vec![(loc(0, 0), 50), (loc(0, 0x80), 25)],
+                },
+            ],
+            callee_counts,
+            stack_profiling: true,
+            cost: InstrumentationCost {
+                native_insns: 550,
+                instrumented_insns: 4000,
+                unique_blocks: 2,
+                block_execs: 175,
+                indirect_execs: 75,
+            },
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let p = sample();
+        let back = CountsProfile::from_text(&p.to_text()).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn insn_counts_sum_overlaps() {
+        let mut p = sample();
+        // Add an overlapping block covering offset 0x8 onward.
+        p.blocks.push(BlockCount {
+            entry: loc(0, 8),
+            len: 3,
+            count: 7,
+            term: TermKind::CondBranch,
+            direct_target: None,
+            fallthrough: 0,
+            targets: vec![],
+        });
+        let counts = p.insn_counts();
+        assert_eq!(counts[&loc(0, 0)], 100);
+        assert_eq!(counts[&loc(0, 8)], 107);
+        assert_eq!(counts[&loc(0, 16)], 107);
+    }
+
+    #[test]
+    fn taken_is_derived() {
+        let p = sample();
+        assert_eq!(p.blocks[0].taken(), 75);
+        assert_eq!(p.blocks[0].fallthrough_loc(), loc(0, 32));
+    }
+
+    #[test]
+    fn overhead_ratio() {
+        let p = sample();
+        assert!((p.cost.overhead() - 4000.0 / 550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(CountsProfile::from_text("garbage").is_err());
+        assert!(CountsProfile::from_text("optiwise-counts v1\nb 0:0 4\n").is_err());
+    }
+}

@@ -1,0 +1,6 @@
+//! Assembler: programmatic builder and text front-end.
+
+mod builder;
+pub(crate) mod text;
+
+pub use builder::{Asm, Label, Target};

@@ -1,0 +1,67 @@
+//! Error types for the ISA crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by encoding, decoding, module construction and assembly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IsaError {
+    /// A register name failed to parse.
+    BadRegister(String),
+    /// Instruction bytes did not decode.
+    BadEncoding(&'static str),
+    /// A symbol was referenced but never defined.
+    UndefinedSymbol(String),
+    /// A symbol was defined more than once.
+    DuplicateSymbol(String),
+    /// Assembly source failed to parse.
+    Parse {
+        /// 1-based line number in the assembly source.
+        line: u32,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A module invariant was violated (bad section offsets, missing entry,
+    /// unaligned sizes, and similar).
+    BadModule(String),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::BadRegister(name) => write!(f, "invalid register name `{name}`"),
+            IsaError::BadEncoding(what) => write!(f, "invalid instruction encoding: {what}"),
+            IsaError::UndefinedSymbol(name) => write!(f, "undefined symbol `{name}`"),
+            IsaError::DuplicateSymbol(name) => write!(f, "duplicate symbol `{name}`"),
+            IsaError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IsaError::BadModule(what) => write!(f, "invalid module: {what}"),
+        }
+    }
+}
+
+impl Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            IsaError::BadRegister("zz".into()),
+            IsaError::BadEncoding("oops"),
+            IsaError::UndefinedSymbol("main".into()),
+            IsaError::DuplicateSymbol("main".into()),
+            IsaError::Parse {
+                line: 3,
+                message: "bad token".into(),
+            },
+            IsaError::BadModule("no entry".into()),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

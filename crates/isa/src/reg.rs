@@ -1,0 +1,197 @@
+//! General-purpose and floating-point register names.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::IsaError;
+
+/// Number of general-purpose registers.
+pub const NUM_GPRS: usize = 16;
+/// Number of floating-point registers.
+pub const NUM_FPRS: usize = 8;
+
+/// A general-purpose 64-bit integer register, `x0` through `x15`.
+///
+/// Calling convention used throughout the workspace:
+///
+/// * `x0`–`x5`: arguments and return value (`x0` holds the return value),
+/// * `x0`–`x7`: caller-saved temporaries,
+/// * `x8`–`x13`: callee-saved,
+/// * `x14` ([`Gpr::FP`]): frame pointer,
+/// * `x15` ([`Gpr::SP`]): stack pointer.
+///
+/// # Examples
+///
+/// ```
+/// use wiser_isa::Gpr;
+/// assert_eq!(Gpr::new(3).unwrap().to_string(), "x3");
+/// assert_eq!(Gpr::SP.index(), 15);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gpr(u8);
+
+impl Gpr {
+    /// The stack pointer, `x15`.
+    pub const SP: Gpr = Gpr(15);
+    /// The frame pointer, `x14`.
+    pub const FP: Gpr = Gpr(14);
+
+    /// Creates a register from its index.
+    ///
+    /// Returns `None` if `index >= 16`.
+    pub fn new(index: u8) -> Option<Gpr> {
+        (index < NUM_GPRS as u8).then_some(Gpr(index))
+    }
+
+    /// Register index in `0..16`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw register number as a byte.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over every general-purpose register in index order.
+    pub fn all() -> impl Iterator<Item = Gpr> {
+        (0..NUM_GPRS as u8).map(Gpr)
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl fmt::Debug for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl FromStr for Gpr {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sp" => return Ok(Gpr::SP),
+            "fp" => return Ok(Gpr::FP),
+            _ => {}
+        }
+        let rest = s
+            .strip_prefix('x')
+            .ok_or_else(|| IsaError::BadRegister(s.to_string()))?;
+        let idx: u8 = rest
+            .parse()
+            .map_err(|_| IsaError::BadRegister(s.to_string()))?;
+        Gpr::new(idx).ok_or_else(|| IsaError::BadRegister(s.to_string()))
+    }
+}
+
+/// A floating-point 64-bit register, `f0` through `f7`.
+///
+/// `f0` holds floating-point arguments and return values. All FP registers
+/// are caller-saved.
+///
+/// # Examples
+///
+/// ```
+/// use wiser_isa::Fpr;
+/// assert_eq!(Fpr::new(2).unwrap().to_string(), "f2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fpr(u8);
+
+impl Fpr {
+    /// Creates a floating-point register from its index.
+    ///
+    /// Returns `None` if `index >= 8`.
+    pub fn new(index: u8) -> Option<Fpr> {
+        (index < NUM_FPRS as u8).then_some(Fpr(index))
+    }
+
+    /// Register index in `0..8`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw register number as a byte.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Iterates over every floating-point register in index order.
+    pub fn all() -> impl Iterator<Item = Fpr> {
+        (0..NUM_FPRS as u8).map(Fpr)
+    }
+}
+
+impl fmt::Display for Fpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Debug for Fpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl FromStr for Fpr {
+    type Err = IsaError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let rest = s
+            .strip_prefix('f')
+            .ok_or_else(|| IsaError::BadRegister(s.to_string()))?;
+        let idx: u8 = rest
+            .parse()
+            .map_err(|_| IsaError::BadRegister(s.to_string()))?;
+        Fpr::new(idx).ok_or_else(|| IsaError::BadRegister(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_roundtrip() {
+        for r in Gpr::all() {
+            let printed = r.to_string();
+            let parsed: Gpr = printed.parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn gpr_aliases() {
+        assert_eq!("sp".parse::<Gpr>().unwrap(), Gpr::SP);
+        assert_eq!("fp".parse::<Gpr>().unwrap(), Gpr::FP);
+    }
+
+    #[test]
+    fn gpr_out_of_range() {
+        assert!(Gpr::new(16).is_none());
+        assert!("x16".parse::<Gpr>().is_err());
+        assert!("y1".parse::<Gpr>().is_err());
+    }
+
+    #[test]
+    fn fpr_roundtrip() {
+        for r in Fpr::all() {
+            let printed = r.to_string();
+            let parsed: Fpr = printed.parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn fpr_out_of_range() {
+        assert!(Fpr::new(8).is_none());
+        assert!("f9".parse::<Fpr>().is_err());
+    }
+}

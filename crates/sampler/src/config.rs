@@ -1,0 +1,81 @@
+//! Sampling configuration.
+
+/// How a serviced sample is attributed to an instruction address.
+///
+/// These model the three options §II-A/§III of the paper discusses for
+/// real hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Attribution {
+    /// perf's default on machines without precise events: the interrupt is
+    /// serviced at the next commit boundary and the sampled PC is the
+    /// instruction at the head of the complete queue — i.e. one past the
+    /// instruction that actually stalled ("skid", figure 8).
+    Interrupt,
+    /// PEBS-like precise attribution: the sample lands on the oldest
+    /// incomplete instruction at the moment the interrupt fires.
+    Precise,
+    /// The §III heuristic: like [`Attribution::Interrupt`] but shifted to
+    /// the dynamic predecessor (the instruction that just committed), which
+    /// is usually the one that stalled.
+    Predecessor,
+}
+
+/// Which call-stack capture to perform per sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StackMode {
+    /// No stacks (smallest profiles; loop attribution degrades to the
+    /// gprof-style weighting the paper criticizes).
+    None,
+    /// Exact stacks from the committed architectural state — what
+    /// frame-pointer or DWARF unwinding obtains when it works perfectly.
+    Accurate,
+}
+
+/// Periodic-sampling configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerConfig {
+    /// Nominal cycles between samples (the paper samples at 1 kHz on a
+    /// 2.3 GHz part; scale to taste for simulated workloads).
+    pub period: u64,
+    /// Uniform jitter applied per interval, in cycles (±). Keeps samples
+    /// uncorrelated with loop periods.
+    pub jitter: u64,
+    /// RNG seed for the jitter.
+    pub seed: u64,
+    /// Attribution policy.
+    pub attribution: Attribution,
+    /// Stack capture policy.
+    pub stacks: StackMode,
+}
+
+impl SamplerConfig {
+    /// A sensible default for simulated workloads: period 2048 ± 512.
+    pub fn with_period(period: u64) -> SamplerConfig {
+        SamplerConfig {
+            period,
+            jitter: period / 4,
+            seed: 0x5eed,
+            attribution: Attribution::Interrupt,
+            stacks: StackMode::Accurate,
+        }
+    }
+}
+
+impl Default for SamplerConfig {
+    fn default() -> SamplerConfig {
+        SamplerConfig::with_period(2048)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_sane() {
+        let c = SamplerConfig::default();
+        assert!(c.period > 0);
+        assert!(c.jitter < c.period);
+        assert_eq!(c.attribution, Attribution::Interrupt);
+    }
+}

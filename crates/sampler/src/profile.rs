@@ -1,0 +1,229 @@
+//! The sample profile: what `perf record` + `perf script` would produce.
+//!
+//! All addresses are stored as stable `(module, offset)` pairs because ASLR
+//! changes absolute addresses between the sampling run and the
+//! instrumentation run (§IV-A).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use wiser_sim::{CodeLoc, ModuleId};
+
+/// One periodic sample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Sample {
+    /// Sampled instruction location.
+    pub loc: CodeLoc,
+    /// User-mode cycles since the previous sample — the weight OptiWISE
+    /// multiplies into its cycle estimates (§IV-B).
+    pub weight: u64,
+    /// Call stack: return addresses of active calls as code locations,
+    /// outermost first. Empty when stack capture was off or unwinding
+    /// failed.
+    pub stack: Vec<CodeLoc>,
+}
+
+/// A complete sampling profile of one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SampleProfile {
+    /// Module names, indexed by [`ModuleId`].
+    pub module_names: Vec<String>,
+    /// All samples, in time order.
+    pub samples: Vec<Sample>,
+    /// Nominal sampling period in cycles.
+    pub period: u64,
+    /// Total cycles of the profiled run.
+    pub total_cycles: u64,
+    /// Samples whose address could not be mapped to a module (e.g. kernel
+    /// or JIT code on a real system); counted rather than recorded.
+    pub unmapped: u64,
+}
+
+impl SampleProfile {
+    /// Sum of all sample weights (≈ total attributed cycles).
+    pub fn total_weight(&self) -> u64 {
+        self.samples.iter().map(|s| s.weight).sum()
+    }
+
+    /// Aggregates to per-location `(sample count, total weight)`.
+    pub fn by_location(&self) -> HashMap<CodeLoc, (u64, u64)> {
+        let mut map: HashMap<CodeLoc, (u64, u64)> = HashMap::new();
+        for s in &self.samples {
+            let e = map.entry(s.loc).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.weight;
+        }
+        map
+    }
+
+    /// Serializes to the line-oriented text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("optiwise-samples v1\n");
+        let _ = writeln!(out, "period {}", self.period);
+        let _ = writeln!(out, "total_cycles {}", self.total_cycles);
+        let _ = writeln!(out, "unmapped {}", self.unmapped);
+        let _ = writeln!(out, "modules {}", self.module_names.len());
+        for (i, name) in self.module_names.iter().enumerate() {
+            let _ = writeln!(out, "module {i} {name}");
+        }
+        let _ = writeln!(out, "samples {}", self.samples.len());
+        for s in &self.samples {
+            let _ = write!(
+                out,
+                "s {} {:x} {} {}",
+                s.loc.module.0, s.loc.offset, s.weight,
+                s.stack.len()
+            );
+            for frame in &s.stack {
+                let _ = write!(out, " {}:{:x}", frame.module.0, frame.offset);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`SampleProfile::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn from_text(text: &str) -> Result<SampleProfile, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty profile")?;
+        if header != "optiwise-samples v1" {
+            return Err(format!("bad header `{header}`"));
+        }
+        let mut profile = SampleProfile::default();
+        for line in lines {
+            let mut parts = line.split_whitespace();
+            match parts.next() {
+                None => continue,
+                Some("period") => {
+                    profile.period = parse_field(parts.next(), "period")?;
+                }
+                Some("total_cycles") => {
+                    profile.total_cycles = parse_field(parts.next(), "total_cycles")?;
+                }
+                Some("unmapped") => {
+                    profile.unmapped = parse_field(parts.next(), "unmapped")?;
+                }
+                Some("modules") | Some("samples") => { /* counts are implicit */ }
+                Some("module") => {
+                    let idx: usize = parse_field(parts.next(), "module index")?;
+                    let name = parts.next().ok_or("module without name")?.to_string();
+                    if idx != profile.module_names.len() {
+                        return Err(format!("module index {idx} out of order"));
+                    }
+                    profile.module_names.push(name);
+                }
+                Some("s") => {
+                    let module: u32 = parse_field(parts.next(), "sample module")?;
+                    let offset = u64::from_str_radix(
+                        parts.next().ok_or("sample without offset")?,
+                        16,
+                    )
+                    .map_err(|e| format!("bad offset: {e}"))?;
+                    let weight: u64 = parse_field(parts.next(), "sample weight")?;
+                    let depth: usize = parse_field(parts.next(), "stack depth")?;
+                    let mut stack = Vec::with_capacity(depth);
+                    for _ in 0..depth {
+                        let frame = parts.next().ok_or("truncated stack")?;
+                        let (m, o) = frame.split_once(':').ok_or("bad frame")?;
+                        stack.push(CodeLoc {
+                            module: ModuleId(m.parse().map_err(|e| format!("bad frame: {e}"))?),
+                            offset: u64::from_str_radix(o, 16)
+                                .map_err(|e| format!("bad frame: {e}"))?,
+                        });
+                    }
+                    profile.samples.push(Sample {
+                        loc: CodeLoc {
+                            module: ModuleId(module),
+                            offset,
+                        },
+                        weight,
+                        stack,
+                    });
+                }
+                Some(other) => return Err(format!("unknown record `{other}`")),
+            }
+        }
+        Ok(profile)
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(field: Option<&str>, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    field
+        .ok_or_else(|| format!("missing {what}"))?
+        .parse()
+        .map_err(|e| format!("bad {what}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loc(m: u32, o: u64) -> CodeLoc {
+        CodeLoc {
+            module: ModuleId(m),
+            offset: o,
+        }
+    }
+
+    fn sample_profile() -> SampleProfile {
+        SampleProfile {
+            module_names: vec!["main".into(), "libq".into()],
+            samples: vec![
+                Sample {
+                    loc: loc(0, 0x10),
+                    weight: 2048,
+                    stack: vec![loc(0, 0x8), loc(1, 0x20)],
+                },
+                Sample {
+                    loc: loc(1, 0x28),
+                    weight: 1900,
+                    stack: vec![],
+                },
+                Sample {
+                    loc: loc(0, 0x10),
+                    weight: 2100,
+                    stack: vec![loc(0, 0x8)],
+                },
+            ],
+            period: 2048,
+            total_cycles: 6048,
+            unmapped: 1,
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let p = sample_profile();
+        let text = p.to_text();
+        let back = SampleProfile::from_text(&text).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn aggregation() {
+        let p = sample_profile();
+        let agg = p.by_location();
+        assert_eq!(agg[&loc(0, 0x10)], (2, 4148));
+        assert_eq!(agg[&loc(1, 0x28)], (1, 1900));
+        assert_eq!(p.total_weight(), 6048);
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(SampleProfile::from_text("nope\n").is_err());
+    }
+
+    #[test]
+    fn truncated_stack_rejected() {
+        let text = "optiwise-samples v1\ns 0 10 5 2 0:8\n";
+        assert!(SampleProfile::from_text(text).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types for the simulator crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by loading or executing a process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The loader rejected the module set.
+    Load(String),
+    /// Execution failed (undecodable instruction, bad jump target, stack
+    /// exhaustion, unknown syscall).
+    Exec {
+        /// Program counter at the fault.
+        pc: u64,
+        /// Description of the fault.
+        message: String,
+    },
+    /// The configured instruction budget was exhausted before the program
+    /// exited.
+    InsnLimit(u64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Load(msg) => write!(f, "load error: {msg}"),
+            SimError::Exec { pc, message } => write!(f, "execution fault at {pc:#x}: {message}"),
+            SimError::InsnLimit(limit) => {
+                write!(f, "instruction limit of {limit} exhausted before exit")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!SimError::Load("x".into()).to_string().is_empty());
+        assert!(SimError::Exec {
+            pc: 16,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("0x10"));
+        assert!(SimError::InsnLimit(5).to_string().contains('5'));
+    }
+}

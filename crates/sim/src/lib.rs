@@ -1,0 +1,28 @@
+//! # wiser-sim
+//!
+//! Process loader, functional interpreter and out-of-order superscalar
+//! timing model for the OptiWISE reproduction.
+
+#![warn(missing_docs)]
+
+mod error;
+mod interp;
+mod loader;
+mod mem;
+mod syscall;
+mod timed;
+mod trace;
+pub mod uarch;
+pub mod unwind;
+
+pub use error::SimError;
+pub use interp::{run_module, Cpu, Frame, Interp, Step};
+pub use loader::{CodeLoc, LoadConfig, LoadedModule, ModuleId, ProcessImage};
+pub use mem::{Memory, PAGE_SIZE};
+pub use syscall::{SyscallEffect, SyscallNr, SyscallState};
+pub use timed::{run_timed, TimedRun};
+pub use uarch::{
+    BpredConfig, BpredStats, CacheConfig, CacheStats, CommitMode, CoreConfig, CoreStats,
+    MemHierConfig, NoProbes, OoOCore, ProbePoint, Prober,
+};
+pub use trace::{BranchOutcome, ExecRecord, FlowEvent};

@@ -1,0 +1,179 @@
+//! Sparse paged memory for the simulated process.
+
+use std::collections::HashMap;
+
+/// Page size in bytes. Also the alignment granule for module bases.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Sparse byte-addressed memory backed by 4 KiB pages allocated on demand.
+///
+/// Reads of untouched memory return zero, which models fresh anonymous
+/// mappings and keeps workloads deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use wiser_sim::Memory;
+/// let mut mem = Memory::new();
+/// mem.write_u64(0x1000, 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x1000), 0xdead_beef);
+/// assert_eq!(mem.read_u64(0x2000), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// Creates empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of pages currently allocated.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page(&self, addr: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
+        self.pages.get(&(addr / PAGE_SIZE)).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(addr / PAGE_SIZE)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr % PAGE_SIZE) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let off = (addr % PAGE_SIZE) as usize;
+        self.page_mut(addr)[off] = value;
+    }
+
+    /// Reads `n <= 8` bytes little-endian, zero-extended.
+    pub fn read_uint(&self, addr: u64, n: u64) -> u64 {
+        debug_assert!(n <= 8);
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= (self.read_u8(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `n <= 8` bytes of `value` little-endian.
+    pub fn write_uint(&mut self, addr: u64, value: u64, n: u64) {
+        debug_assert!(n <= 8);
+        for i in 0..n {
+            self.write_u8(addr + i, (value >> (8 * i)) as u8);
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_uint(addr, 4) as u32
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_uint(addr, value as u64, 4);
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_uint(addr, 8)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_uint(addr, value, 8);
+    }
+
+    /// Reads an `f64` stored little-endian.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64` little-endian.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write_u64(addr, value.to_bits());
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        // Page-at-a-time copy; workloads load whole text/data sections here.
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let a = addr + pos as u64;
+            let off = (a % PAGE_SIZE) as usize;
+            let take = ((PAGE_SIZE as usize) - off).min(bytes.len() - pos);
+            self.page_mut(a)[off..off + take].copy_from_slice(&bytes[pos..pos + take]);
+            pos += take;
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_default() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u64(0), 0);
+        assert_eq!(mem.read_u8(u64::MAX - 8), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_widths() {
+        let mut mem = Memory::new();
+        mem.write_u8(5, 0xAB);
+        assert_eq!(mem.read_u8(5), 0xAB);
+        mem.write_u32(100, 0x1234_5678);
+        assert_eq!(mem.read_u32(100), 0x1234_5678);
+        mem.write_u64(200, u64::MAX);
+        assert_eq!(mem.read_u64(200), u64::MAX);
+        mem.write_f64(300, -1.25);
+        assert_eq!(mem.read_f64(300), -1.25);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = Memory::new();
+        let addr = PAGE_SIZE - 3;
+        mem.write_u64(addr, 0x0102_0304_0506_0708);
+        assert_eq!(mem.read_u64(addr), 0x0102_0304_0506_0708);
+        assert!(mem.page_count() >= 2);
+    }
+
+    #[test]
+    fn bulk_copy_cross_page() {
+        let mut mem = Memory::new();
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let addr = PAGE_SIZE - 17;
+        mem.write_bytes(addr, &data);
+        assert_eq!(mem.read_bytes(addr, data.len()), data);
+    }
+
+    #[test]
+    fn partial_width_is_zero_extended() {
+        let mut mem = Memory::new();
+        mem.write_u64(0, u64::MAX);
+        mem.write_uint(0, 0x7F, 1);
+        assert_eq!(mem.read_uint(0, 1), 0x7F);
+        assert_eq!(mem.read_u64(0), 0xFFFF_FFFF_FFFF_FF7F);
+    }
+}

@@ -1,0 +1,140 @@
+//! High-level driver: functional execution and timing model in lockstep.
+
+use crate::error::SimError;
+use crate::interp::{Interp, Step};
+use crate::loader::ProcessImage;
+use crate::uarch::config::CoreConfig;
+use crate::uarch::core::{CoreStats, OoOCore, Prober};
+
+/// Result of a timed run.
+#[derive(Clone, Debug)]
+pub struct TimedRun {
+    /// Pipeline statistics (cycles, mispredicts, cache behaviour).
+    pub stats: CoreStats,
+    /// Program exit code, if it exited (rather than hitting the limit).
+    pub exit_code: Option<i64>,
+    /// Program output.
+    pub output: String,
+}
+
+/// Runs a process through the out-of-order timing model.
+///
+/// The functional interpreter feeds retired instructions straight into the
+/// pipeline model; `prober` observes the pipeline each cycle (this is where
+/// the sampling profiler attaches).
+///
+/// # Errors
+///
+/// Returns [`SimError`] for execution faults or when `max_insns` is
+/// exhausted before the program exits.
+///
+/// # Examples
+///
+/// ```
+/// use wiser_isa::assemble;
+/// use wiser_sim::{run_timed, CoreConfig, NoProbes, ProcessImage};
+///
+/// let module = assemble(
+///     "loop",
+///     r#"
+///     .func _start global
+///         li x1, 100
+///         li x2, 0
+///     loop:
+///         addi x2, x2, 1
+///         bne x2, x1, loop
+///         li x1, 0
+///         li x0, 0
+///         syscall
+///     .endfunc
+///     .entry _start
+///     "#,
+/// )?;
+/// let image = ProcessImage::load_single(&module)?;
+/// let run = run_timed(&image, 0, CoreConfig::xeon_like(), &mut NoProbes, 1_000_000)?;
+/// assert!(run.stats.cycles > 0);
+/// assert_eq!(run.exit_code, Some(0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_timed<P: Prober>(
+    image: &ProcessImage,
+    rand_seed: u64,
+    config: CoreConfig,
+    prober: &mut P,
+    max_insns: u64,
+) -> Result<TimedRun, SimError> {
+    let mut interp = Interp::new(image, rand_seed)?;
+    let mut core = OoOCore::new(config);
+    let mut error: Option<SimError> = None;
+    let mut limit_hit = false;
+    let stats = core.run(
+        || {
+            if interp.retired() >= max_insns {
+                limit_hit = true;
+                return None;
+            }
+            match interp.step() {
+                Ok(Step::Retired(rec)) => Some(rec),
+                Ok(Step::Exited(_)) => None,
+                Err(e) => {
+                    error = Some(e);
+                    None
+                }
+            }
+        },
+        prober,
+    );
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if limit_hit && interp.exit_code().is_none() {
+        return Err(SimError::InsnLimit(max_insns));
+    }
+    Ok(TimedRun {
+        stats,
+        exit_code: interp.exit_code(),
+        output: interp.output_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uarch::core::NoProbes;
+    use wiser_isa::assemble;
+
+    #[test]
+    fn timed_run_matches_functional_exit() {
+        let m = assemble(
+            "t",
+            r#"
+            .func _start global
+                li x1, 9
+                li x2, 9
+                mul x1, x1, x2
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        )
+        .unwrap();
+        let image = ProcessImage::load_single(&m).unwrap();
+        let run = run_timed(&image, 0, CoreConfig::xeon_like(), &mut NoProbes, 1000).unwrap();
+        assert_eq!(run.exit_code, Some(81));
+        assert!(run.stats.cycles >= 5);
+        assert_eq!(run.stats.retired, 5);
+    }
+
+    #[test]
+    fn limit_propagates() {
+        let m = assemble(
+            "spin",
+            ".func _start global\nspin: jmp spin\n.endfunc\n.entry _start",
+        )
+        .unwrap();
+        let image = ProcessImage::load_single(&m).unwrap();
+        let err = run_timed(&image, 0, CoreConfig::tiny(), &mut NoProbes, 1000);
+        assert!(matches!(err, Err(SimError::InsnLimit(1000))));
+    }
+}

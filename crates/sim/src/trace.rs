@@ -1,0 +1,91 @@
+//! The dynamic execution trace: the stream of retired instructions the
+//! functional interpreter produces and the timing model consumes.
+
+use wiser_isa::{CtiKind, Insn};
+
+/// Outcome of a control-transfer instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Classification of the transfer.
+    pub kind: CtiKind,
+    /// Whether the transfer was taken (always true except for untaken
+    /// conditional branches).
+    pub taken: bool,
+    /// The address control went to (the fall-through address when untaken).
+    pub target: u64,
+}
+
+/// Call/return effect of an instruction, used to maintain architectural call
+/// stacks for sample stack traces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowEvent {
+    /// A call: pushes `ret_addr` onto the call stack.
+    Call {
+        /// Address the callee will return to.
+        ret_addr: u64,
+        /// Absolute address of the callee entry.
+        callee: u64,
+    },
+    /// A return to `to`.
+    Ret {
+        /// Address being returned to.
+        to: u64,
+    },
+}
+
+/// One dynamically executed (retired) instruction.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecRecord {
+    /// Sequence number, counting retired instructions from 0.
+    pub seq: u64,
+    /// Absolute address of the instruction.
+    pub addr: u64,
+    /// The instruction itself.
+    pub insn: Insn,
+    /// Address of the next instruction that will execute.
+    pub next_addr: u64,
+    /// Effective address for loads/stores/pushes/pops, if any.
+    pub mem_addr: Option<u64>,
+    /// Branch outcome for control-transfer instructions.
+    pub branch: Option<BranchOutcome>,
+    /// Call-stack effect, if any.
+    pub flow: Option<FlowEvent>,
+}
+
+impl ExecRecord {
+    /// Fall-through address (the next sequential instruction).
+    pub fn fallthrough(&self) -> u64 {
+        self.addr + wiser_isa::INSN_BYTES
+    }
+
+    /// Whether this record is a memory read (for timing purposes).
+    pub fn is_load(&self) -> bool {
+        self.insn.is_load()
+    }
+
+    /// Whether this record is a memory write (for timing purposes).
+    pub fn is_store(&self) -> bool {
+        self.insn.is_store()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallthrough_is_next_slot() {
+        let rec = ExecRecord {
+            seq: 0,
+            addr: 0x100,
+            insn: Insn::Nop,
+            next_addr: 0x108,
+            mem_addr: None,
+            branch: None,
+            flow: None,
+        };
+        assert_eq!(rec.fallthrough(), 0x108);
+        assert!(!rec.is_load());
+        assert!(!rec.is_store());
+    }
+}

@@ -1,0 +1,222 @@
+//! Set-associative cache model with LRU replacement.
+
+use crate::uarch::config::{CacheConfig, MemHierConfig};
+
+/// Hit/miss counters for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when never accessed.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// One set-associative cache level with true-LRU replacement.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    /// `sets[set]` holds `(tag, last_use)` pairs, at most `assoc` entries.
+    sets: Vec<Vec<(u64, u64)>>,
+    assoc: usize,
+    line_shift: u32,
+    set_mask: u64,
+    clock: u64,
+    /// Hit latency.
+    pub latency: u64,
+    /// Statistics.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    ///
+    /// The set count is rounded down to a power of two so the AND-mask
+    /// indexing reaches every set (e.g. an 11-way 8 MiB L3 yields 11915
+    /// sets, which rounds to 8192).
+    pub fn new(cfg: &CacheConfig) -> Cache {
+        let sets = cfg.sets();
+        let sets = if sets.is_power_of_two() {
+            sets
+        } else {
+            sets.next_power_of_two() / 2
+        };
+        Cache {
+            sets: vec![Vec::with_capacity(cfg.assoc); sets],
+            assoc: cfg.assoc,
+            line_shift: cfg.line.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+            clock: 0,
+            latency: cfg.latency,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accesses `addr`, returning whether it hit, and fills the line on miss.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(entry) = set.iter_mut().find(|(tag, _)| *tag == line) {
+            entry.1 = self.clock;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if set.len() < self.assoc {
+            set.push((line, self.clock));
+        } else {
+            // Evict true-LRU.
+            let victim = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, lru))| *lru)
+                .map(|(i, _)| i)
+                .expect("non-empty set");
+            set[victim] = (line, self.clock);
+        }
+        false
+    }
+
+    /// Whether `addr` is currently resident (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        self.sets[set_idx].iter().any(|(tag, _)| *tag == line)
+    }
+}
+
+/// The data-side hierarchy (L1D → L2 → L3 → memory) plus the L1I.
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    /// Instruction cache (backed by L2 on miss).
+    pub l1i: Cache,
+    /// L1 data cache.
+    pub l1d: Cache,
+    /// Unified second level.
+    pub l2: Cache,
+    /// Last level.
+    pub l3: Cache,
+    mem_latency: u64,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy from configuration.
+    pub fn new(cfg: &MemHierConfig) -> Hierarchy {
+        Hierarchy {
+            l1i: Cache::new(&cfg.l1i),
+            l1d: Cache::new(&cfg.l1d),
+            l2: Cache::new(&cfg.l2),
+            l3: Cache::new(&cfg.l3),
+            mem_latency: cfg.mem_latency,
+        }
+    }
+
+    /// A data access (load or store, write-allocate): returns total latency.
+    pub fn access_data(&mut self, addr: u64) -> u64 {
+        if self.l1d.access(addr) {
+            return self.l1d.latency;
+        }
+        if self.l2.access(addr) {
+            return self.l2.latency;
+        }
+        if self.l3.access(addr) {
+            return self.l3.latency;
+        }
+        self.mem_latency
+    }
+
+    /// An instruction fetch: returns extra stall cycles (0 on L1I hit).
+    pub fn access_insn(&mut self, addr: u64) -> u64 {
+        if self.l1i.access(addr) {
+            return 0;
+        }
+        if self.l2.access(addr) {
+            return self.l2.latency;
+        }
+        if self.l3.access(addr) {
+            return self.l3.latency;
+        }
+        self.mem_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache() -> Cache {
+        Cache::new(&CacheConfig {
+            size: 256,
+            assoc: 2,
+            line: 64,
+            latency: 3,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny_cache();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.stats.hits, 2);
+        assert_eq!(c.stats.misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        // 2 sets of 2 ways, line 64: addresses 0, 128, 256 map to set 0.
+        let mut c = tiny_cache();
+        c.access(0);
+        c.access(128);
+        c.access(0); // make 128 the LRU way
+        c.access(256); // evicts 128
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn hierarchy_latencies_monotone() {
+        let cfg = crate::uarch::config::CoreConfig::tiny().mem;
+        let mut h = Hierarchy::new(&cfg);
+        let cold = h.access_data(0x1_0000);
+        let warm = h.access_data(0x1_0000);
+        assert_eq!(cold, cfg.mem_latency);
+        assert_eq!(warm, cfg.l1d.latency);
+        assert!(cold > warm);
+    }
+
+    #[test]
+    fn icache_hit_is_free() {
+        let cfg = crate::uarch::config::CoreConfig::tiny().mem;
+        let mut h = Hierarchy::new(&cfg);
+        assert!(h.access_insn(0) > 0);
+        assert_eq!(h.access_insn(0), 0);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny_cache();
+        c.access(0);
+        c.access(0);
+        assert!((c.stats.miss_ratio() - 0.5).abs() < 1e-9);
+    }
+}

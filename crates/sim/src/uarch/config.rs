@@ -1,0 +1,240 @@
+//! Timing-model configuration.
+
+/// How instructions leave the reorder buffer (§V-B of the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitMode {
+    /// x86-style: an instruction leaves the ROB only once it has executed
+    /// and is the oldest. Slow instructions therefore pin the ROB head, and
+    /// periodic samples land on (the successor of) the stalled instruction
+    /// — the figure 8 behaviour.
+    InOrder,
+    /// Neoverse-N1-style early release: a dispatched instruction that cannot
+    /// abort (no memory access, no branch) and is not speculative leaves the
+    /// ROB even before executing. Long chains of non-abortable operations
+    /// behind a slow divide drain from the ROB until back-pressure (a full
+    /// issue queue) stalls dispatch, so samples land roughly `iq_size`
+    /// instructions after the divide — the figure 9 behaviour.
+    EarlyRelease,
+}
+
+/// One cache level.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size: u64,
+    /// Associativity (ways).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line: u64,
+    /// Hit latency in cycles, measured from issue.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.size / (self.line * self.assoc as u64)).max(1) as usize
+    }
+}
+
+/// The three-level data hierarchy plus an instruction cache.
+#[derive(Clone, Copy, Debug)]
+pub struct MemHierConfig {
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Shared L3.
+    pub l3: CacheConfig,
+    /// Main-memory latency in cycles.
+    pub mem_latency: u64,
+}
+
+/// Branch-predictor sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct BpredConfig {
+    /// log2 of the gshare pattern-history table size.
+    pub pht_bits: u32,
+    /// Entries in the branch target buffer (indirect-target prediction).
+    pub btb_entries: usize,
+    /// Return-address-stack depth.
+    pub ras_depth: usize,
+}
+
+/// Full core configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions dispatched (renamed) per cycle.
+    pub dispatch_width: u32,
+    /// Instructions issued to functional units per cycle.
+    pub issue_width: u32,
+    /// Instructions committed (released from the ROB) per cycle. The paper's
+    /// evaluation machine commits 4 per cycle, producing the "commit group"
+    /// sampling pattern of figure 8.
+    pub commit_width: u32,
+    /// Reorder-buffer entries.
+    pub rob_size: usize,
+    /// Issue-queue entries. In [`CommitMode::EarlyRelease`] this bounds how
+    /// far past an unexecuted instruction the ROB can drain (figure 9's "48
+    /// instructions").
+    pub iq_size: usize,
+    /// Cycles between fetching an instruction and it being dispatchable.
+    pub frontend_latency: u64,
+    /// Extra cycles of fetch stall after a mispredicted branch resolves.
+    pub mispredict_penalty: u64,
+    /// Commit/release policy.
+    pub commit_mode: CommitMode,
+    /// Simple-integer ALUs (latency 1, pipelined).
+    pub int_alu_units: u32,
+    /// Integer multipliers (pipelined).
+    pub int_mul_units: u32,
+    /// Integer dividers (unpipelined).
+    pub int_div_units: u32,
+    /// FP add/mul/misc units (pipelined).
+    pub fp_units: u32,
+    /// FP divide/sqrt units (unpipelined).
+    pub fp_div_units: u32,
+    /// Load ports.
+    pub load_ports: u32,
+    /// Store ports.
+    pub store_ports: u32,
+    /// Miss-status-holding registers (L1 fill buffers): maximum concurrent
+    /// outstanding misses. This bounds memory-level parallelism; when full,
+    /// further misses cannot issue — the mechanism that makes a stream of
+    /// cache-missing stores stall the ROB head (figure 8).
+    pub mshrs: u32,
+    /// Integer multiply latency.
+    pub int_mul_latency: u64,
+    /// Integer divide latency (unpipelined).
+    pub int_div_latency: u64,
+    /// FP add/sub/mul/cmp/cvt latency.
+    pub fp_latency: u64,
+    /// FP divide latency (unpipelined).
+    pub fp_div_latency: u64,
+    /// FP square-root latency (unpipelined).
+    pub fp_sqrt_latency: u64,
+    /// Syscall service latency (serializing).
+    pub syscall_latency: u64,
+    /// Memory hierarchy.
+    pub mem: MemHierConfig,
+    /// Branch predictor.
+    pub bpred: BpredConfig,
+}
+
+impl CoreConfig {
+    /// A Xeon-W-2195-like configuration: 4-wide, in-order ROB release,
+    /// 1 MiB L2 per core, large shared L3 — the paper's evaluation machine.
+    pub fn xeon_like() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 4,
+            dispatch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            rob_size: 224,
+            iq_size: 97,
+            frontend_latency: 5,
+            mispredict_penalty: 14,
+            commit_mode: CommitMode::InOrder,
+            int_alu_units: 4,
+            int_mul_units: 1,
+            int_div_units: 1,
+            fp_units: 2,
+            fp_div_units: 1,
+            load_ports: 2,
+            store_ports: 1,
+            mshrs: 10,
+            int_mul_latency: 3,
+            int_div_latency: 36,
+            fp_latency: 4,
+            fp_div_latency: 18,
+            fp_sqrt_latency: 20,
+            syscall_latency: 40,
+            mem: MemHierConfig {
+                l1i: CacheConfig {
+                    size: 32 * 1024,
+                    assoc: 8,
+                    line: 64,
+                    latency: 8,
+                },
+                l1d: CacheConfig {
+                    size: 32 * 1024,
+                    assoc: 8,
+                    line: 64,
+                    latency: 4,
+                },
+                l2: CacheConfig {
+                    size: 1024 * 1024,
+                    assoc: 16,
+                    line: 64,
+                    latency: 14,
+                },
+                l3: CacheConfig {
+                    size: 8 * 1024 * 1024,
+                    assoc: 11,
+                    line: 64,
+                    latency: 44,
+                },
+                mem_latency: 230,
+            },
+            bpred: BpredConfig {
+                pht_bits: 14,
+                btb_entries: 4096,
+                ras_depth: 16,
+            },
+        }
+    }
+
+    /// A Neoverse-N1-like configuration: early ROB release with a 48-entry
+    /// window, reproducing the paper's AArch64 sampling anomaly (figure 9).
+    pub fn neoverse_like() -> CoreConfig {
+        let mut cfg = CoreConfig::xeon_like();
+        cfg.commit_mode = CommitMode::EarlyRelease;
+        cfg.rob_size = 128;
+        cfg.iq_size = 48;
+        cfg.int_div_latency = 24;
+        cfg.mispredict_penalty = 11;
+        cfg
+    }
+
+    /// A deliberately small configuration for fast unit tests.
+    pub fn tiny() -> CoreConfig {
+        let mut cfg = CoreConfig::xeon_like();
+        cfg.rob_size = 32;
+        cfg.iq_size = 16;
+        cfg.mem.l1d.size = 4 * 1024;
+        cfg.mem.l2.size = 16 * 1024;
+        cfg.mem.l3.size = 64 * 1024;
+        cfg
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> CoreConfig {
+        CoreConfig::xeon_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_counts() {
+        let cfg = CoreConfig::xeon_like();
+        assert_eq!(cfg.mem.l1d.sets(), 64);
+        assert_eq!(cfg.mem.l2.sets(), 1024);
+    }
+
+    #[test]
+    fn presets_differ() {
+        let x = CoreConfig::xeon_like();
+        let n = CoreConfig::neoverse_like();
+        assert_eq!(x.commit_mode, CommitMode::InOrder);
+        assert_eq!(n.commit_mode, CommitMode::EarlyRelease);
+        assert_eq!(n.iq_size, 48);
+    }
+}

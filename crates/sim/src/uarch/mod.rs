@@ -1,0 +1,11 @@
+//! The out-of-order superscalar timing model.
+
+pub mod bpred;
+pub mod cache;
+pub mod config;
+pub mod core;
+
+pub use bpred::{BpredStats, BranchPredictor};
+pub use cache::{Cache, CacheStats, Hierarchy};
+pub use config::{BpredConfig, CacheConfig, CommitMode, CoreConfig, MemHierConfig};
+pub use core::{CoreStats, NoProbes, OoOCore, ProbePoint, Prober};

@@ -1,0 +1,189 @@
+//! Frame-pointer stack unwinding.
+//!
+//! §IV-B: perf can capture call stacks by walking frame pointers (cheap,
+//! needs `-fno-omit-frame-pointer`) or via DWARF (works everywhere, heavy
+//! traces). The simulated ABI's prologue (`push fp; mov fp, sp`) produces
+//! the classic chain: `[fp]` holds the saved caller fp and `[fp+8]` the
+//! return address, so the walk here is exactly what perf's frame-pointer
+//! unwinder does.
+
+use crate::interp::Interp;
+use crate::mem::Memory;
+
+/// Maximum frames walked before giving up (corrupt chains loop otherwise).
+pub const MAX_FRAMES: usize = 128;
+
+/// Walks a frame-pointer chain, returning the call stack as return
+/// addresses, innermost first.
+///
+/// `fp` is the current frame pointer; `stack_top` bounds the walk (frames
+/// must lie strictly below it and strictly above `fp`, monotonically
+/// increasing, or the chain is considered corrupt and the walk stops — the
+/// truncated-stack behaviour real unwinders exhibit on foreign frames).
+pub fn unwind_frame_pointers(memory: &Memory, mut fp: u64, stack_top: u64) -> Vec<u64> {
+    let mut frames = Vec::new();
+    for _ in 0..MAX_FRAMES {
+        if fp == 0 || fp >= stack_top || fp % 8 != 0 {
+            break;
+        }
+        let saved_fp = memory.read_u64(fp);
+        let ret_addr = memory.read_u64(fp + 8);
+        if ret_addr == 0 {
+            break;
+        }
+        frames.push(ret_addr);
+        // Frames must strictly ascend towards the stack top.
+        if saved_fp <= fp {
+            break;
+        }
+        fp = saved_fp;
+    }
+    frames
+}
+
+/// Unwinds the interpreter's current stack via frame pointers and returns
+/// the return addresses, innermost first.
+///
+/// Functions that follow the standard prologue appear; leaf functions that
+/// have not pushed a frame are invisible (their caller appears instead),
+/// matching the real tool's behaviour on `-fomit-frame-pointer` leaves.
+pub fn unwind_interp(interp: &Interp, stack_top: u64) -> Vec<u64> {
+    let fp = interp.cpu().gpr[wiser_isa::Gpr::FP.index()];
+    unwind_frame_pointers(interp.memory(), fp, stack_top)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Step;
+    use crate::loader::ProcessImage;
+    use wiser_isa::assemble;
+
+    /// Run until the program counter enters the named function, then stop.
+    fn run_into(interp: &mut Interp, image: &ProcessImage, func: &str) {
+        let module = &image.modules[0];
+        let sym = module.linked.symbol(func).expect("function exists");
+        let lo = module.base + sym.offset;
+        let hi = lo + sym.size;
+        for _ in 0..1_000_000 {
+            // Stop once we're inside the function body (past the prologue).
+            let pc = interp.cpu().pc;
+            if pc >= lo + 16 && pc < hi {
+                return;
+            }
+            match interp.step().expect("step") {
+                Step::Retired(_) => {}
+                Step::Exited(_) => panic!("exited before reaching {func}"),
+            }
+        }
+        panic!("never reached {func}");
+    }
+
+    #[test]
+    fn fp_chain_matches_shadow_stack() {
+        let module = assemble(
+            "u",
+            r#"
+            .func inner
+                push fp
+                mov fp, sp
+                li x2, 100
+                li x3, 0
+            spin:
+                subi x2, x2, 1
+                bne x2, x3, spin
+                mov sp, fp
+                pop fp
+                ret
+            .endfunc
+            .func middle
+                push fp
+                mov fp, sp
+                call inner
+                mov sp, fp
+                pop fp
+                ret
+            .endfunc
+            .func _start global
+                push fp
+                mov fp, sp
+                call middle
+                li x1, 0
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        )
+        .unwrap();
+        let image = ProcessImage::load_single(&module).unwrap();
+        let mut interp = Interp::new(&image, 0).unwrap();
+        run_into(&mut interp, &image, "inner");
+
+        let fp_frames = unwind_interp(&interp, image.stack_top);
+        let shadow: Vec<u64> = interp
+            .shadow_stack()
+            .iter()
+            .rev()
+            .map(|f| f.ret_addr)
+            .collect();
+        // Inside `inner` (past its prologue) the FP chain shows the same
+        // return addresses as the exact shadow stack: inner->middle,
+        // middle->_start.
+        assert_eq!(fp_frames.len(), 2, "{fp_frames:x?} vs shadow {shadow:x?}");
+        assert_eq!(fp_frames, shadow[..2].to_vec());
+    }
+
+    #[test]
+    fn corrupt_chain_truncates() {
+        let mut memory = Memory::new();
+        // One valid frame, then a cycle.
+        memory.write_u64(0x1000, 0x1000); // saved fp points at itself
+        memory.write_u64(0x1008, 0xABCD);
+        let frames = unwind_frame_pointers(&memory, 0x1000, 0x8000);
+        assert_eq!(frames, vec![0xABCD]);
+    }
+
+    #[test]
+    fn empty_or_invalid_fp() {
+        let memory = Memory::new();
+        assert!(unwind_frame_pointers(&memory, 0, 0x8000).is_empty());
+        assert!(unwind_frame_pointers(&memory, 0x9000, 0x8000).is_empty());
+        assert!(unwind_frame_pointers(&memory, 0x1001, 0x8000).is_empty());
+    }
+
+    #[test]
+    fn leaf_without_prologue_is_invisible() {
+        let module = assemble(
+            "leafy",
+            r#"
+            .func leaf
+                li x2, 50
+                li x3, 0
+            spin:
+                subi x2, x2, 1
+                bne x2, x3, spin
+                ret
+            .endfunc
+            .func _start global
+                push fp
+                mov fp, sp
+                call leaf
+                li x1, 0
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        )
+        .unwrap();
+        let image = ProcessImage::load_single(&module).unwrap();
+        let mut interp = Interp::new(&image, 0).unwrap();
+        run_into(&mut interp, &image, "leaf");
+        // The leaf pushed no frame: the FP walk sees only _start's frame
+        // chain (here: nothing above _start), while the shadow stack knows
+        // about the leaf call.
+        let fp_frames = unwind_interp(&interp, image.stack_top);
+        assert!(fp_frames.len() < interp.shadow_stack().len() + 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! # wiser-workloads
+//!
+//! Synthetic benchmarks for the OptiWISE reproduction.
+//!
+//! The paper evaluates on SPEC CPU2017 and a handful of micro-benchmarks.
+//! SPEC sources cannot be redistributed (and would need a C/Fortran
+//! compiler), so this crate provides programs written directly in the
+//! workspace ISA, each engineered to the *bottleneck structure* the paper
+//! attributes to its counterpart: an indirect-call quicksort with branchy
+//! comparators for 505.mcf, a cache-hostile hash probe for 531.deepsjeng,
+//! loop-invariant FP divides for 603.bwaves, an indirect-dispatch
+//! interpreter for 523.xalancbmk, and so on. Case-study workloads come with
+//! `_opt` variants implementing the paper's §VI optimizations.
+//!
+//! All inputs are deterministic (seeded LCG data baked into `.data` or the
+//! `rand` syscall), so the sampling and instrumentation runs see identical
+//! control flow, as §IV-F requires.
+
+#![warn(missing_docs)]
+
+mod micro;
+mod spec;
+
+use wiser_isa::{IsaError, Module};
+
+/// Workload input scale, mirroring SPEC's input sets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InputSize {
+    /// Tiny: unit-test scale (tens of thousands of instructions).
+    Test,
+    /// The profiling input ("train" in the paper's case studies).
+    Train,
+    /// The evaluation input ("ref"); several times larger.
+    Ref,
+}
+
+/// Workload category.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Micro-benchmarks driving a specific figure.
+    Micro,
+    /// SPEC-CPU2017-like programs for figure 7 and the case studies.
+    SpecLike,
+}
+
+/// One registered workload.
+pub struct Workload {
+    /// Registry name (e.g. `"mcf_like"`).
+    pub name: &'static str,
+    /// What it models and which experiment uses it.
+    pub description: &'static str,
+    /// Category.
+    pub kind: Kind,
+    builder: fn(InputSize) -> Result<Vec<Module>, IsaError>,
+}
+
+impl Workload {
+    /// Builds the workload's modules for the given input size.
+    ///
+    /// # Errors
+    ///
+    /// Returns assembler errors; registered workloads always assemble (the
+    /// test suite builds every one).
+    pub fn build(&self, size: InputSize) -> Result<Vec<Module>, IsaError> {
+        (self.builder)(size)
+    }
+}
+
+/// All registered workloads.
+pub fn all() -> Vec<Workload> {
+    let mut v = micro::all();
+    v.extend(spec::all());
+    v
+}
+
+/// The SPEC-like suite used for figure 7 (excludes `_opt` variants).
+pub fn spec_suite() -> Vec<Workload> {
+    spec::all()
+        .into_iter()
+        .filter(|w| !w.name.ends_with("_opt"))
+        .collect()
+}
+
+/// Looks up a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_populated() {
+        let names: Vec<_> = all().iter().map(|w| w.name).collect();
+        assert!(names.contains(&"mcf_like"));
+        assert!(names.contains(&"slow_store"));
+        assert!(names.len() >= 15, "{names:?}");
+        // No duplicates.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        for w in all() {
+            assert_eq!(by_name(w.name).unwrap().name, w.name);
+        }
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn spec_suite_has_twelve() {
+        assert_eq!(spec_suite().len(), 12);
+    }
+
+    #[test]
+    fn every_workload_assembles_at_test_size() {
+        for w in all() {
+            let modules = w
+                .build(InputSize::Test)
+                .unwrap_or_else(|e| panic!("{} failed to assemble: {e}", w.name));
+            assert!(!modules.is_empty());
+            for m in &modules {
+                m.validate().unwrap();
+            }
+        }
+    }
+}

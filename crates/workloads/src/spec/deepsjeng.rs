@@ -1,0 +1,267 @@
+//! `deepsjeng_like` — models 531.deepsjeng's profile (§VI-B).
+//!
+//! The paper found a flat profile with one outlier: `ProbeTT`, a
+//! transposition-table lookup with an IPC of 0.16 where a single load (the
+//! table entry fetch) accounted for 81% of the function's time with an
+//! estimated CPI of 279 — an unmitigated last-level-cache miss. The hash
+//! computation also contained a divide by a run-constant table size.
+//!
+//! Here `probe_tt` hashes a position (a dozens-of-instructions mix with a
+//! `urem` by the table size), then loads from a 64 MiB table at an
+//! effectively random index. `gen_moves` and `eval` provide the flat
+//! remainder of the profile.
+//!
+//! The `_opt` variant applies §VI-B: the next probe's address is computed
+//! and prefetched *early* — before `gen_moves`/`eval` run, well ahead of
+//! the load, and sometimes wasted exactly as the paper describes — and the
+//! divide becomes an and-mask (table size is a power of two).
+
+use wiser_isa::{assemble, IsaError, Module};
+
+use crate::InputSize;
+
+fn positions(size: InputSize) -> u64 {
+    match size {
+        InputSize::Test => 400,
+        InputSize::Train => 6_000,
+        InputSize::Ref => 24_000,
+    }
+}
+
+fn build_impl(size: InputSize, optimized: bool) -> Result<Module, IsaError> {
+    let n = positions(size);
+    // 64 MiB table = 8 Mi entries of 8 bytes; the paper's table was "huge".
+    let table_bytes = 0x400_0000u64;
+    let entries = table_bytes / 8;
+
+    // Hash mixing: xor-shift-multiply rounds (the "substantial hash
+    // computation, on the order of dozens of instructions").
+    let hash_body = r#"
+            mov x3, x1
+            li x4, 0x45D9F3B
+            shri x5, x3, 16
+            xor x3, x3, x5
+            mul x3, x3, x4
+            shri x5, x3, 13
+            xor x3, x3, x5
+            mul x3, x3, x4
+            shri x5, x3, 16
+            xor x3, x3, x5
+            li x4, 0x9E3779B1
+            mul x3, x3, x4
+            shri x5, x3, 11
+            xor x3, x3, x5
+            li x4, 0x85EBCA6B
+            mul x3, x3, x4
+            shri x5, x3, 15
+            xor x3, x3, x5
+    "#;
+    let index = if optimized {
+        format!(
+            r#"
+            li x4, {mask}
+            and x0, x3, x4          ; power-of-two table: mask, no divide
+            "#,
+            mask = entries - 1
+        )
+    } else {
+        format!(
+            r#"
+            li x4, {entries}
+            urem x0, x3, x4         ; divide by run-constant table size
+            "#
+        )
+    };
+
+    // probe_tt(x1 = position key, x2 = table base) -> entry value.
+    // The entry load is the paper's CPI-279 instruction.
+    let probe = format!(
+        r#"
+        .func hash_index
+        .loc "sjeng.c" 10
+{hash_body}
+{index}
+            ret
+        .endfunc
+        .func probe_tt
+        .loc "sjeng.c" 30
+            push fp
+            mov fp, sp
+            call hash_index        ; x0 = slot
+            ldx.8 x5, [x2+x0*8]    ; THE load: misses all caches
+            xor x0, x5, x1
+            andi x0, x0, 0xFFFF
+            mov sp, fp
+            pop fp
+            ret
+        .endfunc
+        "#
+    );
+
+    // Flat-profile filler: move generation and evaluation, mostly ALU with
+    // predictable short loops.
+    let filler = r#"
+        .func gen_moves
+        .loc "sjeng.c" 50
+            push fp
+            mov fp, sp
+            li x3, 110
+            li x4, 0
+            mov x5, x1
+        gm_loop:
+            shli x6, x5, 3
+            xor x5, x5, x6
+            shri x6, x5, 7
+            xor x5, x5, x6
+            andi x6, x5, 63
+            add x0, x0, x6
+            subi x3, x3, 1
+            bne x3, x4, gm_loop
+            mov sp, fp
+            pop fp
+            ret
+        .endfunc
+        .func eval
+        .loc "sjeng.c" 70
+            push fp
+            mov fp, sp
+            li x3, 90
+            li x4, 0
+            mov x5, x1
+            li x0, 0
+        ev_loop:
+            andi x6, x5, 7
+            shri x5, x5, 3
+            mul x6, x6, x6
+            add x0, x0, x6
+            addi x5, x5, 0x1234
+            subi x3, x3, 1
+            bne x3, x4, ev_loop
+            mov sp, fp
+            pop fp
+            ret
+        .endfunc
+    "#;
+
+    // Driver. In the optimized variant the *next* position's slot is
+    // computed and prefetched before the expensive calls, giving the
+    // prefetch hundreds of cycles of lead time.
+    let loop_body = if optimized {
+        r#"
+        search_loop:
+            ; advance position key (deterministic LCG)
+            li x4, 1103515245
+            mul x10, x10, x4
+            addi x10, x10, 12345
+            ; EARLY prefetch for this position's probe (§VI-B): compute the
+            ; slot now, touch the line, then do unrelated work.
+            mov x1, x10
+            call hash_index
+            shli x5, x0, 3
+            add x5, x5, x9
+            prefetch [x5]
+            mov x1, x10
+            call gen_moves
+            add x12, x12, x0
+            mov x1, x10
+            call eval
+            add x12, x12, x0
+            ; only deeper nodes probe the table (and some prefetches are
+            ; wasted, as the paper notes).
+            andi x4, x10, 3
+            li x5, 1
+            bne x4, x5, skip_probe
+            mov x1, x10
+            mov x2, x9
+            call probe_tt
+            add x12, x12, x0
+        skip_probe:
+            subi x8, x8, 1
+            bne x8, x11, search_loop
+        "#
+    } else {
+        r#"
+        search_loop:
+            li x4, 1103515245
+            mul x10, x10, x4
+            addi x10, x10, 12345
+            mov x1, x10
+            call gen_moves
+            add x12, x12, x0
+            mov x1, x10
+            call eval
+            add x12, x12, x0
+            andi x4, x10, 3
+            li x5, 1
+            bne x4, x5, skip_probe
+            mov x1, x10
+            mov x2, x9
+            call probe_tt
+            add x12, x12, x0
+        skip_probe:
+            subi x8, x8, 1
+            bne x8, x11, search_loop
+        "#
+    };
+
+    let src = format!(
+        r#"
+{probe}
+{filler}
+        .func _start global
+        .loc "sjeng.c" 100
+            li x0, 4
+            li x1, {table_bytes}
+            syscall
+            mov x9, x0             ; table base
+            li x8, {n}
+            li x11, 0
+            li x10, 0x5EEDBA5E
+{loop_body}
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    );
+    assemble(
+        if optimized {
+            "deepsjeng_like_opt"
+        } else {
+            "deepsjeng_like"
+        },
+        &src,
+    )
+}
+
+/// Baseline.
+pub fn build(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    Ok(vec![build_impl(size, false)?])
+}
+
+/// §VI-B optimized variant (early prefetch, divide removed).
+pub fn build_opt(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    Ok(vec![build_impl(size, true)?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiser_sim::run_module;
+
+    #[test]
+    fn baseline_runs() {
+        let m = build(InputSize::Test).unwrap();
+        let (code, retired, _) = run_module(&m[0], 50_000_000).unwrap();
+        assert_eq!(code, 0);
+        assert!(retired > 100_000);
+    }
+
+    #[test]
+    fn opt_runs() {
+        let m = build_opt(InputSize::Test).unwrap();
+        let (code, _, _) = run_module(&m[0], 50_000_000).unwrap();
+        assert_eq!(code, 0);
+    }
+}

@@ -1,0 +1,584 @@
+//! The remaining SPEC-like programs filling out the figure 7 suite. Each
+//! models the dominant bottleneck mix of its namesake: interpreter dispatch
+//! (perlbench), branchy tree walks (gcc), streaming FP (lbm), high-ILP
+//! integer kernels (x264), FP compute with sqrt (imagick), FP with call
+//! overhead (nab), deep recursion (exchange2), and a mixed playout loop
+//! (leela).
+
+use wiser_isa::{assemble, IsaError, Module};
+
+use crate::InputSize;
+
+fn scale(size: InputSize, test: u64, train: u64, reference: u64) -> u64 {
+    match size {
+        InputSize::Test => test,
+        InputSize::Train => train,
+        InputSize::Ref => reference,
+    }
+}
+
+/// 500.perlbench-like: bytecode interpreter with *call-based* dispatch
+/// (handlers are functions reached via `callr`), a moderate indirect share.
+pub fn perlbench(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let n = scale(size, 6_000, 180_000, 700_000);
+    let src = format!(
+        r#"
+        .bss
+        handlers: .space 32
+        .func h_add
+            add x0, x1, x2
+            addi x0, x0, 1
+            andi x0, x0, 0xFFFFF
+            ret
+        .endfunc
+        .func h_cat
+            shli x0, x1, 4
+            or x0, x0, x2
+            andi x0, x0, 0xFFFFF
+            ret
+        .endfunc
+        .func h_match
+            xor x0, x1, x2
+            shri x3, x0, 3
+            xor x0, x0, x3
+            andi x0, x0, 0xFFFFF
+            ret
+        .endfunc
+        .func h_subst
+            mul x0, x1, x2
+            shri x0, x0, 5
+            andi x0, x0, 0xFFFFF
+            ret
+        .endfunc
+        .func _start global
+        .loc "perl.c" 5
+            la x1, handlers
+            la x2, h_add
+            st.8 x2, [x1]
+            la x2, h_cat
+            st.8 x2, [x1+8]
+            la x2, h_match
+            st.8 x2, [x1+16]
+            la x2, h_subst
+            st.8 x2, [x1+24]
+            li x8, {n}
+            li x9, 0
+            li x10, 0x7EE1
+            la x11, handlers
+        vm_loop:
+        .loc "perl.c" 10
+            li x4, 1103515245
+            mul x10, x10, x4
+            addi x10, x10, 12345
+            shri x5, x10, 11
+            andi x5, x5, 3
+            ldx.8 x6, [x11+x5*8]
+            mov x1, x12
+            shri x2, x10, 20
+            callr x6
+            mov x12, x0
+            ; inline opcode decode work between dispatches
+            addi x3, x3, 3
+            xor x3, x3, x12
+            shri x4, x3, 2
+            add x3, x3, x4
+            subi x8, x8, 1
+            bne x8, x9, vm_loop
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    );
+    Ok(vec![assemble("perlbench_like", &src)?])
+}
+
+/// 502.gcc-like: repeated binary-search-tree descents with data-dependent
+/// (poorly predicted) branches over a pointer-free heap-layout tree, plus
+/// frequent small calls.
+pub fn gcc(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let lookups = scale(size, 4_000, 120_000, 500_000);
+    let src = format!(
+        r#"
+        .func hash_key
+            mov x0, x1
+            li x3, 0x45D9F3B
+            mul x0, x0, x3
+            shri x3, x0, 16
+            xor x0, x0, x3
+            ret
+        .endfunc
+        .func _start global
+        .loc "gcc.c" 5
+            ; Implicit tree: 64K nodes of (key, value) in heap layout.
+            li x0, 4
+            li x1, 0x100000
+            syscall
+            mov x12, x0
+            li x3, 1
+            li x4, 65536
+            li x5, 0x9E3779B1
+        build:
+            mul x6, x3, x5
+            shri x6, x6, 12
+            li x7, 0xFFFFF
+            and x6, x6, x7
+            shli x7, x3, 4
+            add x7, x7, x12
+            st.8 x6, [x7]          ; key
+            st.8 x3, [x7+8]        ; value
+            addi x3, x3, 1
+            bne x3, x4, build
+        .loc "gcc.c" 12
+            li x8, {lookups}
+            li x9, 0
+            li x10, 0xBEEF
+        lookup:
+            li x4, 1103515245
+            mul x10, x10, x4
+            addi x10, x10, 12345
+            mov x1, x10
+            call hash_key
+            li x7, 0xFFFFF
+            and x11, x0, x7        ; probe key
+            li x3, 1               ; node index; descend ~16 levels
+        descend:
+            shli x7, x3, 4
+            add x7, x7, x12
+            ld.8 x5, [x7]          ; node key
+            beq x5, x11, found
+            blt x5, x11, go_right
+            shli x3, x3, 1         ; left child
+            jmp check
+        go_right:
+            shli x3, x3, 1
+            addi x3, x3, 1
+        check:
+            li x7, 65536
+            blt x3, x7, descend
+            jmp next
+        found:
+            addi x13, x13, 1
+        next:
+            subi x8, x8, 1
+            bne x8, x9, lookup
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    );
+    Ok(vec![assemble("gcc_like", &src)?])
+}
+
+/// 519.lbm-like: streaming floating-point over arrays far larger than the
+/// LLC; bandwidth/miss dominated with near-perfect branch prediction.
+pub fn lbm(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let sweeps = scale(size, 2, 24, 100);
+    // 24 MiB across three arrays: blows out the 8 MiB L3.
+    let n = 1u64 << 20; // elements per array
+    let src = format!(
+        r#"
+        .data
+        w: .f64 0.98, 0.02
+        .func _start global
+        .loc "lbm.c" 5
+            li x0, 4
+            li x1, {bytes}
+            syscall
+            mov x12, x0            ; a
+            li x0, 4
+            li x1, {bytes}
+            syscall
+            mov x13, x0            ; b
+            la x1, w
+            fld f6, [x1]
+            fld f7, [x1+8]
+            ; init a[i] = i
+            li x3, 0
+            li x4, {n}
+        init:
+            fcvtif f1, x3
+            fst f1, [x12+x3*8]
+            addi x3, x3, 1
+            bne x3, x4, init
+        .loc "lbm.c" 12
+            li x8, {sweeps}
+            li x9, 0
+        sweep:
+            li x3, 1
+            subi x4, x4, 1
+        stream:
+            fld f1, [x12+x3*8]
+            fld f2, [x12+x3*8-8]
+            fmul f1, f1, f6
+            fmul f2, f2, f7
+            fadd f3, f1, f2
+            fst f3, [x13+x3*8]
+            addi x3, x3, 1
+            bne x3, x4, stream
+            ; swap a and b
+            mov x5, x12
+            mov x12, x13
+            mov x13, x5
+            li x4, {n}
+            subi x8, x8, 1
+            bne x8, x9, sweep
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#,
+        bytes = n * 8,
+    );
+    Ok(vec![assemble("lbm_like", &src)?])
+}
+
+/// 525.x264-like: sum-of-absolute-differences over 16-byte rows; high ILP,
+/// cache resident, fully predictable inner branches.
+pub fn x264(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let frames = scale(size, 12, 350, 1_400);
+    let src = format!(
+        r#"
+        .func sad_row
+            ; x1 = p, x2 = q; returns SAD of 16 bytes
+            li x0, 0
+            li x3, 0
+            li x4, 16
+        sr_loop:
+            ldx.1 x5, [x1+x3*1]
+            ldx.1 x6, [x2+x3*1]
+            sub x7, x5, x6
+            li x6, 0
+            sub x5, x6, x7         ; -diff
+            set.lt x6, x7, x6      ; diff < 0 ?
+            cmovnz x7, x5, x6      ; |diff| branch-free
+            add x0, x0, x7
+            addi x3, x3, 1
+            bne x3, x4, sr_loop
+            ret
+        .endfunc
+        .func _start global
+        .loc "x264.c" 5
+            li x0, 4
+            li x1, 0x10000
+            syscall
+            mov x12, x0
+            ; init 64 KiB of pixels
+            li x3, 0
+            li x4, 0x10000
+            li x5, 0x9E3779B1
+        init:
+            mul x6, x3, x5
+            shri x6, x6, 9
+            stx.1 x6, [x12+x3*1]
+            addi x3, x3, 1
+            bne x3, x4, init
+            li x8, {frames}
+            li x9, 0
+        frame:
+            li x10, 0              ; block offset
+            li x11, 0xF000
+        blocks:
+            add x1, x12, x10
+            add x2, x12, x10
+            addi x2, x2, 256
+            push x8
+            call sad_row
+            pop x8
+            add x13, x13, x0
+            addi x10, x10, 16
+            bne x10, x11, blocks
+            subi x8, x8, 1
+            bne x8, x9, frame
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    );
+    Ok(vec![assemble("x264_like", &src)?])
+}
+
+/// 538.imagick-like: per-pixel FP transform with multiply/add chains and a
+/// square root per pixel.
+pub fn imagick(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let pixels = scale(size, 4_000, 120_000, 500_000);
+    let src = format!(
+        r#"
+        .data
+        k: .f64 0.299, 0.587, 0.114, 255.0
+        .func _start global
+        .loc "magick.c" 5
+            la x1, k
+            fld f4, [x1]
+            fld f5, [x1+8]
+            fld f6, [x1+16]
+            fld f7, [x1+24]
+            li x8, {pixels}
+            li x9, 0
+            li x10, 0x1337
+        pixel:
+            li x4, 1103515245
+            mul x10, x10, x4
+            addi x10, x10, 12345
+            shri x3, x10, 8
+            andi x3, x3, 255
+            fcvtif f1, x3
+            shri x3, x10, 16
+            andi x3, x3, 255
+            fcvtif f2, x3
+            shri x3, x10, 24
+            andi x3, x3, 255
+            fcvtif f3, x3
+            fmul f1, f1, f4
+            fmul f2, f2, f5
+            fmul f3, f3, f6
+            fadd f1, f1, f2
+            fadd f1, f1, f3
+            fmul f2, f1, f1
+            fsqrt f2, f2           ; gamma-ish per-pixel sqrt
+            fdiv f2, f2, f7
+            fadd f0, f0, f2
+            subi x8, x8, 1
+            bne x8, x9, pixel
+            fcvtfi x1, f0
+            li x0, 2
+            syscall
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    );
+    Ok(vec![assemble("imagick_like", &src)?])
+}
+
+/// 544.nab-like: pairwise-force style FP with a helper call per element.
+pub fn nab(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let pairs = scale(size, 3_000, 100_000, 400_000);
+    let src = format!(
+        r#"
+        .func force
+            ; x1 = r2 scaled int; f0 = 1/r2 - c/r
+            push fp
+            mov fp, sp
+            fcvtif f1, x1
+            li x2, 1
+            fcvtif f2, x2
+            fdiv f0, f2, f1
+            fsqrt f3, f1
+            fdiv f3, f2, f3
+            fsub f0, f0, f3
+            mov sp, fp
+            pop fp
+            ret
+        .endfunc
+        .func _start global
+        .loc "nab.c" 5
+            li x8, {pairs}
+            li x9, 0
+            li x10, 0xACE1
+        pair:
+            li x4, 1103515245
+            mul x10, x10, x4
+            addi x10, x10, 12345
+            shri x1, x10, 10
+            andi x1, x1, 0xFFF
+            addi x1, x1, 1
+            call force
+            fadd f5, f5, f0
+            subi x8, x8, 1
+            bne x8, x9, pair
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    );
+    Ok(vec![assemble("nab_like", &src)?])
+}
+
+/// 548.exchange2-like: deeply recursive branch-and-bound enumeration —
+/// call/return dominated, return-address-stack friendly.
+pub fn exchange2(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let depth = scale(size, 7, 9, 10);
+    let src = format!(
+        r#"
+        .func count_perms
+        .loc "exch.f" 10
+            ; x1 = remaining depth; returns number of leaves in x0
+            push fp
+            mov fp, sp
+            li x2, 0
+            bne x1, x2, recurse
+            li x0, 1
+            mov sp, fp
+            pop fp
+            ret
+        recurse:
+            push x8
+            push x9
+            li x8, 0               ; accumulator
+            li x9, 3               ; branching factor
+        kids:
+            push x1
+            push x9
+            subi x1, x1, 1
+            call count_perms
+            pop x9
+            pop x1
+            add x8, x8, x0
+            ; prune one subtree at odd depths (data-dependent but cheap)
+            andi x2, x1, 1
+            li x3, 0
+            beq x2, x3, no_prune
+            subi x9, x9, 1
+            li x3, 0
+            bne x9, x3, kids
+            jmp done_kids
+        no_prune:
+            subi x9, x9, 1
+            li x3, 0
+            bne x9, x3, kids
+        done_kids:
+            mov x0, x8
+            pop x9
+            pop x8
+            mov sp, fp
+            pop fp
+            ret
+        .endfunc
+        .func _start global
+            li x1, {depth}
+            call count_perms
+            mov x1, x0
+            li x0, 2
+            syscall                ; print leaf count
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    );
+    Ok(vec![assemble("exchange2_like", &src)?])
+}
+
+/// 541.leela-like: playout loop mixing array scans, branchy move selection
+/// and occasional helper calls — a bit of everything.
+pub fn leela(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let playouts = scale(size, 300, 9_000, 36_000);
+    let src = format!(
+        r#"
+        .func score_move
+            ; x1 = move; cheap heuristic with one unpredictable branch
+            andi x2, x1, 31
+            mul x0, x2, x2
+            andi x3, x1, 1
+            li x4, 0
+            beq x3, x4, sm_even
+            addi x0, x0, 17
+        sm_even:
+            ret
+        .endfunc
+        .func _start global
+        .loc "leela.cpp" 5
+            li x0, 4
+            li x1, 0x8000
+            syscall
+            mov x12, x0            ; board: 4K entries
+            li x8, {playouts}
+            li x9, 0
+            li x10, 0xABCD
+        playout:
+            li x11, 60             ; moves per playout
+        move_loop:
+            li x4, 1103515245
+            mul x10, x10, x4
+            addi x10, x10, 12345
+            shri x1, x10, 9
+            li x5, 0xFF8
+            and x2, x1, x5
+            ldx.8 x3, [x12+x2*1]   ; board lookup (hot, cached)
+            add x3, x3, x1
+            stx.8 x3, [x12+x2*1]
+            push x8
+            call score_move
+            pop x8
+            add x13, x13, x0
+            subi x11, x11, 1
+            bne x11, x9, move_loop
+            subi x8, x8, 1
+            bne x8, x9, playout
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    );
+    Ok(vec![assemble("leela_like", &src)?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiser_sim::run_module;
+
+    fn check(modules: Vec<Module>, min_insns: u64) {
+        let (code, retired, _) = run_module(&modules[0], 100_000_000).unwrap();
+        assert_eq!(code, 0);
+        assert!(retired > min_insns, "only {retired} instructions");
+    }
+
+    #[test]
+    fn perlbench_runs() {
+        check(perlbench(InputSize::Test).unwrap(), 50_000);
+    }
+
+    #[test]
+    fn gcc_runs() {
+        check(gcc(InputSize::Test).unwrap(), 50_000);
+    }
+
+    #[test]
+    fn lbm_runs() {
+        check(lbm(InputSize::Test).unwrap(), 1_000_000);
+    }
+
+    #[test]
+    fn x264_runs() {
+        check(x264(InputSize::Test).unwrap(), 100_000);
+    }
+
+    #[test]
+    fn imagick_runs() {
+        check(imagick(InputSize::Test).unwrap(), 50_000);
+    }
+
+    #[test]
+    fn nab_runs() {
+        check(nab(InputSize::Test).unwrap(), 30_000);
+    }
+
+    #[test]
+    fn exchange2_prints_leaf_count() {
+        let m = exchange2(InputSize::Test).unwrap();
+        let (code, _, out) = run_module(&m[0], 100_000_000).unwrap();
+        assert_eq!(code, 0);
+        let leaves: u64 = out.trim().parse().unwrap();
+        assert!(leaves > 100, "{leaves}");
+    }
+
+    #[test]
+    fn leela_runs() {
+        check(leela(InputSize::Test).unwrap(), 50_000);
+    }
+}

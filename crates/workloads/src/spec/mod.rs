@@ -1,0 +1,109 @@
+//! The SPEC-CPU2017-like suite (figure 7 and the §VI case studies).
+
+mod bwaves;
+mod deepsjeng;
+mod mcf;
+mod misc;
+mod xalancbmk;
+
+use crate::{InputSize, Kind, Workload};
+use wiser_isa::{IsaError, Module};
+
+fn w(
+    name: &'static str,
+    description: &'static str,
+    builder: fn(InputSize) -> Result<Vec<Module>, IsaError>,
+) -> Workload {
+    Workload {
+        name,
+        description,
+        kind: Kind::SpecLike,
+        builder,
+    }
+}
+
+pub(crate) fn all() -> Vec<Workload> {
+    vec![
+        w(
+            "perlbench_like",
+            "bytecode interpreter with call-based dispatch (500.perlbench)",
+            misc::perlbench,
+        ),
+        w(
+            "gcc_like",
+            "branchy tree descents and frequent small calls (502.gcc)",
+            misc::gcc,
+        ),
+        w(
+            "mcf_like",
+            "indirect-call quicksort with branchy comparators, a constant-\
+             operand divide and a hot scan loop (505.mcf, §VI-A, figure 10)",
+            mcf::build,
+        ),
+        w(
+            "lbm_like",
+            "streaming FP over LLC-exceeding arrays (519.lbm)",
+            misc::lbm,
+        ),
+        w(
+            "x264_like",
+            "high-ILP integer SAD kernels, cache resident (525.x264)",
+            misc::x264,
+        ),
+        w(
+            "deepsjeng_like",
+            "flat profile plus a cache-missing transposition-table probe \
+             (531.deepsjeng, §VI-B)",
+            deepsjeng::build,
+        ),
+        w(
+            "leela_like",
+            "mixed playout loop: board updates, branchy scoring, calls \
+             (541.leela)",
+            misc::leela,
+        ),
+        w(
+            "exchange2_like",
+            "deeply recursive enumeration, call/return dominated \
+             (548.exchange2)",
+            misc::exchange2,
+        ),
+        w(
+            "bwaves_like",
+            "FP stencil with loop-invariant divides (603.bwaves, §VI-C)",
+            bwaves::build,
+        ),
+        w(
+            "imagick_like",
+            "per-pixel FP with sqrt and divide (538.imagick)",
+            misc::imagick,
+        ),
+        w(
+            "nab_like",
+            "pairwise-force FP with a helper call per element (544.nab)",
+            misc::nab,
+        ),
+        w(
+            "xalancbmk_like",
+            "indirect-dispatch interpreter: the DBI overhead worst case \
+             (523.xalancbmk)",
+            xalancbmk::build,
+        ),
+        w(
+            "mcf_like_opt",
+            "mcf with §VI-A fixes: cmov comparators, reciprocal divide, \
+             4x unrolled scan",
+            mcf::build_opt,
+        ),
+        w(
+            "deepsjeng_like_opt",
+            "deepsjeng with §VI-B fixes: early prefetch, divide removed",
+            deepsjeng::build_opt,
+        ),
+        w(
+            "bwaves_like_opt",
+            "bwaves with the §VI-C fix: precomputed reciprocal",
+            bwaves::build_opt,
+        ),
+    ]
+}

@@ -1,0 +1,183 @@
+//! `xalancbmk_like` — models 523.xalancbmk as the DBI worst case.
+//!
+//! The paper's figure 7 shows xalancbmk suffering the worst instrumentation
+//! overhead (~56×) because a large fraction of its control transfers are
+//! indirect (virtual dispatch all over Xerces/Xalan), and every indirect
+//! branch costs a clean call into the C++ edge table (§IV-C).
+//!
+//! This program is a bytecode interpreter whose dispatch is a computed
+//! `jr` through a jump table, with several handlers themselves using
+//! indirect calls — roughly one indirect transfer every 6–8 instructions.
+
+use wiser_isa::{assemble, IsaError, Module};
+
+use crate::InputSize;
+
+fn ops(size: InputSize) -> u64 {
+    match size {
+        InputSize::Test => 8_000,
+        InputSize::Train => 220_000,
+        InputSize::Ref => 900_000,
+    }
+}
+
+/// Builds the interpreter. Always a single module.
+pub fn build(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let n = ops(size);
+    let src = format!(
+        r#"
+        .bss
+        jt:     .space 64          ; 8-entry jump table
+        vt:     .space 32          ; 4-entry "virtual method" table
+        ; Tiny node-visit callbacks reached through the method table — the
+        ; virtual calls of the DOM walk.
+        .func visit_a
+            addi x0, x1, 3
+            ret
+        .endfunc
+        .func visit_b
+            xor x0, x1, x1
+            addi x0, x0, 5
+            ret
+        .endfunc
+        .func visit_c
+            shli x0, x1, 1
+            ret
+        .endfunc
+        .func visit_d
+            shri x0, x1, 1
+            addi x0, x0, 1
+            ret
+        .endfunc
+        .func _start global
+        .loc "xalanc.cpp" 10
+            ; Fill the dispatch and method tables.
+            la x1, jt
+            la x2, op0
+            st.8 x2, [x1]
+            la x2, op1
+            st.8 x2, [x1+8]
+            la x2, op2
+            st.8 x2, [x1+16]
+            la x2, op3
+            st.8 x2, [x1+24]
+            la x2, op4
+            st.8 x2, [x1+32]
+            la x2, op5
+            st.8 x2, [x1+40]
+            la x2, op6
+            st.8 x2, [x1+48]
+            la x2, op7
+            st.8 x2, [x1+56]
+            la x1, vt
+            la x2, visit_a
+            st.8 x2, [x1]
+            la x2, visit_b
+            st.8 x2, [x1+8]
+            la x2, visit_c
+            st.8 x2, [x1+16]
+            la x2, visit_d
+            st.8 x2, [x1+24]
+        .loc "xalanc.cpp" 25
+            ; Pre-generate a 4096-opcode program (like a parsed stylesheet),
+            ; so the dispatch loop itself is lean and indirect-dense.
+            li x0, 4
+            li x1, 4096
+            syscall
+            mov x13, x0            ; program base
+            li x3, 0
+            li x4, 4096
+            li x10, 0x5EED
+        gen:
+            li x5, 1103515245
+            mul x10, x10, x5
+            addi x10, x10, 12345
+            shri x5, x10, 13
+            andi x5, x5, 7
+            stx.1 x5, [x13+x3*1]
+            addi x3, x3, 1
+            bne x3, x4, gen
+        .loc "xalanc.cpp" 30
+            li x8, {n}             ; ops to execute
+            li x9, 0
+            li x7, 0               ; program counter
+            la x11, jt
+            la x12, vt
+        dispatch:
+        .loc "xalanc.cpp" 32
+            ldx.1 x5, [x13+x7*1]   ; fetch opcode
+            addi x7, x7, 1
+            andi x7, x7, 4095
+            ldx.8 x6, [x11+x5*8]
+            jr x6                  ; the indirect dispatch
+        op0:
+            addi x1, x1, 1
+            jmp next
+        op1:
+            xor x1, x1, x5
+            jmp next
+        op2:
+            andi x2, x5, 3
+            ldx.8 x6, [x12+x2*8]
+            callr x6               ; virtual call
+            add x1, x1, x0
+            jmp next
+        op3:
+            sub x1, x1, x5
+            jmp next
+        op4:
+            andi x1, x1, 0xFFFF
+            jmp next
+        op5:
+            andi x2, x5, 2
+            ldx.8 x6, [x12+x2*8]
+            callr x6               ; virtual call
+            xor x1, x1, x0
+            jmp next
+        op6:
+            shli x1, x1, 1
+            jmp next
+        op7:
+            addi x1, x1, 7
+            jmp next
+        next:
+        .loc "xalanc.cpp" 60
+            subi x8, x8, 1
+            bne x8, x9, dispatch
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    );
+    Ok(vec![assemble("xalancbmk_like", &src)?])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiser_sim::run_module;
+
+    #[test]
+    fn interpreter_runs() {
+        let m = build(InputSize::Test).unwrap();
+        let (code, retired, _) = run_module(&m[0], 50_000_000).unwrap();
+        assert_eq!(code, 0);
+        assert!(retired > 50_000);
+    }
+
+    #[test]
+    fn indirect_share_is_high() {
+        use wiser_dbi::{instrument_run, DbiConfig};
+        use wiser_sim::ProcessImage;
+        let m = build(InputSize::Test).unwrap();
+        let image = ProcessImage::load_single(&m[0]).unwrap();
+        let counts = instrument_run(&image, &DbiConfig::default()).unwrap();
+        let share = counts.cost.indirect_execs as f64 / counts.cost.native_insns as f64;
+        assert!(
+            share > 0.10,
+            "indirect transfers should exceed 10% of instructions, got {share:.3}"
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Loop-centric profiling: run the SPEC-like `mcf_like` workload and use
+//! OptiWISE's loop table — iterations, invocations, instructions per
+//! iteration, CPI — to find optimization candidates, as §VI-A does.
+//!
+//! ```sh
+//! cargo run --release --example find_hot_loops
+//! ```
+
+use optiwise::{run_optiwise, OptiwiseConfig};
+use wiser_workloads::InputSize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = wiser_workloads::by_name("mcf_like").expect("registered workload");
+    let modules = workload.build(InputSize::Train)?;
+    let run = run_optiwise(&modules, &OptiwiseConfig::default())?;
+    let analysis = &run.analysis;
+
+    println!("Hot loops of mcf_like (train input):\n");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "FUNCTION", "ITERS", "INVOCS", "INS/ITER", "CPI", "CYCLE%"
+    );
+    for l in analysis.loops().iter().take(8) {
+        println!(
+            "{:<16} {:>10} {:>10} {:>10.1} {:>8.2} {:>7.1}%",
+            l.function,
+            l.iterations,
+            l.invocations,
+            l.insns_per_iteration(),
+            l.cpi().unwrap_or(0.0),
+            100.0 * l.cycles as f64 / analysis.total_cycles.max(1) as f64,
+        );
+    }
+
+    // The paper's unrolling heuristic: loops with a small, branch-light body
+    // and high iteration counts per invocation are unrolling candidates.
+    println!("\nUnrolling candidates (many iterations per invocation, small body):");
+    for l in analysis.loops() {
+        let iters_per_invoc = l.iterations_per_invocation();
+        let ins_per_iter = l.insns_per_iteration();
+        if iters_per_invoc > 100.0 && ins_per_iter > 4.0 && ins_per_iter < 32.0 {
+            println!(
+                "  {} ({}): {:.0} iterations/invocation, {:.1} instructions/iteration",
+                l.function,
+                l.lines
+                    .as_ref()
+                    .map(|(f, lo, hi)| format!("{f}:{lo}-{hi}"))
+                    .unwrap_or_else(|| "?".into()),
+                iters_per_invoc,
+                ins_per_iter
+            );
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Demonstrates the sampling quirks of out-of-order cores (§II-A, §V-B):
+//! runs the figure 8 micro-benchmark under three attribution modes and the
+//! figure 9 benchmark under both commit models, printing where the samples
+//! land relative to the slow instruction.
+//!
+//! ```sh
+//! cargo run --release --example sample_attribution
+//! ```
+
+use wiser_isa::Disassembly;
+use wiser_sampler::{sample_run, Attribution, SamplerConfig};
+use wiser_sim::{CodeLoc, CoreConfig, ModuleId, ProcessImage};
+use wiser_workloads::InputSize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let modules = wiser_workloads::by_name("slow_store")
+        .unwrap()
+        .build(InputSize::Train)?;
+    let image = ProcessImage::load_single(&modules[0])?;
+    let dis = Disassembly::of_module(&image.modules[0].linked)?;
+    let store_offset = dis
+        .lines()
+        .iter()
+        .find(|l| l.text.starts_with("st.4"))
+        .expect("slow store")
+        .offset;
+
+    println!("slow_store: samples on the store vs its successor, by mode\n");
+    println!(
+        "{:<14} {:>10} {:>12} {:>12}",
+        "ATTRIBUTION", "ON STORE", "ON STORE+1", "ELSEWHERE"
+    );
+    for (name, mode) in [
+        ("interrupt", Attribution::Interrupt),
+        ("precise", Attribution::Precise),
+        ("predecessor", Attribution::Predecessor),
+    ] {
+        let cfg = SamplerConfig {
+            attribution: mode,
+            ..SamplerConfig::with_period(509)
+        };
+        let (profile, _) = sample_run(&image, 0, CoreConfig::xeon_like(), cfg, 200_000_000)?;
+        let by_loc = profile.by_location();
+        let get = |off: u64| {
+            by_loc
+                .get(&CodeLoc {
+                    module: ModuleId(0),
+                    offset: off,
+                })
+                .map(|&(n, _)| n)
+                .unwrap_or(0)
+        };
+        let on_store = get(store_offset);
+        let after = get(store_offset + 8);
+        let total: u64 = profile.samples.len() as u64;
+        println!(
+            "{:<14} {:>10} {:>12} {:>12}",
+            name,
+            on_store,
+            after,
+            total - on_store - after
+        );
+    }
+    println!(
+        "\nperf's default (interrupt) skids one past the store; PEBS-style\n\
+         precise attribution lands on the store itself; the predecessor\n\
+         heuristic recovers it from skidded samples (§III)."
+    );
+
+    // Figure 9: the same divide loop on both commit models.
+    let modules = wiser_workloads::by_name("udiv_chain")
+        .unwrap()
+        .build(InputSize::Train)?;
+    let image = ProcessImage::load_single(&modules[0])?;
+    let dis = Disassembly::of_module(&image.modules[0].linked)?;
+    let udiv_offset = dis
+        .lines()
+        .iter()
+        .find(|l| l.text.starts_with("udiv"))
+        .expect("udiv")
+        .offset;
+    println!("\nudiv_chain: hottest sampled instruction relative to the udiv\n");
+    for (name, core) in [
+        ("x86-like (in-order release)", CoreConfig::xeon_like()),
+        ("Neoverse-like (early release)", CoreConfig::neoverse_like()),
+    ] {
+        let (profile, _) = sample_run(
+            &image,
+            0,
+            core,
+            SamplerConfig::with_period(507),
+            200_000_000,
+        )?;
+        let peak = profile
+            .by_location()
+            .into_iter()
+            .filter(|(loc, _)| loc.offset > udiv_offset)
+            .max_by_key(|&(_, (n, _))| n)
+            .map(|(loc, _)| (loc.offset as i64 - udiv_offset as i64) / 8)
+            .unwrap_or(0);
+        println!("  {name}: peak at udiv+{peak} instructions");
+    }
+    println!("\n(paper: ~48 instructions after the udiv on Neoverse N1)");
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the OptiWISE reproduction workspace.
+pub use optiwise;
+pub use wiser_cfg;
+pub use wiser_dbi;
+pub use wiser_isa;
+pub use wiser_sampler;
+pub use wiser_sim;
+pub use wiser_workloads;

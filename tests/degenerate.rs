@@ -1,0 +1,168 @@
+//! Failure-injection and degenerate-input tests: empty profiles, mismatched
+//! fusion inputs, loop-free programs, immediate exits, undersampling.
+
+use optiwise::{run_optiwise, Analysis, AnalysisOptions, OptiwiseConfig};
+use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
+use wiser_isa::{assemble, Module};
+use wiser_sampler::{sample_run, SampleProfile, SamplerConfig};
+use wiser_sim::{CoreConfig, ProcessImage, SimError};
+
+fn immediate_exit() -> Module {
+    assemble(
+        "exit",
+        r#"
+        .func _start global
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn immediate_exit_profiles_cleanly() {
+    let run = run_optiwise(&[immediate_exit()], &OptiwiseConfig::default()).unwrap();
+    assert_eq!(run.timed.stats.retired, 3);
+    assert!(run.analysis.loops().is_empty());
+    assert_eq!(run.counts.total_insns(), 3);
+    // Too short to be sampled even once.
+    assert!(run.samples.samples.is_empty());
+    // The report still renders.
+    let text = optiwise::report::full_report(&run.analysis, 5);
+    assert!(text.contains("OptiWISE report"));
+}
+
+#[test]
+fn analysis_tolerates_empty_samples() {
+    let module = immediate_exit();
+    let image = ProcessImage::load_single(&module).unwrap();
+    let counts = instrument_run(&image, &DbiConfig::default()).unwrap();
+    let empty = SampleProfile::default();
+    let linked: Vec<Module> = image.modules.iter().map(|m| m.linked.clone()).collect();
+    let analysis = Analysis::new(&linked, &empty, &counts, AnalysisOptions::default());
+    assert_eq!(analysis.total_cycles, 0);
+    assert_eq!(analysis.total_insns, 3);
+    let rows = analysis.annotate_function(0, "_start");
+    assert_eq!(rows.len(), 3);
+    assert!(rows.iter().all(|r| r.samples == 0));
+    // CPI defined (zero cycles over real counts), never panicking.
+    assert!(rows.iter().all(|r| r.cpi == Some(0.0)));
+}
+
+#[test]
+fn analysis_tolerates_empty_counts() {
+    let module = immediate_exit();
+    let image = ProcessImage::load_single(&module).unwrap();
+    let (samples, _) = sample_run(
+        &image,
+        0,
+        CoreConfig::xeon_like(),
+        SamplerConfig::with_period(1),
+        1_000,
+    )
+    .unwrap();
+    let linked: Vec<Module> = image.modules.iter().map(|m| m.linked.clone()).collect();
+    let empty = CountsProfile {
+        module_names: vec!["exit".into()],
+        ..CountsProfile::default()
+    };
+    let analysis = Analysis::new(&linked, &samples, &empty, AnalysisOptions::default());
+    assert_eq!(analysis.total_insns, 0);
+    // Samples exist but nothing executed according to counts: CPI is None
+    // (the "sampling skid into cold code" representation).
+    for row in analysis.annotate_function(0, "_start") {
+        assert_eq!(row.count, 0);
+        assert!(row.cpi.is_none());
+    }
+}
+
+#[test]
+fn undersampled_run_yields_no_samples_but_valid_profile() {
+    let module = assemble(
+        "short",
+        r#"
+        .func _start global
+            li x8, 50
+            li x9, 0
+        loop:
+            subi x8, x8, 1
+            bne x8, x9, loop
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#,
+    )
+    .unwrap();
+    let image = ProcessImage::load_single(&module).unwrap();
+    let mut cfg = SamplerConfig::with_period(1_000_000);
+    cfg.jitter = 0;
+    let (profile, run) = sample_run(&image, 0, CoreConfig::xeon_like(), cfg, 100_000).unwrap();
+    assert!(profile.samples.is_empty());
+    assert!(run.stats.cycles < 1_000_000);
+    // Round-trips as text even when empty.
+    let back = SampleProfile::from_text(&profile.to_text()).unwrap();
+    assert_eq!(back, profile);
+}
+
+#[test]
+fn dbi_instruction_limit_enforced() {
+    let module = assemble(
+        "spin",
+        ".func _start global\nspin: jmp spin\n.endfunc\n.entry _start",
+    )
+    .unwrap();
+    let image = ProcessImage::load_single(&module).unwrap();
+    let result = instrument_run(
+        &image,
+        &DbiConfig {
+            max_insns: 5_000,
+            ..DbiConfig::default()
+        },
+    );
+    assert!(matches!(result, Err(SimError::InsnLimit(5_000))));
+}
+
+#[test]
+fn straight_line_program_has_no_loops_or_back_edges() {
+    let module = assemble(
+        "line",
+        r#"
+        .func _start global
+            li x1, 1
+            addi x1, x1, 2
+            mul x1, x1, x1
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#,
+    )
+    .unwrap();
+    let run = run_optiwise(&[module], &OptiwiseConfig::default()).unwrap();
+    assert!(run.analysis.loops().is_empty());
+    assert_eq!(run.analysis.functions().len(), 1);
+}
+
+#[test]
+fn corrupt_profile_texts_are_rejected_not_panicked() {
+    for bad in [
+        "",
+        "garbage",
+        "optiwise-samples v1\ns broken",
+        "optiwise-samples v1\ns 0 zz 5 0",
+        "optiwise-counts v1\nb 0:0",
+        "optiwise-counts v1\nmodule 5 late",
+    ] {
+        if bad.starts_with("optiwise-samples") || bad.is_empty() || bad == "garbage" {
+            assert!(SampleProfile::from_text(bad).is_err(), "{bad:?}");
+        } else {
+            assert!(CountsProfile::from_text(bad).is_err(), "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The split workflow: run `sample` and `instrument` separately, persist
+//! both profiles as text (as the CLI does), reload, and verify the analysis
+//! is identical to the in-memory pipeline.
+
+use optiwise::{Analysis, AnalysisOptions};
+use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
+use wiser_isa::Module;
+use wiser_sampler::{sample_run, SampleProfile, SamplerConfig};
+use wiser_sim::{CoreConfig, LoadConfig, ProcessImage};
+use wiser_workloads::InputSize;
+
+#[test]
+fn profiles_roundtrip_through_text_files() {
+    let modules = wiser_workloads::by_name("stack_attr")
+        .unwrap()
+        .build(InputSize::Test)
+        .unwrap();
+
+    // Pass 1: sampling.
+    let mut load_a = LoadConfig::default();
+    load_a.aslr_seed = Some(7);
+    let image_a = ProcessImage::load(&modules, &load_a).unwrap();
+    let (samples, _) = sample_run(
+        &image_a,
+        0,
+        CoreConfig::xeon_like(),
+        SamplerConfig::with_period(200),
+        100_000_000,
+    )
+    .unwrap();
+
+    // Pass 2: instrumentation under another layout.
+    let mut load_b = LoadConfig::default();
+    load_b.aslr_seed = Some(8);
+    let image_b = ProcessImage::load(&modules, &load_b).unwrap();
+    let counts = instrument_run(&image_b, &DbiConfig::default()).unwrap();
+
+    // Persist both to disk and reload (the `optiwise sample/instrument/
+    // analyze` workflow).
+    let dir = std::env::temp_dir().join("optiwise-io-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let sp = dir.join("samples.txt");
+    let cp = dir.join("counts.txt");
+    std::fs::write(&sp, samples.to_text()).unwrap();
+    std::fs::write(&cp, counts.to_text()).unwrap();
+    let samples2 = SampleProfile::from_text(&std::fs::read_to_string(&sp).unwrap()).unwrap();
+    let counts2 = CountsProfile::from_text(&std::fs::read_to_string(&cp).unwrap()).unwrap();
+    assert_eq!(samples, samples2);
+    assert_eq!(counts, counts2);
+
+    // Analyses agree.
+    let linked: Vec<Module> = image_b.modules.iter().map(|m| m.linked.clone()).collect();
+    let fresh = Analysis::new(&linked, &samples, &counts, AnalysisOptions::default());
+    let reloaded = Analysis::new(&linked, &samples2, &counts2, AnalysisOptions::default());
+    assert_eq!(fresh.total_cycles, reloaded.total_cycles);
+    assert_eq!(fresh.total_insns, reloaded.total_insns);
+    assert_eq!(fresh.loops().len(), reloaded.loops().len());
+    for (a, b) in fresh.loops().iter().zip(reloaded.loops()) {
+        assert_eq!(a, b);
+    }
+    for (a, b) in fresh.functions().iter().zip(reloaded.functions()) {
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn large_profile_roundtrip() {
+    // A bigger, branchier workload stresses the serializers (indirect
+    // target lists, callee tables, many blocks).
+    let modules = wiser_workloads::by_name("xalancbmk_like")
+        .unwrap()
+        .build(InputSize::Test)
+        .unwrap();
+    let image = ProcessImage::load(&modules, &LoadConfig::default()).unwrap();
+    let counts = instrument_run(&image, &DbiConfig::default()).unwrap();
+    let text = counts.to_text();
+    let back = CountsProfile::from_text(&text).unwrap();
+    assert_eq!(counts, back);
+    assert!(
+        back.blocks.iter().any(|b| !b.targets.is_empty()),
+        "indirect targets survived the roundtrip"
+    );
+    assert!(!back.callee_counts.is_empty());
+}

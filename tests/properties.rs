@@ -1,0 +1,333 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the stack: instruction encoding, memory, profile
+//! serialization, cache behaviour, and timing-model conservation laws.
+
+use proptest::prelude::*;
+
+use wiser_dbi::{instrument_run, DbiConfig};
+use wiser_isa::{
+    decode_insn, encode_insn, AluOp, Cond, FpCmp, FpOp, Fpr, Gpr, Insn, Scale, Width,
+};
+use wiser_sampler::{Sample, SampleProfile};
+use wiser_sim::{run_timed, CoreConfig, Memory, NoProbes, ProcessImage};
+
+fn gpr() -> impl Strategy<Value = Gpr> {
+    (0u8..16).prop_map(|i| Gpr::new(i).unwrap())
+}
+
+fn fpr() -> impl Strategy<Value = Fpr> {
+    (0u8..8).prop_map(|i| Fpr::new(i).unwrap())
+}
+
+fn cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+        Just(Cond::Lt),
+        Just(Cond::Ge),
+        Just(Cond::Ltu),
+        Just(Cond::Geu),
+    ]
+}
+
+fn alu_op() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::all().to_vec())
+}
+
+fn fp_op() -> impl Strategy<Value = FpOp> {
+    prop::sample::select(FpOp::all().to_vec())
+}
+
+fn width() -> impl Strategy<Value = Width> {
+    prop_oneof![Just(Width::W1), Just(Width::W4), Just(Width::W8)]
+}
+
+fn scale() -> impl Strategy<Value = Scale> {
+    prop_oneof![
+        Just(Scale::S1),
+        Just(Scale::S2),
+        Just(Scale::S4),
+        Just(Scale::S8)
+    ]
+}
+
+fn insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        Just(Insn::Nop),
+        Just(Insn::Ret),
+        Just(Insn::Syscall),
+        (alu_op(), gpr(), gpr(), gpr())
+            .prop_map(|(op, rd, rs1, rs2)| Insn::Alu { op, rd, rs1, rs2 }),
+        (alu_op(), gpr(), gpr(), any::<i32>())
+            .prop_map(|(op, rd, rs1, imm)| Insn::AluImm { op, rd, rs1, imm }),
+        (gpr(), any::<i32>()).prop_map(|(rd, imm)| Insn::Li { rd, imm }),
+        (gpr(), any::<i32>()).prop_map(|(rd, imm)| Insn::Lui { rd, imm }),
+        (gpr(), gpr()).prop_map(|(rd, rs)| Insn::Mov { rd, rs }),
+        (cond(), gpr(), gpr(), gpr())
+            .prop_map(|(cond, rd, rs, rc)| Insn::Cmov { cond, rd, rs, rc }),
+        (cond(), gpr(), gpr(), gpr())
+            .prop_map(|(cond, rd, rs1, rs2)| Insn::SetCond { cond, rd, rs1, rs2 }),
+        (width(), gpr(), gpr(), any::<i32>()).prop_map(|(width, rd, base, disp)| Insn::Ld {
+            width,
+            rd,
+            base,
+            disp
+        }),
+        (width(), gpr(), gpr(), gpr(), scale(), any::<i32>()).prop_map(
+            |(width, rd, base, index, scale, disp)| Insn::Ldx {
+                width,
+                rd,
+                base,
+                index,
+                scale,
+                disp
+            }
+        ),
+        (width(), gpr(), gpr(), gpr(), scale(), any::<i32>()).prop_map(
+            |(width, rs, base, index, scale, disp)| Insn::Stx {
+                width,
+                rs,
+                base,
+                index,
+                scale,
+                disp
+            }
+        ),
+        (gpr(), any::<i32>()).prop_map(|(base, disp)| Insn::Prefetch { base, disp }),
+        gpr().prop_map(|rs| Insn::Push { rs }),
+        gpr().prop_map(|rd| Insn::Pop { rd }),
+        any::<u32>().prop_map(|target| Insn::Jmp { target }),
+        (cond(), gpr(), gpr(), any::<u32>()).prop_map(|(cond, rs1, rs2, target)| Insn::B {
+            cond,
+            rs1,
+            rs2,
+            target
+        }),
+        gpr().prop_map(|rs| Insn::Jr { rs }),
+        any::<u32>().prop_map(|slot| Insn::JmpGot { slot }),
+        any::<u32>().prop_map(|target| Insn::Call { target }),
+        gpr().prop_map(|rs| Insn::Callr { rs }),
+        (fp_op(), fpr(), fpr(), fpr())
+            .prop_map(|(op, fd, fs1, fs2)| Insn::Fp { op, fd, fs1, fs2 }),
+        (fpr(), fpr()).prop_map(|(fd, fs)| Insn::Fsqrt { fd, fs }),
+        (
+            prop_oneof![Just(FpCmp::Feq), Just(FpCmp::Flt), Just(FpCmp::Fle)],
+            gpr(),
+            fpr(),
+            fpr()
+        )
+            .prop_map(|(cmp, rd, fs1, fs2)| Insn::Fcmp { cmp, rd, fs1, fs2 }),
+        (fpr(), gpr(), any::<i32>()).prop_map(|(fd, base, disp)| Insn::Fld { fd, base, disp }),
+        (fpr(), gpr(), any::<i32>()).prop_map(|(fs, base, disp)| Insn::Fst { fs, base, disp }),
+    ]
+}
+
+proptest! {
+    /// Every instruction round-trips through its 8-byte encoding.
+    #[test]
+    fn encoding_roundtrip(insn in insn()) {
+        // Cmov only uses Eq/Ne in the surface syntax but any condition
+        // encodes; normalize to the two meaningful ones.
+        let insn = match insn {
+            Insn::Cmov { cond, rd, rs, rc } => Insn::Cmov {
+                cond: if cond == Cond::Eq { Cond::Eq } else { Cond::Ne },
+                rd, rs, rc,
+            },
+            other => other,
+        };
+        let bytes = encode_insn(&insn);
+        let back = decode_insn(&bytes).expect("valid encoding decodes");
+        prop_assert_eq!(back, insn);
+    }
+
+    /// The disassembler renders every instruction without panicking and
+    /// never produces an empty string.
+    #[test]
+    fn disassembly_total(insn in insn()) {
+        let text = wiser_isa::format_insn(&insn);
+        prop_assert!(!text.is_empty());
+    }
+
+    /// Condition algebra: Lt is the negation of Ge, Ltu of Geu, Eq of Ne.
+    #[test]
+    fn cond_negation(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(Cond::Lt.eval(a, b), !Cond::Ge.eval(a, b));
+        prop_assert_eq!(Cond::Ltu.eval(a, b), !Cond::Geu.eval(a, b));
+        prop_assert_eq!(Cond::Eq.eval(a, b), !Cond::Ne.eval(a, b));
+    }
+
+    /// ALU semantics: add/sub inverse, division identity a = q*b + r.
+    #[test]
+    fn alu_algebra(a in any::<u64>(), b in any::<u64>()) {
+        let sum = AluOp::Add.eval(a, b);
+        prop_assert_eq!(AluOp::Sub.eval(sum, b), a);
+        if b != 0 {
+            let q = AluOp::Udiv.eval(a, b);
+            let r = AluOp::Urem.eval(a, b);
+            prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+            prop_assert!(r < b);
+        }
+    }
+
+    /// Sparse memory behaves like a flat byte map.
+    #[test]
+    fn memory_matches_model(
+        writes in prop::collection::vec((0u64..0x10000, any::<u8>()), 1..200),
+        probes in prop::collection::vec(0u64..0x10000, 1..100),
+    ) {
+        let mut mem = Memory::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, value) in &writes {
+            mem.write_u8(*addr, *value);
+            model.insert(*addr, *value);
+        }
+        for addr in &probes {
+            prop_assert_eq!(mem.read_u8(*addr), model.get(addr).copied().unwrap_or(0));
+        }
+    }
+
+    /// Multi-byte reads assemble little-endian from byte writes.
+    #[test]
+    fn memory_endianness(addr in 0u64..0xFFFF, value in any::<u64>()) {
+        let mut mem = Memory::new();
+        mem.write_u64(addr, value);
+        for i in 0..8 {
+            prop_assert_eq!(mem.read_u8(addr + i), (value >> (8 * i)) as u8);
+        }
+        prop_assert_eq!(mem.read_u32(addr), value as u32);
+    }
+
+    /// Sample profiles survive text serialization for arbitrary contents.
+    #[test]
+    fn sample_profile_roundtrip(
+        samples in prop::collection::vec(
+            (0u32..3, 0u64..0x10000, 0u64..100_000,
+             prop::collection::vec((0u32..3, 0u64..0x10000), 0..4)),
+            0..40,
+        ),
+        period in 1u64..100_000,
+    ) {
+        let profile = SampleProfile {
+            module_names: vec!["a".into(), "b".into(), "c".into()],
+            samples: samples
+                .into_iter()
+                .map(|(m, off, weight, stack)| Sample {
+                    loc: wiser_sim::CodeLoc {
+                        module: wiser_sim::ModuleId(m),
+                        offset: off & !7,
+                    },
+                    weight,
+                    stack: stack
+                        .into_iter()
+                        .map(|(sm, so)| wiser_sim::CodeLoc {
+                            module: wiser_sim::ModuleId(sm),
+                            offset: so & !7,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            period,
+            total_cycles: period * 1000,
+            unmapped: 3,
+        };
+        let back = SampleProfile::from_text(&profile.to_text()).expect("roundtrip parses");
+        prop_assert_eq!(back, profile);
+    }
+
+    /// Random loop nests: the reconstructed loop forest recovers the exact
+    /// nesting depth, back-edge frequencies and invocation counts that the
+    /// program was generated with.
+    #[test]
+    fn loop_forest_recovers_random_nests(
+        iters in prop::collection::vec(2u64..6, 1..4),
+    ) {
+        use wiser_cfg::{build_cfg, find_all_loops, MERGE_THRESHOLD};
+
+        let depth = iters.len();
+        let mut asm = wiser_isa::asm::Asm::new("nest");
+        asm.func("_start", true);
+        let zero = Gpr::new(9).unwrap();
+        asm.li(zero, 0);
+        // Counters x1..=x<depth>; build heads outside-in.
+        let heads: Vec<_> = (0..depth).map(|_| asm.new_label()).collect();
+        for level in 0..depth {
+            let counter = Gpr::new(level as u8 + 1).unwrap();
+            asm.li(counter, iters[level] as i32);
+            asm.bind(heads[level]);
+        }
+        // Innermost body.
+        let body_reg = Gpr::new(8).unwrap();
+        asm.alu_imm(AluOp::Add, body_reg, body_reg, 1);
+        // Close the loops inside-out.
+        for level in (0..depth).rev() {
+            let counter = Gpr::new(level as u8 + 1).unwrap();
+            asm.alu_imm(AluOp::Sub, counter, counter, 1);
+            asm.b(Cond::Ne, counter, zero, heads[level]);
+            if level > 0 {
+                // Re-arm this level's counter for the next outer iteration.
+                asm.li(counter, iters[level] as i32);
+            }
+        }
+        asm.li(Gpr::new(1).unwrap(), 0);
+        asm.li(Gpr::new(0).unwrap(), 0);
+        asm.syscall();
+        asm.endfunc();
+        asm.set_entry("_start");
+        let module = asm.finish().expect("nest assembles");
+        let image = ProcessImage::load_single(&module).expect("loads");
+        let counts = instrument_run(&image, &DbiConfig::default()).expect("instruments");
+        let cfg = build_cfg(wiser_sim::ModuleId(0), &image.modules[0].linked, &counts);
+        let forest = &find_all_loops(&cfg, Some(MERGE_THRESHOLD))[0];
+
+        prop_assert_eq!(forest.loops.len(), depth);
+        let mut by_depth: Vec<_> = forest.loops.iter().collect();
+        by_depth.sort_by_key(|l| l.depth);
+        let mut outer_product = 1u64;
+        for (level, l) in by_depth.iter().enumerate() {
+            prop_assert_eq!(l.depth, level);
+            // Back edges: outer iterations × (own iterations − 1).
+            prop_assert_eq!(
+                l.back_edge_freq,
+                outer_product * (iters[level] - 1),
+                "level {} of {:?}", level, &iters
+            );
+            outer_product *= iters[level];
+        }
+    }
+
+    /// Random straight-line ALU programs: the timing model retires exactly
+    /// the instructions the functional run executed, in at least
+    /// ceil(n / commit_width) cycles.
+    #[test]
+    fn timing_conserves_instructions(
+        ops in prop::collection::vec((alu_op(), 1u8..8, 1u8..8, 1u8..8), 1..60),
+    ) {
+        let mut asm = wiser_isa::asm::Asm::new("prop");
+        asm.func("_start", true);
+        for (op, rd, rs1, rs2) in &ops {
+            // Avoid writing x0 (syscall number register is set below).
+            asm.alu(
+                *op,
+                Gpr::new(*rd).unwrap(),
+                Gpr::new(*rs1).unwrap(),
+                Gpr::new(*rs2).unwrap(),
+            );
+        }
+        asm.li(Gpr::new(1).unwrap(), 0);
+        asm.li(Gpr::new(0).unwrap(), 0);
+        asm.syscall();
+        asm.endfunc();
+        asm.set_entry("_start");
+        let module = asm.finish().expect("assembles");
+        let image = ProcessImage::load_single(&module).expect("loads");
+        let run = run_timed(&image, 0, CoreConfig::xeon_like(), &mut NoProbes, 1_000_000)
+            .expect("runs");
+        let n = ops.len() as u64 + 3;
+        prop_assert_eq!(run.stats.retired, n);
+        prop_assert!(run.stats.cycles >= n / 4);
+        // And the DBI engine counts the same instructions.
+        let counts = instrument_run(&image, &DbiConfig::default()).expect("instruments");
+        prop_assert_eq!(counts.cost.native_insns, n);
+        prop_assert_eq!(counts.total_insns(), n);
+    }
+}

@@ -1,0 +1,144 @@
+//! Integration tests for the sampling-attribution phenomena of §II-A/§V-B
+//! (figures 2, 8, 9), run at test scale.
+
+use wiser_isa::Disassembly;
+use wiser_sampler::{sample_run, Attribution, SamplerConfig};
+use wiser_sim::{CodeLoc, CoreConfig, ModuleId, ProcessImage};
+use wiser_workloads::InputSize;
+
+fn image_of(name: &str) -> ProcessImage {
+    let modules = wiser_workloads::by_name(name)
+        .unwrap()
+        .build(InputSize::Test)
+        .unwrap();
+    ProcessImage::load_single(&modules[0]).unwrap()
+}
+
+fn offset_of(image: &ProcessImage, prefix: &str) -> u64 {
+    Disassembly::of_module(&image.modules[0].linked)
+        .unwrap()
+        .lines()
+        .iter()
+        .find(|l| l.text.starts_with(prefix))
+        .unwrap_or_else(|| panic!("no instruction starting `{prefix}`"))
+        .offset
+}
+
+fn samples_at(
+    image: &ProcessImage,
+    core: CoreConfig,
+    attribution: Attribution,
+) -> std::collections::HashMap<CodeLoc, (u64, u64)> {
+    let cfg = SamplerConfig {
+        attribution,
+        ..SamplerConfig::with_period(127)
+    };
+    let (profile, _) = sample_run(image, 0, core, cfg, 100_000_000).unwrap();
+    profile.by_location()
+}
+
+fn get(map: &std::collections::HashMap<CodeLoc, (u64, u64)>, offset: u64) -> u64 {
+    map.get(&CodeLoc {
+        module: ModuleId(0),
+        offset,
+    })
+    .map(|&(n, _)| n)
+    .unwrap_or(0)
+}
+
+/// Figure 8: with interrupt attribution the instruction *after* the slow
+/// store dominates; with precise attribution the store itself does.
+#[test]
+fn slow_store_skid_and_precision() {
+    let image = image_of("slow_store");
+    let store = offset_of(&image, "st.4");
+
+    let interrupt = samples_at(&image, CoreConfig::xeon_like(), Attribution::Interrupt);
+    let successor_hits = get(&interrupt, store + 8);
+    let store_hits = get(&interrupt, store);
+    assert!(
+        successor_hits > 3 * store_hits.max(1),
+        "skid: successor {successor_hits} vs store {store_hits}"
+    );
+
+    let precise = samples_at(&image, CoreConfig::xeon_like(), Attribution::Precise);
+    let store_precise = get(&precise, store);
+    let successor_precise = get(&precise, store + 8);
+    assert!(
+        store_precise > 3 * successor_precise.max(1),
+        "precise: store {store_precise} vs successor {successor_precise}"
+    );
+}
+
+/// §III: predecessor attribution re-lands skidded samples on the store.
+#[test]
+fn predecessor_heuristic_recovers_the_store() {
+    let image = image_of("slow_store");
+    let store = offset_of(&image, "st.4");
+    let pred = samples_at(&image, CoreConfig::xeon_like(), Attribution::Predecessor);
+    let store_hits = get(&pred, store);
+    let successor_hits = get(&pred, store + 8);
+    assert!(
+        store_hits > 3 * successor_hits.max(1),
+        "predecessor: store {store_hits} vs successor {successor_hits}"
+    );
+}
+
+/// Figure 9: on the early-release core the hottest displaced instruction
+/// sits tens of instructions after the divide; on the in-order core it is
+/// the immediate successor.
+#[test]
+fn early_release_displacement() {
+    let image = image_of("udiv_chain");
+    let udiv = offset_of(&image, "udiv");
+
+    let displaced_peak = |core: CoreConfig| {
+        let map = samples_at(&image, core, Attribution::Interrupt);
+        map.into_iter()
+            .filter(|(loc, _)| loc.offset > udiv)
+            .max_by_key(|&(_, (n, _))| n)
+            .map(|(loc, _)| ((loc.offset - udiv) / 8) as i64)
+            .unwrap_or(0)
+    };
+    assert_eq!(displaced_peak(CoreConfig::xeon_like()), 1, "in-order skid");
+    let early = displaced_peak(CoreConfig::neoverse_like());
+    assert!(
+        (30..=60).contains(&early),
+        "early-release peak at +{early}, expected tens of instructions"
+    );
+}
+
+/// The sampling run's overhead estimate stays near 1x (§V-A: geomean
+/// 1.01x).
+#[test]
+fn sampling_overhead_near_unity() {
+    let image = image_of("fig1_motivating");
+    let (profile, _) = sample_run(
+        &image,
+        0,
+        CoreConfig::xeon_like(),
+        SamplerConfig::default(),
+        100_000_000,
+    )
+    .unwrap();
+    let overhead = wiser_sampler::sampling_overhead(&profile);
+    assert!(overhead < 1.05, "{overhead}");
+}
+
+/// Sample weights conserve cycles: the attributed total never exceeds the
+/// run's cycles and covers most of them.
+#[test]
+fn weights_conserve_cycles() {
+    let image = image_of("loop_merge");
+    let (profile, run) = sample_run(
+        &image,
+        0,
+        CoreConfig::xeon_like(),
+        SamplerConfig::with_period(64),
+        100_000_000,
+    )
+    .unwrap();
+    let attributed = profile.total_weight();
+    assert!(attributed <= run.stats.cycles);
+    assert!(attributed * 10 >= run.stats.cycles * 9);
+}
