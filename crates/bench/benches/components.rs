@@ -1,10 +1,14 @@
-//! Criterion micro-benchmarks of the OptiWISE pipeline components:
-//! functional interpretation, the timing model, DBI instrumentation, CFG +
-//! loop analysis, and the profile-fusion step. These measure the *tool's*
-//! cost, complementing the figure 7 harness which measures the modeled
-//! overhead on the profiled program.
+//! Micro-benchmarks of the OptiWISE pipeline components: functional
+//! interpretation, the timing model, DBI instrumentation, CFG + loop
+//! analysis, and the profile-fusion step. These measure the *tool's* cost,
+//! complementing the figure 7 harness which measures the modeled overhead on
+//! the profiled program.
+//!
+//! Self-contained timing harness (`harness = false`): the environment is
+//! hermetic, so this intentionally has no criterion dependency. Run with
+//! `cargo bench -p wiser-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
 use optiwise::{Analysis, AnalysisOptions};
 use wiser_cfg::{build_cfg, find_all_loops, MERGE_THRESHOLD};
@@ -13,6 +17,8 @@ use wiser_isa::Module;
 use wiser_sampler::{sample_run, SamplerConfig};
 use wiser_sim::{run_timed, CoreConfig, Interp, LoadConfig, ModuleId, NoProbes, ProcessImage, Step};
 use wiser_workloads::InputSize;
+
+const SAMPLES: usize = 10;
 
 fn modules() -> Vec<Module> {
     wiser_workloads::by_name("mcf_like")
@@ -25,82 +31,72 @@ fn image() -> ProcessImage {
     ProcessImage::load(&modules(), &LoadConfig::default()).unwrap()
 }
 
-fn bench_interp(c: &mut Criterion) {
-    let image = image();
-    c.bench_function("interp_functional_mcf_test", |b| {
-        b.iter(|| {
-            let mut interp = Interp::new(&image, 0).unwrap();
-            let mut n = 0u64;
-            loop {
-                match interp.step().unwrap() {
-                    Step::Retired(_) => n += 1,
-                    Step::Exited(_) => break,
-                }
-            }
-            n
-        })
-    });
+/// Times `f` over [`SAMPLES`] iterations (after one warm-up) and prints a
+/// criterion-style summary line. Returns the last result to keep the work
+/// observable.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let _warmup = f();
+    let mut times: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let result = f();
+        times.push(t0.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(result);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = times[times.len() / 2];
+    let (min, max) = (times[0], times[times.len() - 1]);
+    println!("{name:<34} median {median:9.3} ms   [{min:.3} .. {max:.3}]");
 }
 
-fn bench_timing(c: &mut Criterion) {
+fn main() {
     let image = image();
-    c.bench_function("timing_model_mcf_test", |b| {
-        b.iter(|| {
-            run_timed(&image, 0, CoreConfig::xeon_like(), &mut NoProbes, 50_000_000)
-                .unwrap()
-                .stats
-                .cycles
-        })
-    });
-}
 
-fn bench_sampling(c: &mut Criterion) {
-    let image = image();
-    c.bench_function("sampling_run_mcf_test", |b| {
-        b.iter(|| {
-            sample_run(
-                &image,
-                0,
-                CoreConfig::xeon_like(),
-                SamplerConfig::with_period(512),
-                50_000_000,
-            )
+    bench("interp_functional_mcf_test", || {
+        let mut interp = Interp::new(&image, 0).unwrap();
+        let mut n = 0u64;
+        while let Step::Retired(_) = interp.step().unwrap() {
+            n += 1;
+        }
+        n
+    });
+
+    bench("timing_model_mcf_test", || {
+        run_timed(&image, 0, CoreConfig::xeon_like(), &mut NoProbes, 50_000_000)
             .unwrap()
-            .0
-            .samples
-            .len()
-        })
+            .stats
+            .cycles
     });
-}
 
-fn bench_dbi(c: &mut Criterion) {
-    let image = image();
-    c.bench_function("dbi_instrument_mcf_test", |b| {
-        b.iter(|| {
-            instrument_run(&image, &DbiConfig::default())
-                .unwrap()
-                .cost
-                .native_insns
-        })
+    bench("sampling_run_mcf_test", || {
+        sample_run(
+            &image,
+            0,
+            CoreConfig::xeon_like(),
+            SamplerConfig::with_period(512),
+            50_000_000,
+        )
+        .unwrap()
+        .0
+        .samples
+        .len()
     });
-}
 
-fn bench_cfg_and_loops(c: &mut Criterion) {
-    let image = image();
+    bench("dbi_instrument_mcf_test", || {
+        instrument_run(&image, &DbiConfig::default())
+            .unwrap()
+            .cost
+            .native_insns
+    });
+
     let counts = instrument_run(&image, &DbiConfig::default()).unwrap();
-    let linked = image.modules[0].linked.clone();
-    c.bench_function("cfg_build_plus_loops_mcf_test", |b| {
-        b.iter(|| {
-            let cfg = build_cfg(ModuleId(0), &linked, &counts);
-            let forests = find_all_loops(&cfg, Some(MERGE_THRESHOLD));
-            forests.iter().map(|f| f.loops.len()).sum::<usize>()
-        })
+    let linked0 = image.modules[0].linked.clone();
+    bench("cfg_build_plus_loops_mcf_test", || {
+        let cfg = build_cfg(ModuleId(0), &linked0, &counts);
+        let forests = find_all_loops(&cfg, Some(MERGE_THRESHOLD));
+        forests.iter().map(|f| f.loops.len()).sum::<usize>()
     });
-}
 
-fn bench_analysis(c: &mut Criterion) {
-    let image = image();
-    let counts = instrument_run(&image, &DbiConfig::default()).unwrap();
     let (samples, _) = sample_run(
         &image,
         0,
@@ -110,23 +106,8 @@ fn bench_analysis(c: &mut Criterion) {
     )
     .unwrap();
     let linked: Vec<Module> = image.modules.iter().map(|m| m.linked.clone()).collect();
-    c.bench_function("analysis_fuse_mcf_test", |b| {
-        b.iter(|| {
-            let analysis = Analysis::new(&linked, &samples, &counts, AnalysisOptions::default());
-            analysis.loops().len()
-        })
+    bench("analysis_fuse_mcf_test", || {
+        let analysis = Analysis::new(&linked, &samples, &counts, AnalysisOptions::default());
+        analysis.loops().len()
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets =
-        bench_interp,
-        bench_timing,
-        bench_sampling,
-        bench_dbi,
-        bench_cfg_and_loops,
-        bench_analysis
-}
-criterion_main!(benches);

@@ -345,8 +345,10 @@ pub fn fig07(size: InputSize) -> Fig7 {
     let mut rows = Vec::new();
     for w in wiser_workloads::spec_suite() {
         let modules = w.build(size).expect("workload assembles");
-        let mut load = LoadConfig::default();
-        load.aslr_seed = Some(0x5a5a);
+        let load = LoadConfig {
+            aslr_seed: Some(0x5a5a),
+            ..LoadConfig::default()
+        };
         let image = ProcessImage::load(&modules, &load).expect("load");
 
         // Native run (no profiling).
@@ -371,8 +373,10 @@ pub fn fig07(size: InputSize) -> Fig7 {
         let sample_overhead = sampling_overhead(&samples);
 
         // Instrumentation run (different layout, like real ASLR).
-        let mut load_b = LoadConfig::default();
-        load_b.aslr_seed = Some(0xa5a5);
+        let load_b = LoadConfig {
+            aslr_seed: Some(0xa5a5),
+            ..LoadConfig::default()
+        };
         let image_b = ProcessImage::load(&modules, &load_b).expect("load");
         let counts = instrument_run(&image_b, &DbiConfig::default()).expect("instrument");
         let instr_overhead = counts.cost.overhead();

@@ -225,10 +225,8 @@ pub fn build_cfg(module_id: ModuleId, module: &Module, counts: &CountsProfile) -
         let f = &mut functions[fidx];
         f.range = (f.range.0.min(range.0), f.range.1.max(range.1));
         f.blocks.push(id);
-        if block.start == range.0 || f.entry.is_none() {
-            if block.start == range.0 {
-                f.entry = Some(id);
-            }
+        if block.start == range.0 {
+            f.entry = Some(id);
         }
         block.function = fidx;
     }

@@ -12,15 +12,24 @@
 //!
 //! Options: `--size test|train|ref`, `--arch xeon|neoverse`, `--period N`,
 //! `--attribution interrupt|precise|predecessor`, `--no-stack-profiling`,
-//! `--merge-threshold N|off`, `--seed N`, `--top N`, `--out FILE`.
+//! `--merge-threshold N|off`, `--seed N`, `--top N`, `--out FILE`,
+//! `--strict`, `--allow-partial`, `--inject SPEC`.
+//!
+//! Exit codes mirror [`OptiwiseError::exit_code`]: 0 success, 2 load or
+//! disassembly failure, 3 execution fault, 4 instruction limit or disallowed
+//! truncation, 5 run divergence (strict mode), 6 profile parse error,
+//! 1 usage/io/other.
 
 use std::process::ExitCode;
 
-use optiwise::{report, run_optiwise, Analysis, AnalysisOptions, OptiwiseConfig};
+use optiwise::{
+    report, run_optiwise, Analysis, AnalysisMode, AnalysisOptions, OptiwiseConfig, OptiwiseError,
+    Pass, ProfileKind, DEFAULT_DIVERGENCE_THRESHOLD,
+};
 use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
 use wiser_isa::Module;
 use wiser_sampler::{sample_run, Attribution, SampleProfile, SamplerConfig};
-use wiser_sim::{CoreConfig, LoadConfig, ProcessImage};
+use wiser_sim::{CoreConfig, FaultPlan, LoadConfig, ProcessImage};
 use wiser_workloads::InputSize;
 
 struct Options {
@@ -37,6 +46,9 @@ struct Options {
     function: Option<String>,
     csv_dir: Option<String>,
     workload: Option<String>,
+    strict: bool,
+    allow_partial: bool,
+    fault: FaultPlan,
 }
 
 impl Default for Options {
@@ -55,6 +67,9 @@ impl Default for Options {
             function: None,
             csv_dir: None,
             workload: None,
+            strict: false,
+            allow_partial: true,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -124,6 +139,13 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--counts" => opts.counts_path = Some(value(&mut i)?),
             "--function" => opts.function = Some(value(&mut i)?),
             "--csv-dir" => opts.csv_dir = Some(value(&mut i)?),
+            "--strict" => opts.strict = true,
+            "--allow-partial" => opts.allow_partial = true,
+            "--no-partial" => opts.allow_partial = false,
+            "--inject" => {
+                opts.fault = FaultPlan::parse(&value(&mut i)?)
+                    .map_err(|e| format!("bad --inject spec: {e}"))?
+            }
             "--" => {}
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"))
@@ -140,16 +162,17 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     Ok(opts)
 }
 
-fn build_workload(opts: &Options) -> Result<Vec<Module>, String> {
+fn build_workload(opts: &Options) -> Result<Vec<Module>, OptiwiseError> {
     let name = opts
         .workload
         .as_deref()
-        .ok_or("no workload given; see `optiwise list`")?;
-    let workload = wiser_workloads::by_name(name)
-        .ok_or_else(|| format!("unknown workload `{name}`; see `optiwise list`"))?;
+        .ok_or_else(|| OptiwiseError::Usage("no workload given; see `optiwise list`".into()))?;
+    let workload = wiser_workloads::by_name(name).ok_or_else(|| {
+        OptiwiseError::Usage(format!("unknown workload `{name}`; see `optiwise list`"))
+    })?;
     workload
         .build(opts.size)
-        .map_err(|e| format!("assembling `{name}`: {e}"))
+        .map_err(|e| OptiwiseError::Load(format!("assembling `{name}`: {e}")))
 }
 
 fn pipeline_config(opts: &Options) -> OptiwiseConfig {
@@ -164,13 +187,17 @@ fn pipeline_config(opts: &Options) -> OptiwiseConfig {
             merge_threshold: opts.merge_threshold,
         },
         rand_seed: opts.seed,
+        strict: opts.strict,
+        allow_partial: opts.allow_partial,
+        fault: opts.fault,
         ..OptiwiseConfig::default()
     }
 }
 
-fn emit(opts: &Options, text: &str) -> Result<(), String> {
+fn emit(opts: &Options, text: &str) -> Result<(), OptiwiseError> {
     match &opts.out {
-        Some(path) => std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}")),
+        Some(path) => std::fs::write(path, text)
+            .map_err(|e| OptiwiseError::Io(format!("writing {path}: {e}"))),
         None => {
             print!("{text}");
             Ok(())
@@ -178,7 +205,7 @@ fn emit(opts: &Options, text: &str) -> Result<(), String> {
     }
 }
 
-fn cmd_check() -> Result<(), String> {
+fn cmd_check() -> Result<(), OptiwiseError> {
     // Assemble, run both passes, fuse. The artifact's `optiwise check`.
     let module = wiser_isa::assemble(
         "check",
@@ -196,19 +223,28 @@ fn cmd_check() -> Result<(), String> {
         .entry _start
         "#,
     )
-    .map_err(|e| e.to_string())?;
-    let run = run_optiwise(&[module], &OptiwiseConfig::default()).map_err(|e| e.to_string())?;
+    .map_err(|e| OptiwiseError::Load(e.to_string()))?;
+    // The self-check always runs strict: a diverging toolchain is broken.
+    let cfg = OptiwiseConfig {
+        strict: true,
+        ..OptiwiseConfig::default()
+    };
+    let run = run_optiwise(&[module], &cfg)?;
     if run.analysis.loops().len() != 1 {
-        return Err("self-check failed: expected exactly one loop".into());
+        return Err(OptiwiseError::Usage(
+            "self-check failed: expected exactly one loop".into(),
+        ));
     }
     println!(
-        "optiwise check: ok (sampled {} cycles, counted {} instructions)",
-        run.analysis.wall_cycles, run.analysis.total_insns
+        "optiwise check: ok (sampled {} cycles, counted {} instructions, divergence {:.4})",
+        run.analysis.wall_cycles,
+        run.analysis.total_insns,
+        run.analysis.diagnostics.divergence_score
     );
     Ok(())
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<(), OptiwiseError> {
     println!("{:<22} {:<9} DESCRIPTION", "NAME", "KIND");
     for w in wiser_workloads::all() {
         let kind = match w.kind {
@@ -220,9 +256,18 @@ fn cmd_list() -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_run(opts: &Options) -> Result<(), String> {
+fn cmd_run(opts: &Options) -> Result<(), OptiwiseError> {
     let modules = build_workload(opts)?;
-    let run = run_optiwise(&modules, &pipeline_config(opts)).map_err(|e| e.to_string())?;
+    let run = run_optiwise(&modules, &pipeline_config(opts))?;
+    if run.attempts.0 > 1 || run.attempts.1 > 1 {
+        eprintln!(
+            "optiwise: retried truncated passes (sampling x{}, instrumentation x{})",
+            run.attempts.0, run.attempts.1
+        );
+    }
+    if run.analysis.mode == AnalysisMode::SamplingOnly {
+        eprintln!("optiwise: DEGRADED sampling-only analysis (see report header)");
+    }
     let mut text = report::full_report(&run.analysis, opts.top);
     if let Some(func) = &opts.function {
         let rows = run
@@ -233,10 +278,12 @@ fn cmd_run(opts: &Options) -> Result<(), String> {
     }
     if let Some(dir) = &opts.csv_dir {
         let dir = std::path::Path::new(dir);
-        std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
-        let write = |name: &str, contents: String| -> Result<(), String> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| OptiwiseError::Io(format!("creating {}: {e}", dir.display())))?;
+        let write = |name: &str, contents: String| -> Result<(), OptiwiseError> {
             let path = dir.join(name);
-            std::fs::write(&path, contents).map_err(|e| format!("{}: {e}", path.display()))
+            std::fs::write(&path, contents)
+                .map_err(|e| OptiwiseError::Io(format!("{}: {e}", path.display())))
         };
         write("functions.csv", optiwise::export::functions_csv(&run.analysis))?;
         write("loops.csv", optiwise::export::loops_csv(&run.analysis))?;
@@ -265,94 +312,230 @@ fn module_of(analysis: &Analysis, func: &str) -> u32 {
         .unwrap_or(0)
 }
 
-fn cmd_sample(opts: &Options) -> Result<(), String> {
+fn cmd_sample(opts: &Options) -> Result<(), OptiwiseError> {
     let modules = build_workload(opts)?;
-    let mut load = LoadConfig::default();
-    load.aslr_seed = Some(0x5a5a);
-    let image = ProcessImage::load(&modules, &load).map_err(|e| e.to_string())?;
+    let load = LoadConfig {
+        aslr_seed: Some(0x5a5a),
+        ..LoadConfig::default()
+    };
+    let image = ProcessImage::load(&modules, &load)?;
+    let mut sampler_cfg = opts.sampler;
+    sampler_cfg.fault = opts.fault;
     let (profile, run) =
-        sample_run(&image, opts.seed, opts.core, opts.sampler, 200_000_000)
-            .map_err(|e| e.to_string())?;
+        sample_run(&image, opts.seed, opts.core, sampler_cfg, 200_000_000)?;
+    if let Some(reason) = &profile.truncated {
+        if opts.strict || !opts.allow_partial {
+            return Err(OptiwiseError::Truncated {
+                pass: Pass::Sampling,
+                reason: reason.clone(),
+            });
+        }
+        eprintln!("optiwise: sampling run truncated ({reason}); emitting partial profile");
+    }
     eprintln!(
         "sampled {} cycles, {} samples, overhead estimate {:.3}x",
         run.stats.cycles,
         profile.samples.len(),
         wiser_sampler::sampling_overhead(&profile)
     );
-    emit(opts, &profile.to_text())
+    emit(opts, &opts.fault.corrupt(&profile.to_text()))
 }
 
-fn cmd_instrument(opts: &Options) -> Result<(), String> {
+fn cmd_instrument(opts: &Options) -> Result<(), OptiwiseError> {
     let modules = build_workload(opts)?;
-    let mut load = LoadConfig::default();
-    load.aslr_seed = Some(0xa5a5);
-    let image = ProcessImage::load(&modules, &load).map_err(|e| e.to_string())?;
+    let load = LoadConfig {
+        aslr_seed: Some(0xa5a5),
+        ..LoadConfig::default()
+    };
+    let image = ProcessImage::load(&modules, &load)?;
     let counts = instrument_run(
         &image,
         &DbiConfig {
             stack_profiling: opts.stack_profiling,
             rand_seed: opts.seed,
+            fault: opts.fault,
             ..DbiConfig::default()
         },
-    )
-    .map_err(|e| e.to_string())?;
+    )?;
+    if let Some(reason) = &counts.truncated {
+        if opts.strict || !opts.allow_partial {
+            return Err(OptiwiseError::Truncated {
+                pass: Pass::Instrumentation,
+                reason: reason.clone(),
+            });
+        }
+        eprintln!("optiwise: instrumentation run truncated ({reason}); emitting partial profile");
+    }
     eprintln!(
         "counted {} instructions in {} blocks, overhead estimate {:.1}x",
         counts.cost.native_insns,
         counts.cost.unique_blocks,
         counts.cost.overhead()
     );
-    emit(opts, &counts.to_text())
+    emit(opts, &opts.fault.corrupt(&counts.to_text()))
 }
 
-fn cmd_analyze(opts: &Options) -> Result<(), String> {
+fn read_file(path: &str) -> Result<String, OptiwiseError> {
+    std::fs::read_to_string(path).map_err(|e| OptiwiseError::Io(format!("{path}: {e}")))
+}
+
+fn cmd_analyze(opts: &Options) -> Result<(), OptiwiseError> {
     let modules = build_workload(opts)?;
     let samples_path = opts
         .samples_path
         .as_deref()
-        .ok_or("analyze needs --samples FILE")?;
+        .ok_or_else(|| OptiwiseError::Usage("analyze needs --samples FILE".into()))?;
     let counts_path = opts
         .counts_path
         .as_deref()
-        .ok_or("analyze needs --counts FILE")?;
-    let samples_text =
-        std::fs::read_to_string(samples_path).map_err(|e| format!("{samples_path}: {e}"))?;
-    let counts_text =
-        std::fs::read_to_string(counts_path).map_err(|e| format!("{counts_path}: {e}"))?;
-    let samples = SampleProfile::from_text(&samples_text)?;
-    let counts = CountsProfile::from_text(&counts_text)?;
+        .ok_or_else(|| OptiwiseError::Usage("analyze needs --counts FILE".into()))?;
+    let samples_text = read_file(samples_path)?;
+    let counts_text = read_file(counts_path)?;
+    let samples = SampleProfile::from_text(&samples_text).map_err(|error| {
+        OptiwiseError::Parse {
+            kind: ProfileKind::Samples,
+            error,
+        }
+    })?;
+    let counts = CountsProfile::from_text(&counts_text).map_err(|error| {
+        OptiwiseError::Parse {
+            kind: ProfileKind::Counts,
+            error,
+        }
+    })?;
     // Rebuild the linked view for disassembly/line info.
-    let mut load = LoadConfig::default();
-    load.aslr_seed = Some(0xa5a5);
-    let image = ProcessImage::load(&modules, &load).map_err(|e| e.to_string())?;
+    let load = LoadConfig {
+        aslr_seed: Some(0xa5a5),
+        ..LoadConfig::default()
+    };
+    let image = ProcessImage::load(&modules, &load)?;
     let linked: Vec<Module> = image.modules.iter().map(|m| m.linked.clone()).collect();
-    let analysis = Analysis::new(
-        &linked,
-        &samples,
-        &counts,
-        AnalysisOptions {
-            merge_threshold: opts.merge_threshold,
-        },
-    );
+    let analysis_opts = AnalysisOptions {
+        merge_threshold: opts.merge_threshold,
+    };
+    // Same recovery ladder as the live pipeline: truncated counts are
+    // discarded and the analysis degrades, unless partials are disallowed.
+    let analysis = match &counts.truncated {
+        Some(reason) if opts.strict || !opts.allow_partial => {
+            return Err(OptiwiseError::Truncated {
+                pass: Pass::Instrumentation,
+                reason: reason.clone(),
+            });
+        }
+        Some(reason) => {
+            eprintln!(
+                "optiwise: counts profile truncated ({reason}); \
+                 degrading to sampling-only analysis"
+            );
+            let mut analysis = Analysis::sampling_only(&linked, &samples, analysis_opts)?;
+            analysis.diagnostics.counts_truncated = Some(reason.clone());
+            analysis
+        }
+        None => {
+            match &samples.truncated {
+                Some(reason) if opts.strict || !opts.allow_partial => {
+                    return Err(OptiwiseError::Truncated {
+                        pass: Pass::Sampling,
+                        reason: reason.clone(),
+                    });
+                }
+                _ => {}
+            }
+            Analysis::try_new(&linked, &samples, &counts, analysis_opts)?
+        }
+    };
+    if opts.strict && analysis.diagnostics.diverged(DEFAULT_DIVERGENCE_THRESHOLD) {
+        return Err(OptiwiseError::Divergence {
+            score: analysis.diagnostics.divergence_score,
+            threshold: DEFAULT_DIVERGENCE_THRESHOLD,
+            summary: analysis.diagnostics.summary(),
+        });
+    }
     emit(opts, &report::full_report(&analysis, opts.top))
 }
 
-fn cmd_annotate(opts: &Options) -> Result<(), String> {
+fn cmd_annotate(opts: &Options) -> Result<(), OptiwiseError> {
     let func = opts
         .function
         .as_deref()
-        .ok_or("annotate needs --function NAME")?
+        .ok_or_else(|| OptiwiseError::Usage("annotate needs --function NAME".into()))?
         .to_string();
     let modules = build_workload(opts)?;
-    let run = run_optiwise(&modules, &pipeline_config(opts)).map_err(|e| e.to_string())?;
+    let run = run_optiwise(&modules, &pipeline_config(opts))?;
     let rows = run
         .analysis
         .annotate_function(module_of(&run.analysis, &func), &func);
     if rows.is_empty() {
-        return Err(format!("function `{func}` not found or never executed"));
+        return Err(OptiwiseError::Usage(format!(
+            "function `{func}` not found or never executed"
+        )));
     }
     emit(opts, &report::annotate(&rows, run.analysis.total_cycles))
 }
+
+const USAGE: &str = "\
+usage: optiwise <command> [options] [workload]
+commands:
+  check                 end-to-end self test
+  list                  list registered workloads
+  run <workload>        sample + instrument + fused report
+  sample <workload>     sampling pass; write profile text
+  instrument <workload> instrumentation pass; write counts text
+  analyze <workload> --samples F --counts F
+  annotate <workload> --function NAME
+options:
+  --size test|train|ref   --arch xeon|neoverse   --period N
+  --attribution interrupt|precise|predecessor
+  --no-stack-profiling    --merge-threshold N|off
+  --seed N  --top N  --out FILE  --csv-dir DIR
+  --strict                fail on truncation or run divergence
+  --allow-partial / --no-partial
+                          accept or reject truncated profiles (default: accept)
+  --inject SPEC           deterministic fault injection, SPEC is a comma list:
+                          seed=N, drop-samples=PCT, abort-sample=N,
+                          truncate-counts=N, desync-seed=N, corrupt
+exit codes:
+  0 ok   2 load/disasm   3 exec fault   4 truncated   5 divergence
+  6 parse error   1 usage/other
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "check" => cmd_check(),
+        "list" => cmd_list(),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        cmd => match parse_options(rest) {
+            Err(e) => Err(OptiwiseError::Usage(e)),
+            Ok(opts) => match cmd {
+                "run" => cmd_run(&opts),
+                "sample" => cmd_sample(&opts),
+                "instrument" => cmd_instrument(&opts),
+                "analyze" => cmd_analyze(&opts),
+                "annotate" => cmd_annotate(&opts),
+                other => Err(OptiwiseError::Usage(format!(
+                    "unknown command `{other}`\n{USAGE}"
+                ))),
+            },
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("optiwise: {error}");
+            ExitCode::from(error.exit_code())
+        }
+    }
+}
+
 
 #[cfg(test)]
 mod tests {
@@ -415,56 +598,24 @@ mod tests {
         assert_eq!(o.merge_threshold, Some(7));
         assert!(parse(&["--merge-threshold", "many"]).is_err());
     }
-}
 
-const USAGE: &str = "\
-usage: optiwise <command> [options] [workload]
-commands:
-  check                 end-to-end self test
-  list                  list registered workloads
-  run <workload>        sample + instrument + fused report
-  sample <workload>     sampling pass; write profile text
-  instrument <workload> instrumentation pass; write counts text
-  analyze <workload> --samples F --counts F
-  annotate <workload> --function NAME
-options:
-  --size test|train|ref   --arch xeon|neoverse   --period N
-  --attribution interrupt|precise|predecessor
-  --no-stack-profiling    --merge-threshold N|off
-  --seed N  --top N  --out FILE  --csv-dir DIR
-";
-
-fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first() else {
-        eprint!("{USAGE}");
-        return ExitCode::FAILURE;
-    };
-    let rest = &args[1..];
-    let result = match command.as_str() {
-        "check" => cmd_check(),
-        "list" => cmd_list(),
-        "help" | "--help" | "-h" => {
-            print!("{USAGE}");
-            Ok(())
-        }
-        cmd => match parse_options(rest) {
-            Err(e) => Err(e),
-            Ok(opts) => match cmd {
-                "run" => cmd_run(&opts),
-                "sample" => cmd_sample(&opts),
-                "instrument" => cmd_instrument(&opts),
-                "analyze" => cmd_analyze(&opts),
-                "annotate" => cmd_annotate(&opts),
-                other => Err(format!("unknown command `{other}`\n{USAGE}")),
-            },
-        },
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("optiwise: {message}");
-            ExitCode::FAILURE
-        }
+    #[test]
+    fn robustness_flags_parse() {
+        let o = parse(&["--strict", "mcf_like"]).unwrap();
+        assert!(o.strict);
+        assert!(o.allow_partial);
+        let o = parse(&["--no-partial", "mcf_like"]).unwrap();
+        assert!(!o.allow_partial);
+        let o = parse(&[
+            "--inject",
+            "seed=7,drop-samples=25,truncate-counts=5000,corrupt",
+            "mcf_like",
+        ])
+        .unwrap();
+        assert_eq!(o.fault.seed, 7);
+        assert_eq!(o.fault.drop_sample_pct, 25);
+        assert_eq!(o.fault.truncate_counts_at, Some(5000));
+        assert!(o.fault.corrupt_text);
+        assert!(parse(&["--inject", "explode=now"]).is_err());
     }
 }

@@ -122,8 +122,79 @@ fn run_exports_csv_tables() {
 fn unknown_workload_fails_gracefully() {
     let out = optiwise(&["run", "not_a_workload"]);
     assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("unknown workload"), "{stderr}");
+}
+
+#[test]
+fn injected_truncation_degrades_run_but_fails_strict() {
+    // Default (lenient) mode: the report still appears, labelled degraded.
+    let out = optiwise(&[
+        "run", "loop_merge", "--size", "test",
+        "--inject", "truncate-counts=2000",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("DEGRADED"), "{stdout}");
+    assert!(stdout.contains("truncated"), "{stdout}");
+
+    // Strict mode: same fault is a hard error with the truncation exit code.
+    let out = optiwise(&[
+        "run", "loop_merge", "--size", "test", "--strict",
+        "--inject", "truncate-counts=2000",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("truncated"), "{stderr}");
+}
+
+#[test]
+fn corrupted_profile_exits_with_parse_code() {
+    let dir = std::env::temp_dir().join("optiwise-corrupt-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let samples = dir.join("samples.txt");
+    let counts = dir.join("counts.txt");
+    let out = optiwise(&[
+        "sample", "stack_attr", "--size", "test",
+        "--out", samples.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    // Emit a deterministically corrupted counts profile...
+    let out = optiwise(&[
+        "instrument", "stack_attr", "--size", "test",
+        "--inject", "corrupt",
+        "--out", counts.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    // ...and analyzing it fails with the parse exit code and a line number.
+    let out = optiwise(&[
+        "analyze", "stack_attr", "--size", "test",
+        "--samples", samples.to_str().unwrap(),
+        "--counts", counts.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
+    assert!(stderr.contains("line"), "{stderr}");
+}
+
+#[test]
+fn desynced_seeds_fail_strict_run_with_divergence_code() {
+    // `rand_walk` draws its control flow from the seeded rand syscall, so
+    // desyncing the instrumentation run's seed makes the two passes observe
+    // different executions — exactly what strict mode must reject.
+    let out = optiwise(&[
+        "run", "rand_walk", "--size", "test", "--strict",
+        "--inject", "desync-seed=99",
+    ]);
+    assert_eq!(out.status.code(), Some(5), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("divergence"), "{stderr}");
+
+    // Without the fault the same strict run is clean.
+    let out = optiwise(&["run", "rand_walk", "--size", "test", "--strict"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
 }
 
 #[test]

@@ -12,9 +12,73 @@ use wiser_cfg::{build_cfg, find_all_loops, Cfg, LoopForest, MERGE_THRESHOLD};
 use wiser_dbi::CountsProfile;
 use wiser_isa::{Disassembly, Module, INSN_BYTES};
 use wiser_sampler::SampleProfile;
-use wiser_sim::{CodeLoc, ModuleId};
+use wiser_sim::{CodeLoc, ModuleId, TruncationReason};
 
+use crate::error::OptiwiseError;
 use crate::types::{FuncStats, InsnRow, LineStats, LoopStats};
+
+/// Default tolerance for the divergence score above which the two profiling
+/// runs are considered to have observed different executions. Healthy runs
+/// of the same deterministic program score well below this; a mismatched
+/// `rand_seed` between passes scores far above it.
+pub const DEFAULT_DIVERGENCE_THRESHOLD: f64 = 0.02;
+
+/// Whether the analysis had both profiles or fell back to samples alone.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnalysisMode {
+    /// Both profiles joined: exact counts, CPI everywhere.
+    Full,
+    /// Degraded: the instrumentation profile was unusable, so results come
+    /// from sampling alone — cycle attribution holds but execution counts,
+    /// CPI and iteration counts are unavailable.
+    SamplingOnly,
+}
+
+/// Reconciliation diagnostics from joining the two profiles (§IV-F assumes
+/// both runs execute the same instruction stream; this is the check).
+#[derive(Clone, Debug, Default)]
+pub struct JoinDiagnostics {
+    /// Samples landing on instructions the counts run says never executed.
+    pub phantom_samples: u64,
+    /// Cycle weight carried by those phantom samples.
+    pub phantom_cycles: u64,
+    /// Samples referencing module ids outside the analyzed module set.
+    pub unknown_module_samples: u64,
+    /// Instructions the sampling run retired (0 when the profile predates
+    /// this field).
+    pub sampled_retired: u64,
+    /// Instructions the instrumentation run counted.
+    pub counted_insns: u64,
+    /// Relative disagreement between the two instruction totals, when both
+    /// are trustworthy (neither run truncated, retired known).
+    pub insn_total_rel_error: f64,
+    /// Truncation marker of the sampling profile, if any.
+    pub samples_truncated: Option<TruncationReason>,
+    /// Truncation marker of the counts profile, if any.
+    pub counts_truncated: Option<TruncationReason>,
+    /// The combined divergence score: the worst of the phantom-cycle
+    /// fraction, unknown-module fraction and instruction-total error.
+    /// 0 = profiles agree perfectly.
+    pub divergence_score: f64,
+    /// Human-readable notes on every anomaly that contributed.
+    pub warnings: Vec<String>,
+}
+
+impl JoinDiagnostics {
+    /// Whether the score exceeds `threshold`.
+    pub fn diverged(&self, threshold: f64) -> bool {
+        self.divergence_score > threshold
+    }
+
+    /// One-line summary of the contributors, for error messages.
+    pub fn summary(&self) -> String {
+        if self.warnings.is_empty() {
+            "profiles agree".to_string()
+        } else {
+            self.warnings.join("; ")
+        }
+    }
+}
 
 /// Analysis options.
 #[derive(Clone, Copy, Debug)]
@@ -67,25 +131,76 @@ pub struct Analysis {
     pub wall_cycles: u64,
     /// Total dynamic instructions from instrumentation.
     pub total_insns: u64,
+    /// Whether this is a full join or a degraded sampling-only analysis.
+    pub mode: AnalysisMode,
+    /// Reconciliation diagnostics from the join.
+    pub diagnostics: JoinDiagnostics,
 }
 
 impl Analysis {
-    /// Runs the combined analysis.
-    ///
-    /// `modules` must be the linked modules of the instrumented process, in
-    /// [`ModuleId`] order (both profiling runs see identical module-relative
-    /// layouts, so either run's modules work).
+    /// Runs the combined analysis. See [`Analysis::try_new`].
     ///
     /// # Panics
     ///
-    /// Panics if a module's text fails to disassemble; linked modules
-    /// produced by the loader always disassemble.
+    /// Panics if the analysis fails (a module's text does not disassemble);
+    /// linked modules produced by the loader always disassemble. Prefer
+    /// [`Analysis::try_new`] for untrusted inputs.
     pub fn new(
         modules: &[Module],
         samples: &SampleProfile,
         counts: &CountsProfile,
         opts: AnalysisOptions,
     ) -> Analysis {
+        Analysis::try_new(modules, samples, counts, opts).expect("analysis failed")
+    }
+
+    /// Runs the combined analysis.
+    ///
+    /// `modules` must be the linked modules of the instrumented process, in
+    /// [`ModuleId`] order (both profiling runs see identical module-relative
+    /// layouts, so either run's modules work).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptiwiseError::Disasm`] if a module's text fails to
+    /// disassemble.
+    pub fn try_new(
+        modules: &[Module],
+        samples: &SampleProfile,
+        counts: &CountsProfile,
+        opts: AnalysisOptions,
+    ) -> Result<Analysis, OptiwiseError> {
+        Analysis::build(modules, samples, counts, opts, AnalysisMode::Full)
+    }
+
+    /// Degraded-mode analysis from the sampling profile alone, for when the
+    /// instrumentation run failed and no usable counts exist. Cycle
+    /// attribution (functions, hottest instructions) still works; execution
+    /// counts, CPI and loop iteration counts are all zero/absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptiwiseError::Disasm`] if a module's text fails to
+    /// disassemble.
+    pub fn sampling_only(
+        modules: &[Module],
+        samples: &SampleProfile,
+        opts: AnalysisOptions,
+    ) -> Result<Analysis, OptiwiseError> {
+        let empty = CountsProfile {
+            module_names: modules.iter().map(|m| m.name.clone()).collect(),
+            ..CountsProfile::default()
+        };
+        Analysis::build(modules, samples, &empty, opts, AnalysisMode::SamplingOnly)
+    }
+
+    fn build(
+        modules: &[Module],
+        samples: &SampleProfile,
+        counts: &CountsProfile,
+        opts: AnalysisOptions,
+        mode: AnalysisMode,
+    ) -> Result<Analysis, OptiwiseError> {
         // Per-module structure.
         let mods: Vec<ModuleAnalysis> = modules
             .iter()
@@ -93,15 +208,18 @@ impl Analysis {
             .map(|(i, m)| {
                 let cfg = build_cfg(ModuleId(i as u32), m, counts);
                 let forests = find_all_loops(&cfg, opts.merge_threshold);
-                ModuleAnalysis {
+                Ok(ModuleAnalysis {
                     name: m.name.clone(),
-                    disasm: Disassembly::of_module(m).expect("linked module disassembles"),
+                    disasm: Disassembly::of_module(m).map_err(|e| OptiwiseError::Disasm {
+                        module: m.name.clone(),
+                        message: e.to_string(),
+                    })?,
                     cfg,
                     forests,
                     module: m.clone(),
-                }
+                })
             })
-            .collect();
+            .collect::<Result<_, OptiwiseError>>()?;
 
         let insn_counts: HashMap<CodeLoc, u64> = counts.insn_counts();
         let mut insn_samples: HashMap<CodeLoc, (u64, u64)> = HashMap::new();
@@ -344,7 +462,9 @@ impl Analysis {
         }
         let loops = sorted;
 
-        Analysis {
+        let diagnostics = reconcile(&mods, samples, counts, &insn_counts, mode);
+
+        Ok(Analysis {
             modules: mods,
             insn_counts,
             insn_samples,
@@ -354,7 +474,9 @@ impl Analysis {
             total_cycles,
             wall_cycles: samples.total_cycles,
             total_insns,
-        }
+            mode,
+            diagnostics,
+        })
     }
 
     /// Function table, hottest (self cycles) first.
@@ -443,6 +565,127 @@ impl Analysis {
     }
 }
 
+/// The divergence-detection pass (§IV-F): cross-checks the two profiles
+/// after the join and scores how badly they disagree.
+///
+/// Three independent signals feed the score, each normalized to a fraction:
+///
+/// * **phantom cycles** — sample weight on instructions whose execution
+///   count is zero. Sampling skid legitimately displaces samples by an
+///   instruction or two, but displaced samples still land on *executed*
+///   code; weight on never-executed code means the runs took different
+///   paths.
+/// * **unknown modules** — samples referencing module ids outside the
+///   analyzed set (a profile from a different program or module list).
+/// * **instruction-total error** — the sampling run's retired-instruction
+///   count versus the instrumentation run's exact total. For identical
+///   deterministic executions these agree exactly; this term is skipped
+///   when either run was truncated (the totals are then incomparable by
+///   construction) or when the sample profile predates the `retired` field.
+fn reconcile(
+    mods: &[ModuleAnalysis],
+    samples: &SampleProfile,
+    counts: &CountsProfile,
+    insn_counts: &HashMap<CodeLoc, u64>,
+    mode: AnalysisMode,
+) -> JoinDiagnostics {
+    let mut d = JoinDiagnostics {
+        sampled_retired: samples.retired,
+        counted_insns: counts.total_insns(),
+        samples_truncated: samples.truncated.clone(),
+        counts_truncated: counts.truncated.clone(),
+        ..JoinDiagnostics::default()
+    };
+    if let Some(r) = &d.samples_truncated {
+        d.warnings.push(format!("sampling run truncated: {r}"));
+    }
+    if let Some(r) = &d.counts_truncated {
+        d.warnings.push(format!("instrumentation run truncated: {r}"));
+    }
+    if mode == AnalysisMode::SamplingOnly {
+        // No counts to reconcile against; the caller already knows this is
+        // degraded output.
+        d.warnings
+            .push("degraded mode: no instrumentation profile, counts and CPI unavailable".into());
+        return d;
+    }
+
+    let mut total_weight = 0u64;
+    for s in &samples.samples {
+        total_weight += s.weight;
+        if (s.loc.module.0 as usize) >= mods.len() {
+            d.unknown_module_samples += 1;
+            continue;
+        }
+        let executed = |offset: u64| {
+            insn_counts
+                .get(&CodeLoc {
+                    module: s.loc.module,
+                    offset,
+                })
+                .copied()
+                .unwrap_or(0)
+                > 0
+        };
+        // Sampling skid displaces a sample at most one instruction past the
+        // stalling one, so a sample whose immediate predecessor executed is
+        // legitimate even if its own count is zero (e.g. the never-taken
+        // fall-through after a loop's back edge).
+        let skid_excused =
+            s.loc.offset >= INSN_BYTES && executed(s.loc.offset - INSN_BYTES);
+        if !executed(s.loc.offset) && !skid_excused {
+            d.phantom_samples += 1;
+            d.phantom_cycles += s.weight;
+        }
+    }
+
+    let phantom_frac = if total_weight > 0 {
+        d.phantom_cycles as f64 / total_weight as f64
+    } else {
+        0.0
+    };
+    let unknown_frac = if samples.samples.is_empty() {
+        0.0
+    } else {
+        d.unknown_module_samples as f64 / samples.samples.len() as f64
+    };
+    let totals_comparable =
+        d.sampled_retired > 0 && d.samples_truncated.is_none() && d.counts_truncated.is_none();
+    if totals_comparable {
+        d.insn_total_rel_error = (d.sampled_retired as f64 - d.counted_insns as f64).abs()
+            / d.sampled_retired as f64;
+    }
+
+    if phantom_frac > 0.0 {
+        d.warnings.push(format!(
+            "{} samples ({:.1}% of cycle weight) on instructions the counts run never executed",
+            d.phantom_samples,
+            100.0 * phantom_frac
+        ));
+    }
+    if d.unknown_module_samples > 0 {
+        d.warnings.push(format!(
+            "{} samples reference modules outside the analyzed set",
+            d.unknown_module_samples
+        ));
+    }
+    if d.insn_total_rel_error > 0.0 {
+        d.warnings.push(format!(
+            "instruction totals disagree: sampled run retired {} vs counted {} ({:.2}% off)",
+            d.sampled_retired,
+            d.counted_insns,
+            100.0 * d.insn_total_rel_error
+        ));
+    }
+    if samples.samples.is_empty() {
+        d.warnings
+            .push("sampling profile contains no samples".into());
+    }
+
+    d.divergence_score = phantom_frac.max(unknown_frac).max(d.insn_total_rel_error);
+    d
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,8 +697,10 @@ mod tests {
     fn analyze(src: &str, period: u64) -> Analysis {
         let module = assemble("t", src).unwrap();
         // Different ASLR seeds for the two runs, as in real life.
-        let mut cfg_a = LoadConfig::default();
-        cfg_a.aslr_seed = Some(11);
+        let cfg_a = LoadConfig {
+            aslr_seed: Some(11),
+            ..LoadConfig::default()
+        };
         let image_a = ProcessImage::load(std::slice::from_ref(&module), &cfg_a).unwrap();
         let (samples, _) = sample_run(
             &image_a,
@@ -465,8 +710,10 @@ mod tests {
             50_000_000,
         )
         .unwrap();
-        let mut cfg_b = LoadConfig::default();
-        cfg_b.aslr_seed = Some(99);
+        let cfg_b = LoadConfig {
+            aslr_seed: Some(99),
+            ..LoadConfig::default()
+        };
         let image_b = ProcessImage::load(std::slice::from_ref(&module), &cfg_b).unwrap();
         let counts = instrument_run(
             &image_b,

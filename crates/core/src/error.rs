@@ -1,0 +1,224 @@
+//! The unified error taxonomy of the OptiWISE pipeline.
+//!
+//! Every failure mode of the two profiling runs and the join has one typed
+//! variant here, and every variant maps to a distinct CLI exit code so
+//! scripts driving the profiler can react to *what* failed, not just that
+//! something did.
+
+use std::error::Error;
+use std::fmt;
+
+use wiser_sim::{ProfileParseError, SimError, TruncationReason};
+
+/// Which of the two profiling passes an error concerns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pass {
+    /// The sampling run (timing model + perf-style sampler).
+    Sampling,
+    /// The instrumentation run (DBI engine).
+    Instrumentation,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pass::Sampling => "sampling",
+            Pass::Instrumentation => "instrumentation",
+        })
+    }
+}
+
+/// Which profile text format a parse error concerns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProfileKind {
+    /// `optiwise-samples v1` (sampling profile).
+    Samples,
+    /// `optiwise-counts v1` (instrumentation profile).
+    Counts,
+}
+
+impl fmt::Display for ProfileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ProfileKind::Samples => "samples",
+            ProfileKind::Counts => "counts",
+        })
+    }
+}
+
+/// Everything that can go wrong in the OptiWISE pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OptiwiseError {
+    /// The loader rejected the module set.
+    Load(String),
+    /// A run faulted during execution and recovery was not permitted.
+    Exec {
+        /// Program counter at the fault.
+        pc: u64,
+        /// Description of the fault.
+        message: String,
+    },
+    /// A run exhausted its instruction budget and recovery was not
+    /// permitted.
+    InsnLimit(u64),
+    /// A pass was cut short and the configuration does not allow partial
+    /// profiles (`--strict` / `allow_partial = false`).
+    Truncated {
+        /// Which pass was cut short.
+        pass: Pass,
+        /// Why it stopped.
+        reason: TruncationReason,
+    },
+    /// A profile text file failed to parse.
+    Parse {
+        /// Which profile format.
+        kind: ProfileKind,
+        /// The parse failure with its line number.
+        error: ProfileParseError,
+    },
+    /// The two profiles disagree beyond the configured tolerance — the runs
+    /// likely observed different control flow (§IV-F's assumption broken).
+    Divergence {
+        /// The computed divergence score (0 = perfect agreement).
+        score: f64,
+        /// The threshold that was exceeded.
+        threshold: f64,
+        /// Human-readable summary of what disagreed.
+        summary: String,
+    },
+    /// A linked module failed to disassemble.
+    Disasm {
+        /// Module name.
+        module: String,
+        /// Description of the failure.
+        message: String,
+    },
+    /// Bad invocation (CLI usage errors).
+    Usage(String),
+    /// Filesystem I/O failed.
+    Io(String),
+}
+
+impl OptiwiseError {
+    /// The process exit code for this error, one per failure class:
+    /// 2 = load/disassembly, 3 = execution fault, 4 = instruction limit or
+    /// disallowed truncation, 5 = run divergence, 6 = profile parse error,
+    /// 1 = everything else (usage, I/O).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            OptiwiseError::Load(_) | OptiwiseError::Disasm { .. } => 2,
+            OptiwiseError::Exec { .. } => 3,
+            OptiwiseError::InsnLimit(_) | OptiwiseError::Truncated { .. } => 4,
+            OptiwiseError::Divergence { .. } => 5,
+            OptiwiseError::Parse { .. } => 6,
+            OptiwiseError::Usage(_) | OptiwiseError::Io(_) => 1,
+        }
+    }
+}
+
+impl fmt::Display for OptiwiseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptiwiseError::Load(msg) => write!(f, "load error: {msg}"),
+            OptiwiseError::Exec { pc, message } => {
+                write!(f, "execution fault at {pc:#x}: {message}")
+            }
+            OptiwiseError::InsnLimit(limit) => {
+                write!(f, "instruction limit of {limit} exhausted before exit")
+            }
+            OptiwiseError::Truncated { pass, reason } => {
+                write!(f, "{pass} run truncated: {reason} (partial profiles disallowed)")
+            }
+            OptiwiseError::Parse { kind, error } => write!(f, "{kind} {error}"),
+            OptiwiseError::Divergence {
+                score,
+                threshold,
+                summary,
+            } => write!(
+                f,
+                "run divergence detected: score {score:.4} exceeds threshold {threshold:.4} ({summary})"
+            ),
+            OptiwiseError::Disasm { module, message } => {
+                write!(f, "module `{module}` failed to disassemble: {message}")
+            }
+            OptiwiseError::Usage(msg) => write!(f, "{msg}"),
+            OptiwiseError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for OptiwiseError {}
+
+impl From<SimError> for OptiwiseError {
+    fn from(e: SimError) -> OptiwiseError {
+        match e {
+            SimError::Load(msg) => OptiwiseError::Load(msg),
+            SimError::Exec { pc, message } => OptiwiseError::Exec { pc, message },
+            SimError::InsnLimit(n) => OptiwiseError::InsnLimit(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct_per_class() {
+        let errors = [
+            (OptiwiseError::Load("x".into()), 2),
+            (
+                OptiwiseError::Disasm {
+                    module: "m".into(),
+                    message: "y".into(),
+                },
+                2,
+            ),
+            (
+                OptiwiseError::Exec {
+                    pc: 0,
+                    message: "z".into(),
+                },
+                3,
+            ),
+            (OptiwiseError::InsnLimit(5), 4),
+            (
+                OptiwiseError::Truncated {
+                    pass: Pass::Instrumentation,
+                    reason: TruncationReason::InsnLimit(5),
+                },
+                4,
+            ),
+            (
+                OptiwiseError::Divergence {
+                    score: 0.5,
+                    threshold: 0.02,
+                    summary: "s".into(),
+                },
+                5,
+            ),
+            (
+                OptiwiseError::Parse {
+                    kind: ProfileKind::Counts,
+                    error: ProfileParseError::at_line(3, "bad"),
+                },
+                6,
+            ),
+            (OptiwiseError::Usage("u".into()), 1),
+            (OptiwiseError::Io("io".into()), 1),
+        ];
+        for (e, code) in errors {
+            assert_eq!(e.exit_code(), code, "{e}");
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn sim_errors_convert() {
+        assert_eq!(
+            OptiwiseError::from(SimError::Load("bad".into())),
+            OptiwiseError::Load("bad".into())
+        );
+        assert_eq!(OptiwiseError::from(SimError::InsnLimit(9)).exit_code(), 4);
+    }
+}

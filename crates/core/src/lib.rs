@@ -21,12 +21,17 @@
 
 mod analysis;
 mod blocks;
+mod error;
 pub mod export;
 pub mod report;
 mod runner;
 mod types;
 
-pub use analysis::{Analysis, AnalysisOptions, ModuleAnalysis};
+pub use analysis::{
+    Analysis, AnalysisMode, AnalysisOptions, JoinDiagnostics, ModuleAnalysis,
+    DEFAULT_DIVERGENCE_THRESHOLD,
+};
 pub use blocks::{block_stats, blocks_table, BlockStats};
-pub use runner::{run_optiwise, OptiwiseConfig, OptiwiseRun};
+pub use error::{OptiwiseError, Pass, ProfileKind};
+pub use runner::{run_optiwise, OptiwiseConfig, OptiwiseRun, RetryPolicy};
 pub use types::{FuncStats, InsnRow, LineStats, LoopStats};

@@ -2,7 +2,7 @@
 
 use std::fmt::Write as _;
 
-use crate::analysis::Analysis;
+use crate::analysis::{Analysis, AnalysisMode};
 use crate::types::InsnRow;
 
 fn pct(part: u64, whole: u64) -> f64 {
@@ -122,7 +122,40 @@ pub fn annotate(rows: &[InsnRow], total_cycles: u64) -> String {
     out
 }
 
-/// The full default report: summary, functions, loops, lines.
+/// Renders the run-health block: analysis mode, truncation markers, the
+/// divergence score and any reconciliation warnings. Empty for a clean
+/// full-mode run with nothing to report.
+pub fn diagnostics_section(analysis: &Analysis) -> String {
+    let d = &analysis.diagnostics;
+    let mut out = String::new();
+    if analysis.mode == AnalysisMode::SamplingOnly {
+        let _ = writeln!(
+            out,
+            "!! DEGRADED: sampling-only analysis (no instruction counts; \
+             execution counts, IPC and CPI columns are unavailable)"
+        );
+    }
+    if let Some(reason) = &d.samples_truncated {
+        let _ = writeln!(out, "!! sampling run truncated: {reason}");
+    }
+    if let Some(reason) = &d.counts_truncated {
+        let _ = writeln!(out, "!! instrumentation run truncated: {reason}");
+    }
+    if d.divergence_score > 0.0 {
+        let _ = writeln!(
+            out,
+            "divergence score: {:.4} ({})",
+            d.divergence_score,
+            d.summary()
+        );
+    }
+    for w in &d.warnings {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    out
+}
+
+/// The full default report: summary, run health, functions, loops, lines.
 pub fn full_report(analysis: &Analysis, limit: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== OptiWISE report ==");
@@ -137,6 +170,10 @@ pub fn full_report(analysis: &Analysis, limit: usize) -> String {
             0.0
         }
     );
+    let diag = diagnostics_section(analysis);
+    if !diag.is_empty() {
+        let _ = writeln!(out, "\n-- run health --\n{diag}");
+    }
     let _ = writeln!(out, "\n-- functions --\n{}", functions_table(analysis, limit));
     let _ = writeln!(out, "-- loops --\n{}", loops_table(analysis, limit));
     let _ = writeln!(out, "-- lines --\n{}", lines_table(analysis, limit));

@@ -4,13 +4,41 @@
 //! sampling run on the timing model and the instrumentation run on the DBI
 //! engine, then fuses both profiles into an [`Analysis`] (figure 3's five
 //! components end to end).
+//!
+//! The runner is fault-tolerant: a pass cut short by its instruction budget
+//! is retried with an escalated budget (bounded by [`RetryPolicy`]); an
+//! instrumentation pass that stays unusable degrades the analysis to
+//! sampling-only instead of discarding the run; and the post-join
+//! divergence check can fail the pipeline in strict mode.
 
 use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
 use wiser_isa::Module;
 use wiser_sampler::{sample_run, SampleProfile, SamplerConfig};
-use wiser_sim::{CoreConfig, LoadConfig, ProcessImage, SimError, TimedRun};
+use wiser_sim::{CoreConfig, FaultPlan, LoadConfig, ProcessImage, TimedRun};
 
-use crate::analysis::{Analysis, AnalysisOptions};
+use crate::analysis::{Analysis, AnalysisOptions, DEFAULT_DIVERGENCE_THRESHOLD};
+use crate::error::{OptiwiseError, Pass};
+
+/// Bounded re-run policy for passes cut short by their instruction budget.
+///
+/// Only budget exhaustion is retried — execution faults and injected aborts
+/// are deterministic and would recur.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Re-runs allowed per pass after the first attempt.
+    pub max_retries: u32,
+    /// Budget multiplier applied on each retry.
+    pub budget_multiplier: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 1,
+            budget_multiplier: 4,
+        }
+    }
+}
 
 /// Configuration of the whole OptiWISE pipeline.
 #[derive(Clone, Debug)]
@@ -31,6 +59,18 @@ pub struct OptiwiseConfig {
     /// ASLR seeds for the two runs; distinct values prove the analysis is
     /// keyed on module-relative addresses.
     pub aslr_seeds: (u64, u64),
+    /// Fail instead of degrading: truncated profiles and above-threshold
+    /// divergence become errors.
+    pub strict: bool,
+    /// Permit truncated/partial profiles to flow into the analysis (ignored
+    /// — treated as `false` — when `strict` is set).
+    pub allow_partial: bool,
+    /// Divergence score above which the run is considered inconsistent.
+    pub divergence_threshold: f64,
+    /// Re-run policy for budget-truncated passes.
+    pub retry: RetryPolicy,
+    /// Deterministic fault injection applied to both passes (testing only).
+    pub fault: FaultPlan,
 }
 
 impl Default for OptiwiseConfig {
@@ -43,6 +83,11 @@ impl Default for OptiwiseConfig {
             rand_seed: 0,
             max_insns: 200_000_000,
             aslr_seeds: (0x5a5a, 0xa5a5),
+            strict: false,
+            allow_partial: true,
+            divergence_threshold: DEFAULT_DIVERGENCE_THRESHOLD,
+            retry: RetryPolicy::default(),
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -57,13 +102,32 @@ pub struct OptiwiseRun {
     pub counts: CountsProfile,
     /// Timing statistics of the sampled run.
     pub timed: TimedRun,
+    /// Attempts used per pass (1 = no retries needed): `(sampling,
+    /// instrumentation)`.
+    pub attempts: (u32, u32),
 }
 
 /// Runs the full OptiWISE pipeline on a set of modules.
 ///
+/// Recovery behaviour, in order:
+///
+/// 1. A pass truncated by its instruction budget is re-run with the budget
+///    escalated per `config.retry` (injected aborts and execution faults
+///    are deterministic and never retried).
+/// 2. A sampling profile that stays truncated is still used (partial
+///    cycles), unless `strict` or `!allow_partial`.
+/// 3. A counts profile that stays truncated is *discarded* — truncated
+///    counts systematically undercount late code, which would silently
+///    skew every CPI — and the analysis degrades to sampling-only, again
+///    unless `strict` or `!allow_partial`.
+/// 4. In strict mode, a post-join divergence score above
+///    `config.divergence_threshold` fails the run.
+///
 /// # Errors
 ///
-/// Propagates loader and simulator errors from either run.
+/// Returns [`OptiwiseError`]: loader/simulator failures from either run,
+/// [`OptiwiseError::Truncated`] when partial profiles are disallowed, and
+/// [`OptiwiseError::Divergence`] in strict mode.
 ///
 /// # Examples
 ///
@@ -93,45 +157,209 @@ pub struct OptiwiseRun {
 pub fn run_optiwise(
     modules: &[Module],
     config: &OptiwiseConfig,
-) -> Result<OptiwiseRun, SimError> {
-    // Run 1: sampling on the timing model.
-    let mut load_a = LoadConfig::default();
-    load_a.aslr_seed = Some(config.aslr_seeds.0);
-    let image_a = ProcessImage::load(modules, &load_a)?;
-    let (samples, timed) = sample_run(
-        &image_a,
-        config.rand_seed,
-        config.core,
-        config.sampler,
-        config.max_insns,
-    )?;
+) -> Result<OptiwiseRun, OptiwiseError> {
+    let allow_partial = config.allow_partial && !config.strict;
 
-    // Run 2: instrumentation, under a different layout.
-    let mut load_b = LoadConfig::default();
-    load_b.aslr_seed = Some(config.aslr_seeds.1);
-    let image_b = ProcessImage::load(modules, &load_b)?;
-    let dbi_cfg = DbiConfig {
-        rand_seed: config.rand_seed,
-        max_insns: config.max_insns,
-        ..config.dbi
+    // Run 1: sampling on the timing model, retrying on budget exhaustion.
+    let load_a = LoadConfig {
+        aslr_seed: Some(config.aslr_seeds.0),
+        ..LoadConfig::default()
     };
-    let counts = instrument_run(&image_b, &dbi_cfg)?;
+    let image_a = ProcessImage::load(modules, &load_a)?;
+    let mut sampler_cfg = config.sampler;
+    sampler_cfg.fault = config.fault;
+    let mut budget = config.max_insns;
+    let mut sample_attempts = 0u32;
+    let (samples, timed) = loop {
+        sample_attempts += 1;
+        let (samples, timed) = sample_run(
+            &image_a,
+            config.rand_seed,
+            config.core,
+            sampler_cfg,
+            budget,
+        )?;
+        match &samples.truncated {
+            Some(reason)
+                if reason.retryable() && sample_attempts <= config.retry.max_retries =>
+            {
+                budget = budget.saturating_mul(config.retry.budget_multiplier);
+            }
+            _ => break (samples, timed),
+        }
+    };
+    if let Some(reason) = &samples.truncated {
+        if !allow_partial {
+            return Err(OptiwiseError::Truncated {
+                pass: Pass::Sampling,
+                reason: reason.clone(),
+            });
+        }
+    }
+
+    // Run 2: instrumentation, under a different layout. The fault plan's
+    // desync seed (if any) deliberately runs this pass on different input.
+    let load_b = LoadConfig {
+        aslr_seed: Some(config.aslr_seeds.1),
+        ..LoadConfig::default()
+    };
+    let image_b = ProcessImage::load(modules, &load_b)?;
+    let dbi_rand_seed = config.fault.desync_rand_seed.unwrap_or(config.rand_seed);
+    let mut budget = config.max_insns;
+    let mut count_attempts = 0u32;
+    let counts = loop {
+        count_attempts += 1;
+        let dbi_cfg = DbiConfig {
+            rand_seed: dbi_rand_seed,
+            max_insns: budget,
+            fault: config.fault,
+            ..config.dbi
+        };
+        let counts = instrument_run(&image_b, &dbi_cfg)?;
+        match &counts.truncated {
+            Some(reason)
+                if reason.retryable() && count_attempts <= config.retry.max_retries =>
+            {
+                budget = budget.saturating_mul(config.retry.budget_multiplier);
+            }
+            _ => break counts,
+        }
+    };
 
     // Analysis over the linked modules (module-relative, layout agnostic).
     let linked: Vec<Module> = image_b.modules.iter().map(|m| m.linked.clone()).collect();
-    let analysis = Analysis::new(&linked, &samples, &counts, config.analysis);
+    let analysis = match &counts.truncated {
+        Some(reason) => {
+            if !allow_partial {
+                return Err(OptiwiseError::Truncated {
+                    pass: Pass::Instrumentation,
+                    reason: reason.clone(),
+                });
+            }
+            // Truncated counts undercount everything executed after the
+            // cut; fusing them would silently skew CPI. Degrade to a
+            // labelled sampling-only analysis instead.
+            let mut analysis = Analysis::sampling_only(&linked, &samples, config.analysis)?;
+            analysis.diagnostics.counts_truncated = Some(reason.clone());
+            analysis.diagnostics.warnings.push(format!(
+                "instrumentation run truncated ({reason}); counts profile discarded"
+            ));
+            analysis
+        }
+        None => Analysis::try_new(&linked, &samples, &counts, config.analysis)?,
+    };
+
+    if config.strict && analysis.diagnostics.diverged(config.divergence_threshold) {
+        return Err(OptiwiseError::Divergence {
+            score: analysis.diagnostics.divergence_score,
+            threshold: config.divergence_threshold,
+            summary: analysis.diagnostics.summary(),
+        });
+    }
+
     Ok(OptiwiseRun {
         analysis,
         samples,
         counts,
         timed,
+        attempts: (sample_attempts, count_attempts),
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::analysis::AnalysisMode;
+    use wiser_sim::TruncationReason;
     use wiser_isa::assemble;
+
+    fn counted_loop() -> Module {
+        assemble(
+            "cl",
+            r#"
+            .func _start global
+                li x8, 5000
+                li x9, 0
+            loop:
+                addi x1, x1, 1
+                subi x8, x8, 1
+                bne x8, x9, loop
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn budget_retry_recovers_truncated_passes() {
+        // ~15k instructions needed; first attempt's 8k budget truncates,
+        // the 4x-escalated retry completes.
+        let cfg = OptiwiseConfig {
+            max_insns: 8_000,
+            ..OptiwiseConfig::default()
+        };
+        let run = run_optiwise(&[counted_loop()], &cfg).unwrap();
+        assert_eq!(run.attempts, (2, 2));
+        assert_eq!(run.samples.truncated, None);
+        assert_eq!(run.counts.truncated, None);
+        assert_eq!(run.analysis.mode, AnalysisMode::Full);
+        assert_eq!(run.timed.exit_code, Some(5000));
+    }
+
+    #[test]
+    fn injected_counts_truncation_degrades_to_sampling_only() {
+        let mut cfg = OptiwiseConfig::default();
+        cfg.fault.truncate_counts_at = Some(5_000);
+        let run = run_optiwise(&[counted_loop()], &cfg).unwrap();
+        // Injected aborts are deterministic: no retry is spent on them.
+        assert_eq!(run.attempts.1, 1);
+        assert_eq!(run.counts.truncated, Some(TruncationReason::Injected(5_000)));
+        assert_eq!(run.analysis.mode, AnalysisMode::SamplingOnly);
+        assert!(run
+            .analysis
+            .diagnostics
+            .warnings
+            .iter()
+            .any(|w| w.contains("counts profile discarded")));
+        // Cycle attribution still works in degraded mode.
+        assert!(run.analysis.total_cycles > 0);
+        assert_eq!(run.analysis.total_insns, 0);
+    }
+
+    #[test]
+    fn strict_rejects_truncation_instead_of_degrading() {
+        let mut cfg = OptiwiseConfig {
+            strict: true,
+            ..OptiwiseConfig::default()
+        };
+        cfg.fault.truncate_counts_at = Some(5_000);
+        let err = match run_optiwise(&[counted_loop()], &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("strict run with injected truncation should fail"),
+        };
+        assert!(matches!(
+            err,
+            OptiwiseError::Truncated {
+                pass: Pass::Instrumentation,
+                ..
+            }
+        ));
+        assert_eq!(err.exit_code(), 4);
+    }
+
+    #[test]
+    fn strict_passes_on_healthy_run() {
+        let cfg = OptiwiseConfig {
+            strict: true,
+            ..OptiwiseConfig::default()
+        };
+        let run = run_optiwise(&[counted_loop()], &cfg).unwrap();
+        assert!(run.analysis.diagnostics.divergence_score < DEFAULT_DIVERGENCE_THRESHOLD);
+        assert_eq!(run.attempts, (1, 1));
+    }
 
     #[test]
     fn pipeline_end_to_end() {
@@ -169,7 +397,7 @@ mod tests {
             r#"
             .import busy
             .func _start global
-                li x8, 200
+                li x8, 2000
                 li x9, 0
             loop:
                 call busy
@@ -216,7 +444,7 @@ mod tests {
         // The callee still holds the lion's share of the time.
         assert!(spin_loop.cycles * 2 > caller_loop.cycles);
         // And its instruction total includes callee instructions via the
-        // callee table (200 calls × ~102 insns each).
-        assert!(caller_loop.total_insns > 200 * 100);
+        // callee table (2000 calls × ~102 insns each).
+        assert!(caller_loop.total_insns > 2000 * 100);
     }
 }

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 
 use wiser_isa::CtiKind;
-use wiser_sim::{CodeLoc, ModuleId};
+use wiser_sim::{CodeLoc, ModuleId, ProfileParseError, TruncationReason};
 
 /// Terminator classification of a DynamoRIO block, determining which edge
 /// instrumentation §IV-C inserts.
@@ -144,6 +144,10 @@ pub struct CountsProfile {
     pub stack_profiling: bool,
     /// Cost accounting for the overhead estimate.
     pub cost: InstrumentationCost,
+    /// Why the run stopped early, if it did not run to completion. A
+    /// truncated counts profile undercounts every block executed after the
+    /// cut; downstream analysis must not treat its totals as exact.
+    pub truncated: Option<TruncationReason>,
 }
 
 impl CountsProfile {
@@ -182,10 +186,14 @@ impl CountsProfile {
             self.cost.block_execs,
             self.cost.indirect_execs
         );
+        if let Some(reason) = &self.truncated {
+            out.push_str(&reason.to_profile_line());
+        }
         let _ = writeln!(out, "modules {}", self.module_names.len());
         for (i, name) in self.module_names.iter().enumerate() {
             let _ = writeln!(out, "module {i} {name}");
         }
+        let _ = writeln!(out, "blocks {}", self.blocks.len());
         for b in &self.blocks {
             let _ = write!(
                 out,
@@ -216,16 +224,31 @@ impl CountsProfile {
 
     /// Parses the text format produced by [`CountsProfile::to_text`].
     ///
+    /// Every record is validated structurally: block entries, targets and
+    /// callee sites must reference declared modules; block extents must not
+    /// overflow the address space; and the declared `modules`/`blocks`
+    /// counts must match what the file contains, so a file cut off
+    /// mid-write is rejected rather than silently parsed as a smaller
+    /// profile.
+    ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line.
-    pub fn from_text(text: &str) -> Result<CountsProfile, String> {
-        let mut lines = text.lines();
-        if lines.next() != Some("optiwise-counts v1") {
-            return Err("bad header".into());
+    /// Returns a [`ProfileParseError`] locating the first malformed line.
+    pub fn from_text(text: &str) -> Result<CountsProfile, ProfileParseError> {
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, "optiwise-counts v1")) => {}
+            Some((_, other)) => {
+                return Err(ProfileParseError::at_line(1, format!("bad header `{other}`")))
+            }
+            None => return Err(ProfileParseError::whole_file("empty profile")),
         }
         let mut p = CountsProfile::default();
-        for line in lines {
+        let mut declared_modules: Option<usize> = None;
+        let mut declared_blocks: Option<usize> = None;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let err = |msg: String| ProfileParseError::at_line(lineno, msg);
             let mut parts = line.split_whitespace();
             match parts.next() {
                 None => continue,
@@ -233,12 +256,8 @@ impl CountsProfile {
                     p.stack_profiling = parts.next() == Some("1");
                 }
                 Some("cost") => {
-                    let mut take = || -> Result<u64, String> {
-                        parts
-                            .next()
-                            .ok_or("truncated cost")?
-                            .parse()
-                            .map_err(|e| format!("bad cost: {e}"))
+                    let mut take = || -> Result<u64, ProfileParseError> {
+                        parse_num(parts.next(), "cost field", lineno)
                     };
                     p.cost.native_insns = take()?;
                     p.cost.instrumented_insns = take()?;
@@ -246,41 +265,86 @@ impl CountsProfile {
                     p.cost.block_execs = take()?;
                     p.cost.indirect_execs = take()?;
                 }
-                Some("modules") => {}
+                Some("truncated") => {
+                    p.truncated = Some(TruncationReason::from_profile_parts(&mut parts, lineno)?);
+                }
+                Some("modules") => {
+                    declared_modules = Some(parse_num(parts.next(), "modules count", lineno)?);
+                }
+                Some("blocks") => {
+                    declared_blocks = Some(parse_num(parts.next(), "blocks count", lineno)?);
+                }
                 Some("module") => {
-                    let idx: usize = parts
+                    let idx: usize = parse_num(parts.next(), "module index", lineno)?;
+                    let name = parts
                         .next()
-                        .ok_or("module without index")?
-                        .parse()
-                        .map_err(|e| format!("bad module index: {e}"))?;
-                    let name = parts.next().ok_or("module without name")?;
+                        .ok_or_else(|| err("module without name".into()))?;
                     if idx != p.module_names.len() {
-                        return Err("module index out of order".into());
+                        return Err(err(format!("module index {idx} out of order")));
                     }
                     p.module_names.push(name.to_string());
                 }
                 Some("b") => {
-                    let entry = parse_loc(parts.next().ok_or("block without entry")?)?;
-                    let len: u32 = parse_num(parts.next(), "len")?;
-                    let count: u64 = parse_num(parts.next(), "count")?;
-                    let term_str = parts.next().ok_or("block without terminator")?;
+                    let entry = parse_loc(
+                        parts.next().ok_or_else(|| err("block without entry".into()))?,
+                        &p.module_names,
+                        lineno,
+                    )?;
+                    let len: u32 = parse_num(parts.next(), "len", lineno)?;
+                    let count: u64 = parse_num(parts.next(), "count", lineno)?;
+                    // A block's extent must stay addressable: the
+                    // fall-through successor is computed as
+                    // `offset + len * INSN_BYTES` and must not wrap.
+                    if entry
+                        .offset
+                        .checked_add((len as u64).saturating_mul(wiser_isa::INSN_BYTES))
+                        .is_none()
+                    {
+                        return Err(err(format!(
+                            "block extent overflows: offset {:#x} len {len}",
+                            entry.offset
+                        )));
+                    }
+                    let term_str = parts
+                        .next()
+                        .ok_or_else(|| err("block without terminator".into()))?;
                     let term = term_str
                         .chars()
                         .next()
+                        .filter(|_| term_str.len() == 1)
                         .and_then(TermKind::from_code)
-                        .ok_or_else(|| format!("bad terminator `{term_str}`"))?;
-                    let dt = parts.next().ok_or("block without target")?;
-                    let direct_target = if dt == "-" { None } else { Some(parse_loc(dt)?) };
-                    let fallthrough: u64 = parse_num(parts.next(), "fallthrough")?;
-                    let n_targets: usize = parse_num(parts.next(), "target count")?;
-                    let mut targets = Vec::with_capacity(n_targets);
+                        .ok_or_else(|| err(format!("bad terminator `{term_str}`")))?;
+                    let dt = parts
+                        .next()
+                        .ok_or_else(|| err("block without target".into()))?;
+                    let direct_target = if dt == "-" {
+                        None
+                    } else {
+                        Some(parse_loc(dt, &p.module_names, lineno)?)
+                    };
+                    let fallthrough: u64 = parse_num(parts.next(), "fallthrough", lineno)?;
+                    if fallthrough > count {
+                        return Err(err(format!(
+                            "fallthrough {fallthrough} exceeds block count {count}"
+                        )));
+                    }
+                    let n_targets: usize = parse_num(parts.next(), "target count", lineno)?;
+                    let mut targets = Vec::with_capacity(n_targets.min(1024));
                     for _ in 0..n_targets {
-                        let t = parts.next().ok_or("truncated targets")?;
-                        let (loc, c) = t.split_once('=').ok_or("bad target")?;
+                        let t = parts
+                            .next()
+                            .ok_or_else(|| err("truncated targets".into()))?;
+                        let (loc, c) = t
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("bad target `{t}`")))?;
                         targets.push((
-                            parse_loc(loc)?,
-                            c.parse().map_err(|e| format!("bad target count: {e}"))?,
+                            parse_loc(loc, &p.module_names, lineno)?,
+                            c.parse()
+                                .map_err(|e| err(format!("bad target count: {e}")))?,
                         ));
+                    }
+                    if parts.next().is_some() {
+                        return Err(err("trailing fields after targets".into()));
                     }
                     p.blocks.push(BlockCount {
                         entry,
@@ -293,11 +357,31 @@ impl CountsProfile {
                     });
                 }
                 Some("k") => {
-                    let site = parse_loc(parts.next().ok_or("callee without site")?)?;
-                    let count: u64 = parse_num(parts.next(), "callee count")?;
+                    let site = parse_loc(
+                        parts.next().ok_or_else(|| err("callee without site".into()))?,
+                        &p.module_names,
+                        lineno,
+                    )?;
+                    let count: u64 = parse_num(parts.next(), "callee count", lineno)?;
                     p.callee_counts.insert(site, count);
                 }
-                Some(other) => return Err(format!("unknown record `{other}`")),
+                Some(other) => return Err(err(format!("unknown record `{other}`"))),
+            }
+        }
+        if let Some(n) = declared_modules {
+            if n != p.module_names.len() {
+                return Err(ProfileParseError::whole_file(format!(
+                    "declared {n} modules but found {}",
+                    p.module_names.len()
+                )));
+            }
+        }
+        if let Some(n) = declared_blocks {
+            if n != p.blocks.len() {
+                return Err(ProfileParseError::whole_file(format!(
+                    "declared {n} blocks but found {} (file truncated?)",
+                    p.blocks.len()
+                )));
             }
         }
         Ok(p)
@@ -310,21 +394,36 @@ fn sorted_callees(map: &HashMap<CodeLoc, u64>) -> Vec<(CodeLoc, u64)> {
     v
 }
 
-fn parse_loc(s: &str) -> Result<CodeLoc, String> {
-    let (m, o) = s.split_once(':').ok_or_else(|| format!("bad loc `{s}`"))?;
+fn parse_loc(
+    s: &str,
+    module_names: &[String],
+    lineno: usize,
+) -> Result<CodeLoc, ProfileParseError> {
+    let err = |msg: String| ProfileParseError::at_line(lineno, msg);
+    let (m, o) = s
+        .split_once(':')
+        .ok_or_else(|| err(format!("bad loc `{s}`")))?;
+    let module: u32 = m.parse().map_err(|e| err(format!("bad module: {e}")))?;
+    if (module as usize) >= module_names.len() {
+        return Err(err(format!("location references undeclared module {module}")));
+    }
     Ok(CodeLoc {
-        module: ModuleId(m.parse().map_err(|e| format!("bad module: {e}"))?),
-        offset: u64::from_str_radix(o, 16).map_err(|e| format!("bad offset: {e}"))?,
+        module: ModuleId(module),
+        offset: u64::from_str_radix(o, 16).map_err(|e| err(format!("bad offset: {e}")))?,
     })
 }
 
-fn parse_num<T: std::str::FromStr>(s: Option<&str>, what: &str) -> Result<T, String>
+fn parse_num<T: std::str::FromStr>(
+    s: Option<&str>,
+    what: &str,
+    lineno: usize,
+) -> Result<T, ProfileParseError>
 where
     T::Err: std::fmt::Display,
 {
-    s.ok_or_else(|| format!("missing {what}"))?
+    s.ok_or_else(|| ProfileParseError::at_line(lineno, format!("missing {what}")))?
         .parse()
-        .map_err(|e| format!("bad {what}: {e}"))
+        .map_err(|e| ProfileParseError::at_line(lineno, format!("bad {what}: {e}")))
 }
 
 #[cfg(test)]
@@ -372,6 +471,7 @@ mod tests {
                 block_execs: 175,
                 indirect_execs: 75,
             },
+            truncated: None,
         }
     }
 
@@ -417,6 +517,63 @@ mod tests {
     #[test]
     fn malformed_rejected() {
         assert!(CountsProfile::from_text("garbage").is_err());
-        assert!(CountsProfile::from_text("optiwise-counts v1\nb 0:0 4\n").is_err());
+        assert!(CountsProfile::from_text("optiwise-counts v1\nmodule 0 m\nb 0:0 4\n").is_err());
+    }
+
+    #[test]
+    fn truncated_profile_roundtrips() {
+        for reason in [
+            TruncationReason::InsnLimit(5000),
+            TruncationReason::Injected(99),
+            TruncationReason::ExecFault {
+                pc: 0x88,
+                message: "stack exhausted".into(),
+            },
+        ] {
+            let mut p = sample();
+            p.truncated = Some(reason);
+            let back = CountsProfile::from_text(&p.to_text()).unwrap();
+            assert_eq!(back, p);
+        }
+    }
+
+    #[test]
+    fn undeclared_module_rejected_with_line() {
+        let text = "optiwise-counts v1\nmodule 0 main\nb 3:0 4 10 j - 0 0\n";
+        let e = CountsProfile::from_text(text).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("undeclared module 3"), "{e}");
+    }
+
+    #[test]
+    fn truncated_file_detected_by_declared_block_count() {
+        let p = sample();
+        let text = p.to_text();
+        // Drop the last block line (the callee record stays) — simulating a
+        // file cut mid-write.
+        let mangled: String = text
+            .lines()
+            .filter(|l| !l.starts_with("b 0:40"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let e = CountsProfile::from_text(&mangled).unwrap_err();
+        assert!(e.message.contains("declared 2 blocks"), "{e}");
+    }
+
+    #[test]
+    fn inconsistent_fallthrough_rejected() {
+        let text = "optiwise-counts v1\nmodule 0 main\nb 0:0 4 10 c - 25 0\n";
+        let e = CountsProfile::from_text(text).unwrap_err();
+        assert!(e.message.contains("fallthrough"), "{e}");
+    }
+
+    #[test]
+    fn overflowing_block_extent_rejected() {
+        let text = format!(
+            "optiwise-counts v1\nmodule 0 main\nb 0:{:x} 4294967295 1 j - 0 0\n",
+            u64::MAX - 8
+        );
+        let e = CountsProfile::from_text(&text).unwrap_err();
+        assert!(e.message.contains("overflows"), "{e}");
     }
 }

@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use wiser_isa::INSN_BYTES;
-use wiser_sim::{CodeLoc, Interp, ProcessImage, SimError, Step};
+use wiser_sim::{CodeLoc, FaultPlan, Interp, ProcessImage, SimError, Step, TruncationReason};
 
 use crate::cost::CostModel;
 use crate::counts::{BlockCount, CountsProfile, InstrumentationCost, TermKind};
@@ -30,6 +30,8 @@ pub struct DbiConfig {
     /// Seed for the deterministic `rand` syscall (must match the sampling
     /// run for the two profiles to describe the same control flow).
     pub rand_seed: u64,
+    /// Deterministic fault injection (testing only; defaults to no-op).
+    pub fault: FaultPlan,
 }
 
 impl Default for DbiConfig {
@@ -39,6 +41,7 @@ impl Default for DbiConfig {
             cost: CostModel::default(),
             max_insns: 500_000_000,
             rand_seed: 0,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -63,9 +66,16 @@ struct RtBlock {
 /// slows the program down but does not change what it computes, and the
 /// overhead estimate comes from the cost model instead.
 ///
+/// A run cut short by the instruction budget, an execution fault, or the
+/// config's fault plan is **not** an error: the counts collected up to the
+/// cut come back as a partial profile whose `truncated` field says why.
+/// Only blocks whose execution completed are counted, so a partial profile
+/// undercounts but never misattributes.
+///
 /// # Errors
 ///
-/// Propagates interpreter faults and the instruction limit.
+/// Only load-class failures (the process image cannot even start) abort the
+/// pass with no profile.
 pub fn instrument_run(image: &ProcessImage, cfg: &DbiConfig) -> Result<CountsProfile, SimError> {
     let mut interp = Interp::new(image, cfg.rand_seed)?;
     let mut cache: HashMap<u64, usize> = HashMap::new();
@@ -79,35 +89,56 @@ pub fn instrument_run(image: &ProcessImage, cfg: &DbiConfig) -> Result<CountsPro
     let mut callee_counts: HashMap<CodeLoc, u64> = HashMap::new();
 
     let model = cfg.cost;
+    let injected_limit = cfg.fault.truncate_counts_at;
+    let effective_max = injected_limit.map_or(cfg.max_insns, |n| n.min(cfg.max_insns));
+    let limit_reason = |hit: u64| {
+        match injected_limit {
+            Some(inj) if hit == inj && inj < cfg.max_insns => TruncationReason::Injected(inj),
+            _ => TruncationReason::InsnLimit(hit),
+        }
+    };
+    let mut truncated: Option<TruncationReason> = None;
 
-    loop {
+    'run: loop {
         if interp.exit_code().is_some() {
             break;
         }
         let pc = interp.cpu().pc;
         let block_id = match cache.get(&pc) {
             Some(&id) => id,
-            None => {
-                let block = translate(image, pc)?;
-                cost.unique_blocks += 1;
-                cost.instrumented_insns += model.translation;
-                blocks.push(block);
-                let id = blocks.len() - 1;
-                cache.insert(pc, id);
-                id
-            }
+            None => match translate(image, pc) {
+                Ok(block) => {
+                    cost.unique_blocks += 1;
+                    cost.instrumented_insns += model.translation;
+                    blocks.push(block);
+                    let id = blocks.len() - 1;
+                    cache.insert(pc, id);
+                    id
+                }
+                Err(SimError::Exec { pc, message }) => {
+                    truncated = Some(TruncationReason::ExecFault { pc, message });
+                    break 'run;
+                }
+                Err(e) => return Err(e),
+            },
         };
         let len = blocks[block_id].len;
 
         // Execute the whole block; DynamoRIO blocks have a single exit.
         let mut last = None;
         for _ in 0..len {
-            match interp.step()? {
-                Step::Retired(rec) => last = Some(rec),
-                Step::Exited(_) => break,
+            match interp.step() {
+                Ok(Step::Retired(rec)) => last = Some(rec),
+                Ok(Step::Exited(_)) => break,
+                Err(SimError::Exec { pc, message }) => {
+                    truncated = Some(TruncationReason::ExecFault { pc, message });
+                    break 'run;
+                }
+                Err(e) => return Err(e),
             }
-            if interp.retired() > cfg.max_insns {
-                return Err(SimError::InsnLimit(cfg.max_insns));
+            if interp.retired() > effective_max {
+                truncated = Some(limit_reason(effective_max));
+                break 'run;
             }
         }
         let Some(last) = last else { break };
@@ -207,6 +238,7 @@ pub fn instrument_run(image: &ProcessImage, cfg: &DbiConfig) -> Result<CountsPro
         callee_counts,
         stack_profiling: cfg.stack_profiling,
         cost,
+        truncated,
     })
 }
 
@@ -439,7 +471,7 @@ mod tests {
         // `work` runs 3 instructions per invocation (li, addi, ret).
         // Two call sites, one invocation each.
         assert_eq!(p.callee_counts.len(), 2);
-        for (_, count) in &p.callee_counts {
+        for count in p.callee_counts.values() {
             assert_eq!(*count, 3);
         }
     }
@@ -602,6 +634,49 @@ mod tests {
             indirect.cost.overhead(),
             direct.cost.overhead()
         );
+    }
+
+    const COUNTED_LOOP: &str = r#"
+        .func _start global
+            li x8, 10000
+            li x9, 0
+        loop:
+            addi x1, x1, 1
+            subi x8, x8, 1
+            bne x8, x9, loop
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+    "#;
+
+    #[test]
+    fn budget_cut_yields_partial_profile() {
+        let image = ProcessImage::load_single(&assemble("t", COUNTED_LOOP).unwrap()).unwrap();
+        let p = instrument_run(
+            &image,
+            &DbiConfig {
+                max_insns: 5_000,
+                ..DbiConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(p.truncated, Some(TruncationReason::InsnLimit(5_000)));
+        // Counts collected before the cut are kept and consistent: only
+        // completed blocks are counted.
+        assert!(p.total_insns() > 0);
+        assert!(p.total_insns() <= 5_000);
+        assert_eq!(p.total_insns(), p.cost.native_insns);
+    }
+
+    #[test]
+    fn injected_truncation_is_labelled_injected() {
+        let image = ProcessImage::load_single(&assemble("t", COUNTED_LOOP).unwrap()).unwrap();
+        let mut cfg = DbiConfig::default();
+        cfg.fault.truncate_counts_at = Some(7_000);
+        let p = instrument_run(&image, &cfg).unwrap();
+        assert_eq!(p.truncated, Some(TruncationReason::Injected(7_000)));
+        assert!(p.total_insns() > 0 && p.total_insns() <= 7_000);
     }
 
     #[test]

@@ -441,7 +441,7 @@ impl Asm {
     /// Defines a data object from raw bytes; returns its data offset.
     pub fn data_object(&mut self, name: impl Into<String>, bytes: &[u8], global: bool) -> u64 {
         // Keep objects 8-byte aligned so u64/f64 loads are natural.
-        while self.data.len() % 8 != 0 {
+        while !self.data.len().is_multiple_of(8) {
             self.data.push(0);
         }
         let offset = self.data.len() as u64;

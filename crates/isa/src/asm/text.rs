@@ -168,7 +168,7 @@ pub fn assemble(name: &str, source: &str) -> Result<Module, IsaError> {
                 }
                 "u8" | "u32" | "u64" | "f64" | "zero" | "ascii" | "space" => {
                     emit_data(&mut asm, mode, &mut pending_data_label, directive, tail)
-                        .map_err(|m| err(m))?;
+                        .map_err(err)?;
                 }
                 other => return Err(err(format!("unknown directive `.{other}`"))),
             }
@@ -180,7 +180,7 @@ pub fn assemble(name: &str, source: &str) -> Result<Module, IsaError> {
                 "instruction `{head}` outside .text section"
             )));
         }
-        parse_insn(&mut asm, head, tail).map_err(|m| err(m))?;
+        parse_insn(&mut asm, head, tail).map_err(err)?;
     }
 
     asm.finish()

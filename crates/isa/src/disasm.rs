@@ -204,7 +204,7 @@ impl Disassembly {
 
     /// Line at a given text offset.
     pub fn line_at(&self, offset: u64) -> Option<&DisasmLine> {
-        if offset % INSN_BYTES != 0 {
+        if !offset.is_multiple_of(INSN_BYTES) {
             return None;
         }
         self.lines.get((offset / INSN_BYTES) as usize)

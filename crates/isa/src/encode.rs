@@ -543,7 +543,7 @@ pub fn decode_insn(bytes: &[u8; INSN_BYTES as usize]) -> Result<Insn, IsaError> 
 /// Returns [`IsaError::BadEncoding`] if `offset` is unaligned, out of range,
 /// or the bytes do not decode.
 pub fn decode_at(text: &[u8], offset: u64) -> Result<Insn, IsaError> {
-    if offset % INSN_BYTES != 0 {
+    if !offset.is_multiple_of(INSN_BYTES) {
         return Err(IsaError::BadEncoding("unaligned instruction offset"));
     }
     let start = offset as usize;

@@ -227,13 +227,7 @@ impl AluOp {
                     ((a as i64) / (b as i64)) as u64
                 }
             }
-            AluOp::Udiv => {
-                if b == 0 {
-                    u64::MAX
-                } else {
-                    a / b
-                }
-            }
+            AluOp::Udiv => a.checked_div(b).unwrap_or(u64::MAX),
             AluOp::Rem => {
                 if b == 0 {
                     a

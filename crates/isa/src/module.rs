@@ -209,7 +209,7 @@ impl Module {
     /// Returns [`IsaError::BadModule`] describing the first violation found,
     /// or [`IsaError::BadEncoding`] if any text bytes fail to decode.
     pub fn validate(&self) -> Result<(), IsaError> {
-        if self.text.len() as u64 % INSN_BYTES != 0 {
+        if !(self.text.len() as u64).is_multiple_of(INSN_BYTES) {
             return Err(IsaError::BadModule(format!(
                 "text size {} is not a multiple of {INSN_BYTES}",
                 self.text.len()
@@ -250,7 +250,7 @@ impl Module {
                 )));
             }
             let local = seen.contains_key(reloc.symbol.as_str());
-            let imported = self.imports.iter().any(|i| *i == reloc.symbol);
+            let imported = self.imports.contains(&reloc.symbol);
             if !local && !imported {
                 return Err(IsaError::UndefinedSymbol(reloc.symbol.clone()));
             }

@@ -1,0 +1,137 @@
+//! Minimal, dependency-free stand-in for the subset of the `rand` 0.8 API
+//! used by this workspace (`StdRng::seed_from_u64` and `Rng::gen_range` over
+//! `u64` ranges).
+//!
+//! The build environment is hermetic — no crates-io access — so the real
+//! `rand` crate cannot be fetched. Everything in the workspace only needs a
+//! deterministic, seedable, reasonably-uniform 64-bit generator; this crate
+//! provides exactly that with the same import paths, so swapping the real
+//! `rand` back in is a one-line Cargo change.
+
+/// Types seedable from a `u64` (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value convenience methods over a raw 64-bit generator.
+pub trait Rng {
+    /// The next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform value from `range` (`Range<u64>` or `RangeInclusive<u64>`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Range types [`Rng::gen_range`] accepts.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> Self::Output;
+}
+
+impl SampleRange for core::ops::Range<u64> {
+    type Output = u64;
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl SampleRange for core::ops::RangeInclusive<u64> {
+    type Output = u64;
+    fn sample<G: Rng + ?Sized>(self, rng: &mut G) -> u64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let span = end.wrapping_sub(start).wrapping_add(1);
+        if span == 0 {
+            // Full u64 range.
+            rng.next_u64()
+        } else {
+            start + rng.next_u64() % span
+        }
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64 stream). Not the real
+    /// `StdRng` algorithm, but the workspace only relies on determinism and
+    /// rough uniformity, never on a specific stream.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Steele, Lea & Flood): passes BigCrush, one add +
+            // three xor-shift-multiplies per draw.
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5u64..=5);
+            assert_eq!(w, 5);
+            let x = rng.gen_range(0u64..=u64::MAX);
+            let _ = x;
+        }
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[rng.gen_range(0u64..8) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((700..1300).contains(&b), "bucket {b}");
+        }
+    }
+}

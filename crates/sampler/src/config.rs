@@ -1,5 +1,7 @@
 //! Sampling configuration.
 
+use wiser_sim::FaultPlan;
+
 /// How a serviced sample is attributed to an instruction address.
 ///
 /// These model the three options §II-A/§III of the paper discusses for
@@ -46,6 +48,8 @@ pub struct SamplerConfig {
     pub attribution: Attribution,
     /// Stack capture policy.
     pub stacks: StackMode,
+    /// Deterministic fault injection (testing only; defaults to no-op).
+    pub fault: FaultPlan,
 }
 
 impl SamplerConfig {
@@ -57,6 +61,7 @@ impl SamplerConfig {
             seed: 0x5eed,
             attribution: Attribution::Interrupt,
             stacks: StackMode::Accurate,
+            fault: FaultPlan::default(),
         }
     }
 }

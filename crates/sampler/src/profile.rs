@@ -7,7 +7,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
-use wiser_sim::{CodeLoc, ModuleId};
+use wiser_sim::{CodeLoc, ModuleId, ProfileParseError, TruncationReason};
 
 /// One periodic sample.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,6 +37,15 @@ pub struct SampleProfile {
     /// Samples whose address could not be mapped to a module (e.g. kernel
     /// or JIT code on a real system); counted rather than recorded.
     pub unmapped: u64,
+    /// Instructions the profiled run retired. Lets the analysis cross-check
+    /// this run against the instrumentation run's exact counts (§IV-F
+    /// assumes the two runs execute identical instruction streams). Zero in
+    /// profiles from before this field existed.
+    pub retired: u64,
+    /// Why the run stopped early, if it did not run to completion. A
+    /// truncated profile is still usable — downstream analysis labels the
+    /// result as partial rather than discarding it.
+    pub truncated: Option<TruncationReason>,
 }
 
 impl SampleProfile {
@@ -63,6 +72,10 @@ impl SampleProfile {
         let _ = writeln!(out, "period {}", self.period);
         let _ = writeln!(out, "total_cycles {}", self.total_cycles);
         let _ = writeln!(out, "unmapped {}", self.unmapped);
+        let _ = writeln!(out, "retired {}", self.retired);
+        if let Some(reason) = &self.truncated {
+            out.push_str(&reason.to_profile_line());
+        }
         let _ = writeln!(out, "modules {}", self.module_names.len());
         for (i, name) in self.module_names.iter().enumerate() {
             let _ = writeln!(out, "module {i} {name}");
@@ -85,56 +98,99 @@ impl SampleProfile {
 
     /// Parses the text format produced by [`SampleProfile::to_text`].
     ///
+    /// Every record is validated structurally: module references must point
+    /// at declared modules, and the declared `modules`/`samples` counts must
+    /// match what the file actually contains — a file cut off mid-write is
+    /// rejected here instead of silently parsing as a smaller profile.
+    ///
     /// # Errors
     ///
-    /// Returns a description of the first malformed line.
-    pub fn from_text(text: &str) -> Result<SampleProfile, String> {
-        let mut lines = text.lines();
-        let header = lines.next().ok_or("empty profile")?;
+    /// Returns a [`ProfileParseError`] locating the first malformed line.
+    pub fn from_text(text: &str) -> Result<SampleProfile, ProfileParseError> {
+        let mut lines = text.lines().enumerate();
+        let header = lines
+            .next()
+            .ok_or_else(|| ProfileParseError::whole_file("empty profile"))?
+            .1;
         if header != "optiwise-samples v1" {
-            return Err(format!("bad header `{header}`"));
+            return Err(ProfileParseError::at_line(1, format!("bad header `{header}`")));
         }
         let mut profile = SampleProfile::default();
-        for line in lines {
+        let mut declared_modules: Option<usize> = None;
+        let mut declared_samples: Option<usize> = None;
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let err = |msg: String| ProfileParseError::at_line(lineno, msg);
             let mut parts = line.split_whitespace();
             match parts.next() {
                 None => continue,
                 Some("period") => {
-                    profile.period = parse_field(parts.next(), "period")?;
+                    profile.period = parse_field(parts.next(), "period", lineno)?;
                 }
                 Some("total_cycles") => {
-                    profile.total_cycles = parse_field(parts.next(), "total_cycles")?;
+                    profile.total_cycles = parse_field(parts.next(), "total_cycles", lineno)?;
                 }
                 Some("unmapped") => {
-                    profile.unmapped = parse_field(parts.next(), "unmapped")?;
+                    profile.unmapped = parse_field(parts.next(), "unmapped", lineno)?;
                 }
-                Some("modules") | Some("samples") => { /* counts are implicit */ }
+                Some("retired") => {
+                    profile.retired = parse_field(parts.next(), "retired", lineno)?;
+                }
+                Some("truncated") => {
+                    profile.truncated =
+                        Some(TruncationReason::from_profile_parts(&mut parts, lineno)?);
+                }
+                Some("modules") => {
+                    declared_modules = Some(parse_field(parts.next(), "modules count", lineno)?);
+                }
+                Some("samples") => {
+                    declared_samples = Some(parse_field(parts.next(), "samples count", lineno)?);
+                }
                 Some("module") => {
-                    let idx: usize = parse_field(parts.next(), "module index")?;
-                    let name = parts.next().ok_or("module without name")?.to_string();
-                    if idx != profile.module_names.len() {
-                        return Err(format!("module index {idx} out of order"));
+                    let module_idx: usize = parse_field(parts.next(), "module index", lineno)?;
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| err("module without name".into()))?
+                        .to_string();
+                    if module_idx != profile.module_names.len() {
+                        return Err(err(format!("module index {module_idx} out of order")));
                     }
                     profile.module_names.push(name);
                 }
                 Some("s") => {
-                    let module: u32 = parse_field(parts.next(), "sample module")?;
-                    let offset = u64::from_str_radix(
-                        parts.next().ok_or("sample without offset")?,
-                        16,
-                    )
-                    .map_err(|e| format!("bad offset: {e}"))?;
-                    let weight: u64 = parse_field(parts.next(), "sample weight")?;
-                    let depth: usize = parse_field(parts.next(), "stack depth")?;
-                    let mut stack = Vec::with_capacity(depth);
+                    let module: u32 = parse_field(parts.next(), "sample module", lineno)?;
+                    let offset = parse_hex(parts.next(), "sample offset", lineno)?;
+                    let weight: u64 = parse_field(parts.next(), "sample weight", lineno)?;
+                    let depth: usize = parse_field(parts.next(), "stack depth", lineno)?;
+                    if (module as usize) >= profile.module_names.len() {
+                        return Err(err(format!(
+                            "sample references undeclared module {module}"
+                        )));
+                    }
+                    let mut stack = Vec::with_capacity(depth.min(256));
                     for _ in 0..depth {
-                        let frame = parts.next().ok_or("truncated stack")?;
-                        let (m, o) = frame.split_once(':').ok_or("bad frame")?;
+                        let frame = parts
+                            .next()
+                            .ok_or_else(|| err("truncated stack".into()))?;
+                        let (m, o) = frame
+                            .split_once(':')
+                            .ok_or_else(|| err(format!("bad frame `{frame}`")))?;
+                        let frame_module: u32 = m
+                            .parse()
+                            .map_err(|e| err(format!("bad frame module: {e}")))?;
+                        if (frame_module as usize) >= profile.module_names.len() {
+                            return Err(err(format!(
+                                "stack frame references undeclared module {frame_module}"
+                            )));
+                        }
                         stack.push(CodeLoc {
-                            module: ModuleId(m.parse().map_err(|e| format!("bad frame: {e}"))?),
+                            module: ModuleId(frame_module),
                             offset: u64::from_str_radix(o, 16)
-                                .map_err(|e| format!("bad frame: {e}"))?,
+                                .map_err(|e| err(format!("bad frame offset: {e}")))?,
                         });
+                    }
+                    if parts.next().is_some() {
+                        return Err(err("trailing fields after stack".into()));
                     }
                     profile.samples.push(Sample {
                         loc: CodeLoc {
@@ -145,21 +201,53 @@ impl SampleProfile {
                         stack,
                     });
                 }
-                Some(other) => return Err(format!("unknown record `{other}`")),
+                Some(other) => return Err(err(format!("unknown record `{other}`"))),
+            }
+        }
+        if let Some(n) = declared_modules {
+            if n != profile.module_names.len() {
+                return Err(ProfileParseError::whole_file(format!(
+                    "declared {n} modules but found {}",
+                    profile.module_names.len()
+                )));
+            }
+        }
+        if let Some(n) = declared_samples {
+            if n != profile.samples.len() {
+                return Err(ProfileParseError::whole_file(format!(
+                    "declared {n} samples but found {} (file truncated?)",
+                    profile.samples.len()
+                )));
             }
         }
         Ok(profile)
     }
 }
 
-fn parse_field<T: std::str::FromStr>(field: Option<&str>, what: &str) -> Result<T, String>
+pub(crate) fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    what: &str,
+    lineno: usize,
+) -> Result<T, ProfileParseError>
 where
     T::Err: std::fmt::Display,
 {
     field
-        .ok_or_else(|| format!("missing {what}"))?
+        .ok_or_else(|| ProfileParseError::at_line(lineno, format!("missing {what}")))?
         .parse()
-        .map_err(|e| format!("bad {what}: {e}"))
+        .map_err(|e| ProfileParseError::at_line(lineno, format!("bad {what}: {e}")))
+}
+
+pub(crate) fn parse_hex(
+    field: Option<&str>,
+    what: &str,
+    lineno: usize,
+) -> Result<u64, ProfileParseError> {
+    u64::from_str_radix(
+        field.ok_or_else(|| ProfileParseError::at_line(lineno, format!("missing {what}")))?,
+        16,
+    )
+    .map_err(|e| ProfileParseError::at_line(lineno, format!("bad {what}: {e}")))
 }
 
 #[cfg(test)]
@@ -196,6 +284,8 @@ mod tests {
             period: 2048,
             total_cycles: 6048,
             unmapped: 1,
+            retired: 12345,
+            truncated: None,
         }
     }
 
@@ -205,6 +295,23 @@ mod tests {
         let text = p.to_text();
         let back = SampleProfile::from_text(&text).unwrap();
         assert_eq!(back, p);
+    }
+
+    #[test]
+    fn truncated_profile_roundtrips() {
+        for reason in [
+            TruncationReason::InsnLimit(5000),
+            TruncationReason::Injected(1234),
+            TruncationReason::ExecFault {
+                pc: 0x40,
+                message: "undecodable instruction word".into(),
+            },
+        ] {
+            let mut p = sample_profile();
+            p.truncated = Some(reason);
+            let back = SampleProfile::from_text(&p.to_text()).unwrap();
+            assert_eq!(back, p);
+        }
     }
 
     #[test]
@@ -223,7 +330,33 @@ mod tests {
 
     #[test]
     fn truncated_stack_rejected() {
-        let text = "optiwise-samples v1\ns 0 10 5 2 0:8\n";
-        assert!(SampleProfile::from_text(text).is_err());
+        let text = "optiwise-samples v1\nmodule 0 main\ns 0 10 5 2 0:8\n";
+        let e = SampleProfile::from_text(text).unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn undeclared_module_rejected() {
+        let text = "optiwise-samples v1\nmodule 0 main\ns 7 10 5 0\n";
+        let e = SampleProfile::from_text(text).unwrap_err();
+        assert!(e.message.contains("undeclared module 7"), "{e}");
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn truncated_file_detected_by_declared_count() {
+        let p = sample_profile();
+        let text = p.to_text();
+        // Chop off the final sample line — as if the writer died mid-file.
+        let cut = &text[..text[..text.len() - 1].rfind('\n').unwrap() + 1];
+        let e = SampleProfile::from_text(cut).unwrap_err();
+        assert!(e.message.contains("declared 3 samples"), "{e}");
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "optiwise-samples v1\nperiod 2048\nperiod zzz\n";
+        let e = SampleProfile::from_text(text).unwrap_err();
+        assert_eq!(e.line, 3);
     }
 }

@@ -15,6 +15,7 @@ use rand::{Rng, SeedableRng};
 use wiser_isa::INSN_BYTES;
 use wiser_sim::{
     CodeLoc, CoreConfig, ModuleId, ProbePoint, ProcessImage, Prober, SimError, TimedRun,
+    TruncationReason,
 };
 
 use crate::config::{Attribution, SamplerConfig, StackMode};
@@ -102,14 +103,47 @@ impl PerfSampler {
     }
 
     /// Consumes the sampler, producing the finished profile.
-    pub fn finish(self, total_cycles: u64) -> SampleProfile {
+    ///
+    /// Applies the config's [`wiser_sim::FaultPlan`] sample-dropping here —
+    /// modelling samples lost in perf's ring buffer — and stamps the profile
+    /// with the run's retired-instruction total and truncation marker so
+    /// downstream analysis can reconcile it against the instrumentation run.
+    pub fn finish_with(
+        self,
+        total_cycles: u64,
+        retired: u64,
+        truncated: Option<TruncationReason>,
+    ) -> SampleProfile {
+        let fault = self.cfg.fault;
+        let mut dropped = 0u64;
+        let samples: Vec<Sample> = self
+            .samples
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let drop = fault.should_drop_sample(*i as u64);
+                dropped += drop as u64;
+                !drop
+            })
+            .map(|(_, s)| s)
+            .collect();
         SampleProfile {
             module_names: self.module_names,
-            samples: self.samples,
+            samples,
             period: self.cfg.period,
             total_cycles,
-            unmapped: self.unmapped,
+            // Dropped samples behave like unmapped ones: cycles we know
+            // elapsed but cannot attribute.
+            unmapped: self.unmapped + dropped,
+            retired,
+            truncated,
         }
+    }
+
+    /// Consumes the sampler, producing the finished profile of a complete
+    /// (untruncated) run. See [`PerfSampler::finish_with`].
+    pub fn finish(self, total_cycles: u64) -> SampleProfile {
+        self.finish_with(total_cycles, 0, None)
     }
 }
 
@@ -192,11 +226,16 @@ impl Prober for PerfSampler {
 /// Runs a process under the timing model with sampling attached: the
 /// "sampling run" of the OptiWISE pipeline (component 1 in figure 3).
 ///
-/// Returns the profile and the underlying timed run.
+/// Returns the profile and the underlying timed run. A run cut short by the
+/// instruction budget or an execution fault is **not** an error: the samples
+/// collected up to that point come back as a partial profile whose
+/// `truncated` field says why (and, for injected aborts from the config's
+/// fault plan, that the cut was deliberate).
 ///
 /// # Errors
 ///
-/// Propagates simulator errors.
+/// Only load-class failures (the process image cannot even start) abort the
+/// pass with no profile.
 pub fn sample_run(
     image: &ProcessImage,
     rand_seed: u64,
@@ -204,9 +243,19 @@ pub fn sample_run(
     sampler_cfg: SamplerConfig,
     max_insns: u64,
 ) -> Result<(SampleProfile, TimedRun), SimError> {
+    let injected_limit = sampler_cfg.fault.abort_sample_at;
+    let effective_max = injected_limit.map_or(max_insns, |n| n.min(max_insns));
     let mut sampler = PerfSampler::new(image, sampler_cfg);
-    let run = wiser_sim::run_timed(image, rand_seed, core_cfg, &mut sampler, max_insns)?;
-    let profile = sampler.finish(run.stats.cycles);
+    let (run, mut truncated) =
+        wiser_sim::run_timed_partial(image, rand_seed, core_cfg, &mut sampler, effective_max)?;
+    // Relabel a budget cut that only exists because the fault plan lowered
+    // the budget: it is an injected abort, not a real limit.
+    if let (Some(TruncationReason::InsnLimit(hit)), Some(inj)) = (&truncated, injected_limit) {
+        if *hit == inj && inj < max_insns {
+            truncated = Some(TruncationReason::Injected(inj));
+        }
+    }
+    let profile = sampler.finish_with(run.stats.cycles, run.stats.retired, truncated);
     Ok((profile, run))
 }
 
@@ -363,6 +412,58 @@ mod tests {
         .unwrap();
         let overhead = sampling_overhead(&profile);
         assert!(overhead > 1.0 && overhead < 1.05, "{overhead}");
+    }
+
+    #[test]
+    fn truncated_run_yields_partial_profile() {
+        let image = image_of(HOT_LOOP);
+        // Budget far below the ~250k retired instructions of the loop.
+        let (profile, run) = sample_run(
+            &image,
+            0,
+            CoreConfig::xeon_like(),
+            SamplerConfig::with_period(512),
+            20_000,
+        )
+        .unwrap();
+        assert_eq!(profile.truncated, Some(TruncationReason::InsnLimit(20_000)));
+        assert!(!profile.samples.is_empty(), "partial samples kept");
+        assert!(profile.retired >= 20_000);
+        assert_eq!(run.exit_code, None);
+    }
+
+    #[test]
+    fn injected_abort_is_labelled_injected() {
+        let image = image_of(HOT_LOOP);
+        let mut cfg = SamplerConfig::with_period(512);
+        cfg.fault.abort_sample_at = Some(30_000);
+        let (profile, _) =
+            sample_run(&image, 0, CoreConfig::xeon_like(), cfg, 10_000_000).unwrap();
+        assert_eq!(profile.truncated, Some(TruncationReason::Injected(30_000)));
+        assert!(!profile.samples.is_empty());
+    }
+
+    #[test]
+    fn dropped_samples_counted_as_unmapped() {
+        let image = image_of(HOT_LOOP);
+        let mut cfg = SamplerConfig::with_period(512);
+        cfg.jitter = 0;
+        let (full, _) =
+            sample_run(&image, 0, CoreConfig::xeon_like(), cfg, 10_000_000).unwrap();
+        cfg.fault.drop_sample_pct = 50;
+        cfg.fault.seed = 11;
+        let (lossy, _) =
+            sample_run(&image, 0, CoreConfig::xeon_like(), cfg, 10_000_000).unwrap();
+        assert!(lossy.samples.len() < full.samples.len());
+        assert_eq!(
+            lossy.samples.len() as u64 + lossy.unmapped,
+            full.samples.len() as u64 + full.unmapped,
+        );
+        assert!(profile_retired_matches(&full, &lossy));
+    }
+
+    fn profile_retired_matches(a: &SampleProfile, b: &SampleProfile) -> bool {
+        a.retired == b.retired && a.retired > 0
     }
 
     #[test]

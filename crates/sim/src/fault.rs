@@ -1,0 +1,345 @@
+//! Deterministic fault injection and truncation markers.
+//!
+//! A profiler that serves real workloads must degrade gracefully: runs die
+//! mid-way (instruction budgets, execution faults), profile files get cut
+//! short or corrupted, and the two OptiWISE passes can silently observe
+//! different control flow. [`FaultPlan`] makes every one of those
+//! degradations *injectable* — seed-driven and fully deterministic — so the
+//! recovery paths are exercised by tests rather than trusted.
+//! [`TruncationReason`] is the marker partial profiles carry instead of
+//! throwing the collected data away.
+
+use std::fmt;
+
+use crate::error::ProfileParseError;
+
+/// Why a profiling pass stopped before the program exited.
+///
+/// Carried by partial profiles (`SampleProfile::truncated`,
+/// `CountsProfile::truncated`) so downstream analysis can label degraded
+/// results instead of silently mis-reporting them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TruncationReason {
+    /// The configured instruction budget ran out.
+    InsnLimit(u64),
+    /// Execution faulted (undecodable instruction, bad jump target, ...).
+    ExecFault {
+        /// Program counter at the fault.
+        pc: u64,
+        /// Description of the fault.
+        message: String,
+    },
+    /// A [`FaultPlan`] deliberately aborted the pass after this many
+    /// instructions.
+    Injected(u64),
+}
+
+impl fmt::Display for TruncationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TruncationReason::InsnLimit(n) => {
+                write!(f, "instruction budget of {n} exhausted")
+            }
+            TruncationReason::ExecFault { pc, message } => {
+                write!(f, "execution fault at {pc:#x}: {message}")
+            }
+            TruncationReason::Injected(n) => {
+                write!(f, "injected abort after {n} instructions")
+            }
+        }
+    }
+}
+
+impl TruncationReason {
+    /// Whether re-running with a larger instruction budget could complete
+    /// the pass. Injected aborts and execution faults are deterministic —
+    /// they recur at any budget.
+    pub fn retryable(&self) -> bool {
+        matches!(self, TruncationReason::InsnLimit(_))
+    }
+
+    /// Serializes as one `truncated ...` record line for the profile text
+    /// formats (both the sampler's and the DBI engine's).
+    pub fn to_profile_line(&self) -> String {
+        match self {
+            TruncationReason::InsnLimit(n) => format!("truncated limit {n}\n"),
+            TruncationReason::Injected(n) => format!("truncated injected {n}\n"),
+            TruncationReason::ExecFault { pc, message } => {
+                format!("truncated fault {pc:x} {message}\n")
+            }
+        }
+    }
+
+    /// Parses the fields after a `truncated` profile-record keyword.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProfileParseError`] at `lineno` for an unknown kind or a
+    /// malformed field.
+    pub fn from_profile_parts<'a>(
+        parts: &mut impl Iterator<Item = &'a str>,
+        lineno: usize,
+    ) -> Result<TruncationReason, ProfileParseError> {
+        let err = |msg: String| ProfileParseError::at_line(lineno, msg);
+        let num = |field: Option<&str>, what: &str| -> Result<u64, ProfileParseError> {
+            field
+                .ok_or_else(|| err(format!("missing {what}")))?
+                .parse()
+                .map_err(|e| err(format!("bad {what}: {e}")))
+        };
+        match parts.next() {
+            Some("limit") => Ok(TruncationReason::InsnLimit(num(
+                parts.next(),
+                "truncation limit",
+            )?)),
+            Some("injected") => Ok(TruncationReason::Injected(num(
+                parts.next(),
+                "truncation point",
+            )?)),
+            Some("fault") => {
+                let pc_str = parts.next().ok_or_else(|| err("missing fault pc".into()))?;
+                let pc = u64::from_str_radix(pc_str, 16)
+                    .map_err(|e| err(format!("bad fault pc: {e}")))?;
+                let message = parts.collect::<Vec<_>>().join(" ");
+                Ok(TruncationReason::ExecFault { pc, message })
+            }
+            Some(other) => Err(err(format!("unknown truncation kind `{other}`"))),
+            None => Err(err("truncated record without kind".into())),
+        }
+    }
+}
+
+/// A deterministic, seed-driven fault-injection plan.
+///
+/// The default plan injects nothing. Wire a non-default plan through
+/// `SamplerConfig::fault`, `DbiConfig::fault` or `OptiwiseConfig::fault` to
+/// exercise a degradation path; every decision derives from `seed` alone, so
+/// injected failures reproduce exactly.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed for every stochastic decision in the plan.
+    pub seed: u64,
+    /// Drop this percentage (0–100) of recorded samples, chosen
+    /// pseudo-randomly by `seed`.
+    pub drop_sample_pct: u8,
+    /// Abort the sampling pass after this many retired instructions.
+    pub abort_sample_at: Option<u64>,
+    /// Abort the instrumentation pass after this many retired instructions,
+    /// truncating the counts profile there.
+    pub truncate_counts_at: Option<u64>,
+    /// Corrupt profile text emitted for persistence (flips one numeric
+    /// field), exercising the parser's rejection paths on round-trip.
+    pub corrupt_text: bool,
+    /// Run the instrumentation pass with this `rand` seed instead of the
+    /// configured one, desynchronizing the two passes' control flow — the
+    /// exact divergence §IV-F assumes never happens.
+    pub desync_rand_seed: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Whether the plan injects nothing.
+    pub fn is_noop(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Deterministically decides whether to drop the `index`-th sample.
+    pub fn should_drop_sample(&self, index: u64) -> bool {
+        if self.drop_sample_pct == 0 {
+            return false;
+        }
+        let pct = self.drop_sample_pct.min(100) as u64;
+        splitmix64(self.seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 100 < pct
+    }
+
+    /// Deterministically corrupts one digit of `text` (when `corrupt_text`
+    /// is set; otherwise returns the text unchanged). The mutation targets a
+    /// numeric field past the header line so the result still *looks* like a
+    /// profile — the parser must catch it structurally, not by magic bytes.
+    pub fn corrupt(&self, text: &str) -> String {
+        if !self.corrupt_text {
+            return text.to_string();
+        }
+        let digit_positions: Vec<usize> = text
+            .char_indices()
+            .skip_while(|&(i, _)| i < text.find('\n').map_or(0, |n| n + 1))
+            .filter(|&(_, c)| c.is_ascii_digit())
+            .map(|(i, _)| i)
+            .collect();
+        let Some(&pos) = digit_positions
+            .get(splitmix64(self.seed) as usize % digit_positions.len().max(1))
+        else {
+            return text.to_string();
+        };
+        let mut bytes = text.as_bytes().to_vec();
+        // Replace the digit with a non-digit so the damage is structural
+        // (field count / type mismatch), not a silently different number.
+        bytes[pos] = b'x';
+        String::from_utf8(bytes).expect("ascii substitution keeps utf8 valid")
+    }
+
+    /// Parses a CLI fault spec: comma-separated `key=value` entries
+    /// (`seed=N`, `drop-samples=PCT`, `abort-sample=N`, `truncate-counts=N`,
+    /// `desync-seed=N`) plus the bare flag `corrupt`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed entry.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::default();
+        for entry in spec.split(',').filter(|e| !e.is_empty()) {
+            match entry.split_once('=') {
+                None if entry == "corrupt" => plan.corrupt_text = true,
+                None => return Err(format!("unknown fault `{entry}`")),
+                Some((key, value)) => {
+                    let num = || {
+                        value
+                            .parse::<u64>()
+                            .map_err(|e| format!("bad value for `{key}`: {e}"))
+                    };
+                    match key {
+                        "seed" => plan.seed = num()?,
+                        "drop-samples" => {
+                            let pct = num()?;
+                            if pct > 100 {
+                                return Err(format!("drop-samples {pct} > 100"));
+                            }
+                            plan.drop_sample_pct = pct as u8;
+                        }
+                        "abort-sample" => plan.abort_sample_at = Some(num()?),
+                        "truncate-counts" => plan.truncate_counts_at = Some(num()?),
+                        "desync-seed" => plan.desync_rand_seed = Some(num()?),
+                        other => return Err(format!("unknown fault key `{other}`")),
+                    }
+                }
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// splitmix64 mix function: a high-quality 64-bit hash for seed-derived
+/// decisions.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_noop() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_noop());
+        assert!(!plan.should_drop_sample(0));
+        assert_eq!(plan.corrupt("optiwise-samples v1\nperiod 2048\n"), "optiwise-samples v1\nperiod 2048\n");
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_honored_and_deterministic() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_sample_pct: 30,
+            ..FaultPlan::default()
+        };
+        let dropped = (0..10_000).filter(|&i| plan.should_drop_sample(i)).count();
+        assert!((2500..3500).contains(&dropped), "{dropped}");
+        // Deterministic per (seed, index).
+        for i in 0..100 {
+            assert_eq!(plan.should_drop_sample(i), plan.should_drop_sample(i));
+        }
+    }
+
+    #[test]
+    fn corrupt_changes_exactly_one_byte_past_header() {
+        let plan = FaultPlan {
+            seed: 3,
+            corrupt_text: true,
+            ..FaultPlan::default()
+        };
+        let text = "optiwise-samples v1\nperiod 2048\ns 0 10 512 0\n";
+        let bad = plan.corrupt(text);
+        assert_ne!(bad, text);
+        let diffs: Vec<usize> = text
+            .bytes()
+            .zip(bad.bytes())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(diffs.len(), 1);
+        assert!(diffs[0] > text.find('\n').unwrap(), "header untouched");
+        // Deterministic.
+        assert_eq!(plan.corrupt(text), bad);
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let plan =
+            FaultPlan::parse("seed=9,drop-samples=25,abort-sample=1000,corrupt").unwrap();
+        assert_eq!(plan.seed, 9);
+        assert_eq!(plan.drop_sample_pct, 25);
+        assert_eq!(plan.abort_sample_at, Some(1000));
+        assert!(plan.corrupt_text);
+        assert_eq!(plan.truncate_counts_at, None);
+
+        let plan = FaultPlan::parse("truncate-counts=5000,desync-seed=4").unwrap();
+        assert_eq!(plan.truncate_counts_at, Some(5000));
+        assert_eq!(plan.desync_rand_seed, Some(4));
+
+        assert!(FaultPlan::parse("bogus").is_err());
+        assert!(FaultPlan::parse("drop-samples=150").is_err());
+        assert!(FaultPlan::parse("seed=abc").is_err());
+        assert!(FaultPlan::parse("").unwrap().is_noop());
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(TruncationReason::InsnLimit(5).retryable());
+        assert!(!TruncationReason::Injected(5).retryable());
+        assert!(!TruncationReason::ExecFault {
+            pc: 0,
+            message: "x".into()
+        }
+        .retryable());
+    }
+
+    #[test]
+    fn profile_line_roundtrip() {
+        for r in [
+            TruncationReason::InsnLimit(5000),
+            TruncationReason::Injected(77),
+            TruncationReason::ExecFault {
+                pc: 0x1040,
+                message: "bad jump target".into(),
+            },
+        ] {
+            let line = r.to_profile_line();
+            let mut parts = line.split_whitespace();
+            assert_eq!(parts.next(), Some("truncated"));
+            let back = TruncationReason::from_profile_parts(&mut parts, 1).unwrap();
+            assert_eq!(back, r);
+        }
+        assert!(
+            TruncationReason::from_profile_parts(&mut "weird 5".split_whitespace(), 3)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for r in [
+            TruncationReason::InsnLimit(1),
+            TruncationReason::Injected(2),
+            TruncationReason::ExecFault {
+                pc: 16,
+                message: "bad".into(),
+            },
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

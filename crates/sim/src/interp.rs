@@ -88,7 +88,7 @@ impl CodeCache {
     fn index(&self, range: usize, addr: u64) -> Option<Insn> {
         let r = &self.ranges[range];
         let off = addr - r.base;
-        if off % INSN_BYTES != 0 {
+        if !off.is_multiple_of(INSN_BYTES) {
             return None;
         }
         r.insns.get((off / INSN_BYTES) as usize).copied()

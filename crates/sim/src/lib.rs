@@ -6,6 +6,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 mod interp;
 mod loader;
 mod mem;
@@ -15,12 +16,13 @@ mod trace;
 pub mod uarch;
 pub mod unwind;
 
-pub use error::SimError;
+pub use error::{ProfileParseError, SimError};
+pub use fault::{FaultPlan, TruncationReason};
 pub use interp::{run_module, Cpu, Frame, Interp, Step};
 pub use loader::{CodeLoc, LoadConfig, LoadedModule, ModuleId, ProcessImage};
 pub use mem::{Memory, PAGE_SIZE};
 pub use syscall::{SyscallEffect, SyscallNr, SyscallState};
-pub use timed::{run_timed, TimedRun};
+pub use timed::{run_timed, run_timed_partial, TimedRun};
 pub use uarch::{
     BpredConfig, BpredStats, CacheConfig, CacheStats, CommitMode, CoreConfig, CoreStats,
     MemHierConfig, NoProbes, OoOCore, ProbePoint, Prober,

@@ -500,8 +500,10 @@ mod tests {
 
     #[test]
     fn aslr_changes_bases_but_offsets_stable() {
-        let mut cfg = LoadConfig::default();
-        cfg.aslr_seed = Some(1);
+        let mut cfg = LoadConfig {
+            aslr_seed: Some(1),
+            ..LoadConfig::default()
+        };
         let a = ProcessImage::load(&[main_module(), lib_module()], &cfg).unwrap();
         cfg.aslr_seed = Some(2);
         let b = ProcessImage::load(&[main_module(), lib_module()], &cfg).unwrap();

@@ -1,6 +1,7 @@
 //! High-level driver: functional execution and timing model in lockstep.
 
 use crate::error::SimError;
+use crate::fault::TruncationReason;
 use crate::interp::{Interp, Step};
 use crate::loader::ProcessImage;
 use crate::uarch::config::CoreConfig;
@@ -63,6 +64,36 @@ pub fn run_timed<P: Prober>(
     prober: &mut P,
     max_insns: u64,
 ) -> Result<TimedRun, SimError> {
+    match run_timed_partial(image, rand_seed, config, prober, max_insns)? {
+        (run, None) => Ok(run),
+        (_, Some(TruncationReason::InsnLimit(limit))) => Err(SimError::InsnLimit(limit)),
+        (_, Some(TruncationReason::Injected(limit))) => Err(SimError::InsnLimit(limit)),
+        (_, Some(TruncationReason::ExecFault { pc, message })) => {
+            Err(SimError::Exec { pc, message })
+        }
+    }
+}
+
+/// Like [`run_timed`], but a run that stops early still yields its partial
+/// statistics: the second tuple element says why the run was cut short
+/// (`None` for a clean program exit).
+///
+/// This is the recovery-oriented entry point: the sampler builds a partial
+/// profile from whatever retired before the fault instead of discarding the
+/// whole pass.
+///
+/// # Errors
+///
+/// Returns [`SimError::Load`]-class failures from constructing the
+/// interpreter; execution faults and budget exhaustion are *not* errors here
+/// — they surface as a [`TruncationReason`] alongside the partial run.
+pub fn run_timed_partial<P: Prober>(
+    image: &ProcessImage,
+    rand_seed: u64,
+    config: CoreConfig,
+    prober: &mut P,
+    max_insns: u64,
+) -> Result<(TimedRun, Option<TruncationReason>), SimError> {
     let mut interp = Interp::new(image, rand_seed)?;
     let mut core = OoOCore::new(config);
     let mut error: Option<SimError> = None;
@@ -84,17 +115,23 @@ pub fn run_timed<P: Prober>(
         },
         prober,
     );
-    if let Some(e) = error {
-        return Err(e);
-    }
-    if limit_hit && interp.exit_code().is_none() {
-        return Err(SimError::InsnLimit(max_insns));
-    }
-    Ok(TimedRun {
-        stats,
-        exit_code: interp.exit_code(),
-        output: interp.output_string(),
-    })
+    let truncated = match error {
+        Some(SimError::Exec { pc, message }) => Some(TruncationReason::ExecFault { pc, message }),
+        Some(SimError::InsnLimit(n)) => Some(TruncationReason::InsnLimit(n)),
+        Some(e @ SimError::Load(_)) => return Err(e),
+        None if limit_hit && interp.exit_code().is_none() => {
+            Some(TruncationReason::InsnLimit(max_insns))
+        }
+        None => None,
+    };
+    Ok((
+        TimedRun {
+            stats,
+            exit_code: interp.exit_code(),
+            output: interp.output_string(),
+        },
+        truncated,
+    ))
 }
 
 #[cfg(test)]
@@ -136,5 +173,35 @@ mod tests {
         let image = ProcessImage::load_single(&m).unwrap();
         let err = run_timed(&image, 0, CoreConfig::tiny(), &mut NoProbes, 1000);
         assert!(matches!(err, Err(SimError::InsnLimit(1000))));
+    }
+
+    #[test]
+    fn partial_run_keeps_stats_at_limit() {
+        let m = assemble(
+            "spin",
+            ".func _start global\nspin: jmp spin\n.endfunc\n.entry _start",
+        )
+        .unwrap();
+        let image = ProcessImage::load_single(&m).unwrap();
+        let (run, truncated) =
+            run_timed_partial(&image, 0, CoreConfig::tiny(), &mut NoProbes, 1000).unwrap();
+        assert_eq!(truncated, Some(TruncationReason::InsnLimit(1000)));
+        assert!(run.stats.retired >= 1000);
+        assert!(run.stats.cycles > 0);
+        assert_eq!(run.exit_code, None);
+    }
+
+    #[test]
+    fn partial_run_clean_exit_has_no_truncation() {
+        let m = assemble(
+            "t",
+            ".func _start global\nli x1, 0\nli x0, 0\nsyscall\n.endfunc\n.entry _start",
+        )
+        .unwrap();
+        let image = ProcessImage::load_single(&m).unwrap();
+        let (run, truncated) =
+            run_timed_partial(&image, 0, CoreConfig::tiny(), &mut NoProbes, 1000).unwrap();
+        assert_eq!(truncated, None);
+        assert_eq!(run.exit_code, Some(0));
     }
 }

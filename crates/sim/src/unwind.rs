@@ -23,7 +23,7 @@ pub const MAX_FRAMES: usize = 128;
 pub fn unwind_frame_pointers(memory: &Memory, mut fp: u64, stack_top: u64) -> Vec<u64> {
     let mut frames = Vec::new();
     for _ in 0..MAX_FRAMES {
-        if fp == 0 || fp >= stack_top || fp % 8 != 0 {
+        if fp == 0 || fp >= stack_top || !fp.is_multiple_of(8) {
             break;
         }
         let saved_fp = memory.read_u64(fp);

@@ -39,6 +39,15 @@ pub(crate) fn all() -> Vec<Workload> {
             builder: loop_merge,
         },
         Workload {
+            name: "rand_walk",
+            description: "control flow driven by the seeded rand syscall: \
+                          both the outer trip count and every inner trip \
+                          count are drawn from rand; desynced seeds between \
+                          the two passes make the runs diverge (§IV-F)",
+            kind: Kind::Micro,
+            builder: rand_walk,
+        },
+        Workload {
             name: "stack_attr",
             description: "two loops in different functions calling a shared \
                           callee, plus a second caller chain; validates \
@@ -248,6 +257,50 @@ fn loop_merge(size: InputSize) -> Result<Vec<Module>, IsaError> {
     Ok(vec![assemble("loop_merge", &src)?])
 }
 
+/// §IV-F's determinism assumption, made falsifiable: the whole execution is
+/// a function of the `rand` syscall's seed. One draw picks the outer trip
+/// count; every outer iteration draws again for the inner trip count. Two
+/// runs with the same seed match instruction-for-instruction; two runs with
+/// different seeds retire visibly different instruction totals, which the
+/// post-join divergence check must flag.
+fn rand_walk(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let base = scale(size, 512, 5_000, 20_000);
+    let mask = scale(size, 1_023, 8_191, 32_767);
+    let src = format!(
+        r#"
+        .func _start global
+        .loc "walk.c" 1
+            li x0, 5
+            syscall            ; x0 = rand()
+            li x3, {mask}
+            and x8, x0, x3     ; outer trips: {base}..{base}+{mask}
+            addi x8, x8, {base}
+            li x9, 0
+        outer:
+        .loc "walk.c" 3
+            li x0, 5
+            syscall            ; fresh draw per iteration
+            andi x1, x0, 63    ; inner trips: 0..63
+        .loc "walk.c" 4
+        inner:
+            beq x1, x9, next
+            addi x2, x2, 1
+            subi x1, x1, 1
+            jmp inner
+        next:
+        .loc "walk.c" 6
+            subi x8, x8, 1
+            bne x8, x9, outer
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    );
+    Ok(vec![assemble("rand_walk", &src)?])
+}
+
 /// Figures 4 and 5: `func3` is called from `loop1` (in `func1`, hot) and
 /// from `loop2` (in `func2`, cold) in a 3:1 ratio; `func1` is itself called
 /// from `loop0` (in `func0`) and from `func4`. Stack profiling must credit
@@ -387,6 +440,11 @@ mod tests {
     #[test]
     fn stack_attr_runs() {
         runs_clean("stack_attr");
+    }
+
+    #[test]
+    fn rand_walk_runs() {
+        runs_clean("rand_walk");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use optiwise::{run_optiwise, Analysis, AnalysisOptions, OptiwiseConfig};
 use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
 use wiser_isa::{assemble, Module};
 use wiser_sampler::{sample_run, SampleProfile, SamplerConfig};
-use wiser_sim::{CoreConfig, ProcessImage, SimError};
+use wiser_sim::{CoreConfig, ProcessImage, TruncationReason};
 
 fn immediate_exit() -> Module {
     assemble(
@@ -110,21 +110,25 @@ fn undersampled_run_yields_no_samples_but_valid_profile() {
 }
 
 #[test]
-fn dbi_instruction_limit_enforced() {
+fn dbi_instruction_limit_yields_partial_profile() {
     let module = assemble(
         "spin",
         ".func _start global\nspin: jmp spin\n.endfunc\n.entry _start",
     )
     .unwrap();
     let image = ProcessImage::load_single(&module).unwrap();
-    let result = instrument_run(
+    let counts = instrument_run(
         &image,
         &DbiConfig {
             max_insns: 5_000,
             ..DbiConfig::default()
         },
-    );
-    assert!(matches!(result, Err(SimError::InsnLimit(5_000))));
+    )
+    .unwrap();
+    // The limit still binds, but the work done so far is kept and labelled.
+    assert_eq!(counts.truncated, Some(TruncationReason::InsnLimit(5_000)));
+    assert!(counts.total_insns() > 0);
+    assert!(counts.total_insns() <= 5_000);
 }
 
 #[test]

@@ -1,0 +1,171 @@
+//! Deterministic fault-injection tests: every recovery path of the
+//! pipeline is driven by a seeded [`FaultPlan`] and asserted end to end —
+//! partial-profile recovery, degraded sampling-only analysis, corrupted
+//! profile text, and run-divergence detection on desynced seeds.
+
+use optiwise::{
+    report, run_optiwise, AnalysisMode, OptiwiseConfig, OptiwiseError,
+    DEFAULT_DIVERGENCE_THRESHOLD,
+};
+use wiser_dbi::CountsProfile;
+use wiser_isa::Module;
+use wiser_sampler::SampleProfile;
+use wiser_sim::{FaultPlan, TruncationReason};
+
+fn rand_walk() -> Vec<Module> {
+    wiser_workloads::by_name("rand_walk")
+        .expect("rand_walk workload registered")
+        .build(wiser_workloads::InputSize::Test)
+        .unwrap()
+}
+
+fn counted_loop() -> Module {
+    wiser_isa::assemble(
+        "cl",
+        r#"
+        .func _start global
+            li x8, 5000
+            li x9, 0
+        loop:
+            addi x1, x1, 1
+            subi x8, x8, 1
+            bne x8, x9, loop
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#,
+    )
+    .unwrap()
+}
+
+#[test]
+fn truncated_counts_still_produce_labelled_degraded_report() {
+    let mut cfg = OptiwiseConfig::default();
+    cfg.fault.truncate_counts_at = Some(4_000);
+    let run = run_optiwise(&[counted_loop()], &cfg).unwrap();
+
+    assert_eq!(run.analysis.mode, AnalysisMode::SamplingOnly);
+    assert_eq!(run.counts.truncated, Some(TruncationReason::Injected(4_000)));
+    // Sampling data survives: cycles are attributed even without counts.
+    assert!(run.analysis.total_cycles > 0);
+    assert_eq!(run.analysis.total_insns, 0);
+
+    // The report says so, loudly, instead of printing silently wrong CPI.
+    let text = report::full_report(&run.analysis, 10);
+    assert!(text.contains("DEGRADED"), "{text}");
+    assert!(text.contains("truncated"), "{text}");
+    assert!(text.contains("-- functions --"), "{text}");
+}
+
+#[test]
+fn dropped_samples_never_lose_cycles() {
+    let mut cfg = OptiwiseConfig::default();
+    cfg.fault.seed = 7;
+    cfg.fault.drop_sample_pct = 40;
+    let faulty = run_optiwise(&[counted_loop()], &cfg).unwrap();
+    let clean = run_optiwise(&[counted_loop()], &OptiwiseConfig::default()).unwrap();
+
+    // Dropping is per-sample, not per-cycle: the conserved quantity is
+    // samples + unmapped, and total_cycles comes from the run itself.
+    assert!(faulty.samples.samples.len() < clean.samples.samples.len());
+    assert_eq!(
+        faulty.samples.samples.len() as u64 + faulty.samples.unmapped,
+        clean.samples.samples.len() as u64 + clean.samples.unmapped,
+    );
+    assert_eq!(faulty.samples.total_cycles, clean.samples.total_cycles);
+    // And the same fault plan drops the same samples every time.
+    let again = run_optiwise(&[counted_loop()], &cfg).unwrap();
+    assert_eq!(again.samples.samples, faulty.samples.samples);
+}
+
+#[test]
+fn zero_sample_run_analyzes_without_panicking() {
+    // Drop every sample: the profile is empty but the pipeline, the join
+    // and the report all keep working.
+    let mut cfg = OptiwiseConfig::default();
+    cfg.fault.drop_sample_pct = 100;
+    let run = run_optiwise(&[counted_loop()], &cfg).unwrap();
+    assert!(run.samples.samples.is_empty());
+    assert!(run.samples.unmapped > 0);
+    assert_eq!(run.analysis.total_cycles, 0);
+    assert!(run.counts.total_insns() > 0);
+    let text = report::full_report(&run.analysis, 10);
+    assert!(text.contains("OptiWISE report"), "{text}");
+}
+
+#[test]
+fn desynced_rand_seed_is_detected_as_divergence() {
+    // Same program, but the instrumentation pass runs with a different
+    // rand seed: §IV-F's same-control-flow assumption is broken and the
+    // reconciliation pass must notice.
+    let mut cfg = OptiwiseConfig::default();
+    cfg.fault.desync_rand_seed = Some(99);
+    let run = run_optiwise(&rand_walk(), &cfg).unwrap();
+    let score = run.analysis.diagnostics.divergence_score;
+    assert!(
+        score > DEFAULT_DIVERGENCE_THRESHOLD,
+        "desynced run scored {score}"
+    );
+    assert!(!run.analysis.diagnostics.warnings.is_empty());
+
+    // The same desync under --strict is a hard Divergence error.
+    cfg.strict = true;
+    match run_optiwise(&rand_walk(), &cfg) {
+        Err(OptiwiseError::Divergence { score, .. }) => {
+            assert!(score > DEFAULT_DIVERGENCE_THRESHOLD);
+        }
+        Err(e) => panic!("expected divergence, got {e}"),
+        Ok(_) => panic!("strict desynced run must fail"),
+    }
+
+    // And the control: synced seeds stay comfortably under the threshold.
+    let clean = run_optiwise(&rand_walk(), &OptiwiseConfig::default()).unwrap();
+    assert!(
+        clean.analysis.diagnostics.divergence_score < DEFAULT_DIVERGENCE_THRESHOLD,
+        "clean run scored {}",
+        clean.analysis.diagnostics.divergence_score
+    );
+}
+
+#[test]
+fn injected_sampling_abort_is_retried_only_for_real_limits() {
+    // An injected abort is deterministic: retrying would waste a run, so
+    // the runner must not spend its retry budget on it.
+    let mut cfg = OptiwiseConfig::default();
+    cfg.fault.abort_sample_at = Some(3_000);
+    let run = run_optiwise(&[counted_loop()], &cfg).unwrap();
+    assert_eq!(run.attempts.0, 1);
+    assert_eq!(run.samples.truncated, Some(TruncationReason::Injected(3_000)));
+    // The sampling profile is partial but still used in full mode (counts
+    // pass is healthy).
+    assert_eq!(run.analysis.mode, AnalysisMode::Full);
+}
+
+#[test]
+fn corrupted_profile_text_fails_parse_with_line_number() {
+    let run = run_optiwise(&[counted_loop()], &OptiwiseConfig::default()).unwrap();
+    let plan = FaultPlan {
+        corrupt_text: true,
+        ..FaultPlan::default()
+    };
+
+    let bad_samples = plan.corrupt(&run.samples.to_text());
+    let bad_counts = plan.corrupt(&run.counts.to_text());
+    assert_ne!(bad_samples, run.samples.to_text());
+    assert_ne!(bad_counts, run.counts.to_text());
+
+    let err = SampleProfile::from_text(&bad_samples).unwrap_err();
+    assert!(err.line > 0, "corruption is past the header: {err}");
+    let err = CountsProfile::from_text(&bad_counts).unwrap_err();
+    assert!(err.line > 0, "corruption is past the header: {err}");
+
+    // Uncorrupted text still round-trips, including truncation markers.
+    let mut truncated = run.counts.clone();
+    truncated.truncated = Some(TruncationReason::ExecFault {
+        pc: 0x40,
+        message: "injected".into(),
+    });
+    let back = CountsProfile::from_text(&truncated.to_text()).unwrap();
+    assert_eq!(back, truncated);
+}

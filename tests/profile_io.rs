@@ -17,8 +17,10 @@ fn profiles_roundtrip_through_text_files() {
         .unwrap();
 
     // Pass 1: sampling.
-    let mut load_a = LoadConfig::default();
-    load_a.aslr_seed = Some(7);
+    let load_a = LoadConfig {
+        aslr_seed: Some(7),
+        ..LoadConfig::default()
+    };
     let image_a = ProcessImage::load(&modules, &load_a).unwrap();
     let (samples, _) = sample_run(
         &image_a,
@@ -30,8 +32,10 @@ fn profiles_roundtrip_through_text_files() {
     .unwrap();
 
     // Pass 2: instrumentation under another layout.
-    let mut load_b = LoadConfig::default();
-    load_b.aslr_seed = Some(8);
+    let load_b = LoadConfig {
+        aslr_seed: Some(8),
+        ..LoadConfig::default()
+    };
     let image_b = ProcessImage::load(&modules, &load_b).unwrap();
     let counts = instrument_run(&image_b, &DbiConfig::default()).unwrap();
 

@@ -1,8 +1,14 @@
-//! Property-based tests (proptest) over the core data structures and
-//! invariants of the stack: instruction encoding, memory, profile
-//! serialization, cache behaviour, and timing-model conservation laws.
+//! Randomized property tests over the core data structures and invariants
+//! of the stack: instruction encoding, memory, profile serialization, and
+//! timing-model conservation laws.
+//!
+//! Deterministic by construction: each case derives its inputs from a fixed
+//! seed through the in-tree `rand` generator, so failures reproduce exactly
+//! (the hermetic environment has no proptest; these loops cover the same
+//! invariants with explicit generators).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use wiser_dbi::{instrument_run, DbiConfig};
 use wiser_isa::{
@@ -11,239 +17,302 @@ use wiser_isa::{
 use wiser_sampler::{Sample, SampleProfile};
 use wiser_sim::{run_timed, CoreConfig, Memory, NoProbes, ProcessImage};
 
-fn gpr() -> impl Strategy<Value = Gpr> {
-    (0u8..16).prop_map(|i| Gpr::new(i).unwrap())
-}
+/// Deterministic case generator.
+struct Gen(StdRng);
 
-fn fpr() -> impl Strategy<Value = Fpr> {
-    (0u8..8).prop_map(|i| Fpr::new(i).unwrap())
-}
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen(StdRng::seed_from_u64(seed))
+    }
 
-fn cond() -> impl Strategy<Value = Cond> {
-    prop_oneof![
-        Just(Cond::Eq),
-        Just(Cond::Ne),
-        Just(Cond::Lt),
-        Just(Cond::Ge),
-        Just(Cond::Ltu),
-        Just(Cond::Geu),
-    ]
-}
+    fn u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
 
-fn alu_op() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(AluOp::all().to_vec())
-}
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.0.gen_range(lo..hi)
+    }
 
-fn fp_op() -> impl Strategy<Value = FpOp> {
-    prop::sample::select(FpOp::all().to_vec())
-}
+    fn i32(&mut self) -> i32 {
+        self.u64() as i32
+    }
 
-fn width() -> impl Strategy<Value = Width> {
-    prop_oneof![Just(Width::W1), Just(Width::W4), Just(Width::W8)]
-}
+    fn u32(&mut self) -> u32 {
+        self.u64() as u32
+    }
 
-fn scale() -> impl Strategy<Value = Scale> {
-    prop_oneof![
-        Just(Scale::S1),
-        Just(Scale::S2),
-        Just(Scale::S4),
-        Just(Scale::S8)
-    ]
-}
+    fn gpr(&mut self) -> Gpr {
+        Gpr::new(self.range(0, 16) as u8).unwrap()
+    }
 
-fn insn() -> impl Strategy<Value = Insn> {
-    prop_oneof![
-        Just(Insn::Nop),
-        Just(Insn::Ret),
-        Just(Insn::Syscall),
-        (alu_op(), gpr(), gpr(), gpr())
-            .prop_map(|(op, rd, rs1, rs2)| Insn::Alu { op, rd, rs1, rs2 }),
-        (alu_op(), gpr(), gpr(), any::<i32>())
-            .prop_map(|(op, rd, rs1, imm)| Insn::AluImm { op, rd, rs1, imm }),
-        (gpr(), any::<i32>()).prop_map(|(rd, imm)| Insn::Li { rd, imm }),
-        (gpr(), any::<i32>()).prop_map(|(rd, imm)| Insn::Lui { rd, imm }),
-        (gpr(), gpr()).prop_map(|(rd, rs)| Insn::Mov { rd, rs }),
-        (cond(), gpr(), gpr(), gpr())
-            .prop_map(|(cond, rd, rs, rc)| Insn::Cmov { cond, rd, rs, rc }),
-        (cond(), gpr(), gpr(), gpr())
-            .prop_map(|(cond, rd, rs1, rs2)| Insn::SetCond { cond, rd, rs1, rs2 }),
-        (width(), gpr(), gpr(), any::<i32>()).prop_map(|(width, rd, base, disp)| Insn::Ld {
-            width,
-            rd,
-            base,
-            disp
-        }),
-        (width(), gpr(), gpr(), gpr(), scale(), any::<i32>()).prop_map(
-            |(width, rd, base, index, scale, disp)| Insn::Ldx {
-                width,
-                rd,
-                base,
-                index,
-                scale,
-                disp
-            }
-        ),
-        (width(), gpr(), gpr(), gpr(), scale(), any::<i32>()).prop_map(
-            |(width, rs, base, index, scale, disp)| Insn::Stx {
-                width,
-                rs,
-                base,
-                index,
-                scale,
-                disp
-            }
-        ),
-        (gpr(), any::<i32>()).prop_map(|(base, disp)| Insn::Prefetch { base, disp }),
-        gpr().prop_map(|rs| Insn::Push { rs }),
-        gpr().prop_map(|rd| Insn::Pop { rd }),
-        any::<u32>().prop_map(|target| Insn::Jmp { target }),
-        (cond(), gpr(), gpr(), any::<u32>()).prop_map(|(cond, rs1, rs2, target)| Insn::B {
-            cond,
-            rs1,
-            rs2,
-            target
-        }),
-        gpr().prop_map(|rs| Insn::Jr { rs }),
-        any::<u32>().prop_map(|slot| Insn::JmpGot { slot }),
-        any::<u32>().prop_map(|target| Insn::Call { target }),
-        gpr().prop_map(|rs| Insn::Callr { rs }),
-        (fp_op(), fpr(), fpr(), fpr())
-            .prop_map(|(op, fd, fs1, fs2)| Insn::Fp { op, fd, fs1, fs2 }),
-        (fpr(), fpr()).prop_map(|(fd, fs)| Insn::Fsqrt { fd, fs }),
-        (
-            prop_oneof![Just(FpCmp::Feq), Just(FpCmp::Flt), Just(FpCmp::Fle)],
-            gpr(),
-            fpr(),
-            fpr()
-        )
-            .prop_map(|(cmp, rd, fs1, fs2)| Insn::Fcmp { cmp, rd, fs1, fs2 }),
-        (fpr(), gpr(), any::<i32>()).prop_map(|(fd, base, disp)| Insn::Fld { fd, base, disp }),
-        (fpr(), gpr(), any::<i32>()).prop_map(|(fs, base, disp)| Insn::Fst { fs, base, disp }),
-    ]
-}
+    fn fpr(&mut self) -> Fpr {
+        Fpr::new(self.range(0, 8) as u8).unwrap()
+    }
 
-proptest! {
-    /// Every instruction round-trips through its 8-byte encoding.
-    #[test]
-    fn encoding_roundtrip(insn in insn()) {
-        // Cmov only uses Eq/Ne in the surface syntax but any condition
-        // encodes; normalize to the two meaningful ones.
-        let insn = match insn {
-            Insn::Cmov { cond, rd, rs, rc } => Insn::Cmov {
-                cond: if cond == Cond::Eq { Cond::Eq } else { Cond::Ne },
-                rd, rs, rc,
+    fn cond(&mut self) -> Cond {
+        [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Ge, Cond::Ltu, Cond::Geu]
+            [self.range(0, 6) as usize]
+    }
+
+    fn alu_op(&mut self) -> AluOp {
+        let all = AluOp::all();
+        all[self.range(0, all.len() as u64) as usize]
+    }
+
+    fn fp_op(&mut self) -> FpOp {
+        let all = FpOp::all();
+        all[self.range(0, all.len() as u64) as usize]
+    }
+
+    fn width(&mut self) -> Width {
+        [Width::W1, Width::W4, Width::W8][self.range(0, 3) as usize]
+    }
+
+    fn scale(&mut self) -> Scale {
+        [Scale::S1, Scale::S2, Scale::S4, Scale::S8][self.range(0, 4) as usize]
+    }
+
+    fn insn(&mut self) -> Insn {
+        match self.range(0, 24) {
+            0 => Insn::Nop,
+            1 => Insn::Ret,
+            2 => Insn::Syscall,
+            3 => Insn::Alu {
+                op: self.alu_op(),
+                rd: self.gpr(),
+                rs1: self.gpr(),
+                rs2: self.gpr(),
             },
-            other => other,
-        };
+            4 => Insn::AluImm {
+                op: self.alu_op(),
+                rd: self.gpr(),
+                rs1: self.gpr(),
+                imm: self.i32(),
+            },
+            5 => Insn::Li {
+                rd: self.gpr(),
+                imm: self.i32(),
+            },
+            6 => Insn::Lui {
+                rd: self.gpr(),
+                imm: self.i32(),
+            },
+            7 => Insn::Mov {
+                rd: self.gpr(),
+                rs: self.gpr(),
+            },
+            8 => Insn::Cmov {
+                // Only Eq/Ne are meaningful in the surface syntax.
+                cond: if self.range(0, 2) == 0 { Cond::Eq } else { Cond::Ne },
+                rd: self.gpr(),
+                rs: self.gpr(),
+                rc: self.gpr(),
+            },
+            9 => Insn::SetCond {
+                cond: self.cond(),
+                rd: self.gpr(),
+                rs1: self.gpr(),
+                rs2: self.gpr(),
+            },
+            10 => Insn::Ld {
+                width: self.width(),
+                rd: self.gpr(),
+                base: self.gpr(),
+                disp: self.i32(),
+            },
+            11 => Insn::Ldx {
+                width: self.width(),
+                rd: self.gpr(),
+                base: self.gpr(),
+                index: self.gpr(),
+                scale: self.scale(),
+                disp: self.i32(),
+            },
+            12 => Insn::Stx {
+                width: self.width(),
+                rs: self.gpr(),
+                base: self.gpr(),
+                index: self.gpr(),
+                scale: self.scale(),
+                disp: self.i32(),
+            },
+            13 => Insn::Prefetch {
+                base: self.gpr(),
+                disp: self.i32(),
+            },
+            14 => Insn::Push { rs: self.gpr() },
+            15 => Insn::Pop { rd: self.gpr() },
+            16 => Insn::Jmp { target: self.u32() },
+            17 => Insn::B {
+                cond: self.cond(),
+                rs1: self.gpr(),
+                rs2: self.gpr(),
+                target: self.u32(),
+            },
+            18 => Insn::Jr { rs: self.gpr() },
+            19 => Insn::JmpGot { slot: self.u32() },
+            20 => Insn::Call { target: self.u32() },
+            21 => Insn::Callr { rs: self.gpr() },
+            22 => Insn::Fp {
+                op: self.fp_op(),
+                fd: self.fpr(),
+                fs1: self.fpr(),
+                fs2: self.fpr(),
+            },
+            23 => match self.range(0, 4) {
+                0 => Insn::Fsqrt {
+                    fd: self.fpr(),
+                    fs: self.fpr(),
+                },
+                1 => Insn::Fcmp {
+                    cmp: [FpCmp::Feq, FpCmp::Flt, FpCmp::Fle][self.range(0, 3) as usize],
+                    rd: self.gpr(),
+                    fs1: self.fpr(),
+                    fs2: self.fpr(),
+                },
+                2 => Insn::Fld {
+                    fd: self.fpr(),
+                    base: self.gpr(),
+                    disp: self.i32(),
+                },
+                _ => Insn::Fst {
+                    fs: self.fpr(),
+                    base: self.gpr(),
+                    disp: self.i32(),
+                },
+            },
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Every instruction round-trips through its 8-byte encoding, and the
+/// disassembler renders it non-empty.
+#[test]
+fn encoding_roundtrip_and_disassembly_total() {
+    let mut gen = Gen::new(0x01);
+    for case in 0..2000 {
+        let insn = gen.insn();
         let bytes = encode_insn(&insn);
         let back = decode_insn(&bytes).expect("valid encoding decodes");
-        prop_assert_eq!(back, insn);
-    }
-
-    /// The disassembler renders every instruction without panicking and
-    /// never produces an empty string.
-    #[test]
-    fn disassembly_total(insn in insn()) {
+        assert_eq!(back, insn, "case {case}");
         let text = wiser_isa::format_insn(&insn);
-        prop_assert!(!text.is_empty());
+        assert!(!text.is_empty(), "case {case}");
     }
+}
 
-    /// Condition algebra: Lt is the negation of Ge, Ltu of Geu, Eq of Ne.
-    #[test]
-    fn cond_negation(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(Cond::Lt.eval(a, b), !Cond::Ge.eval(a, b));
-        prop_assert_eq!(Cond::Ltu.eval(a, b), !Cond::Geu.eval(a, b));
-        prop_assert_eq!(Cond::Eq.eval(a, b), !Cond::Ne.eval(a, b));
+/// Condition algebra: Lt is the negation of Ge, Ltu of Geu, Eq of Ne.
+#[test]
+fn cond_negation() {
+    let mut gen = Gen::new(0x02);
+    for _ in 0..2000 {
+        let (a, b) = (gen.u64(), gen.u64());
+        assert_eq!(Cond::Lt.eval(a, b), !Cond::Ge.eval(a, b));
+        assert_eq!(Cond::Ltu.eval(a, b), !Cond::Geu.eval(a, b));
+        assert_eq!(Cond::Eq.eval(a, b), !Cond::Ne.eval(a, b));
     }
+}
 
-    /// ALU semantics: add/sub inverse, division identity a = q*b + r.
-    #[test]
-    fn alu_algebra(a in any::<u64>(), b in any::<u64>()) {
+/// ALU semantics: add/sub inverse, division identity a = q*b + r.
+#[test]
+fn alu_algebra() {
+    let mut gen = Gen::new(0x03);
+    for _ in 0..2000 {
+        let (a, b) = (gen.u64(), gen.u64());
         let sum = AluOp::Add.eval(a, b);
-        prop_assert_eq!(AluOp::Sub.eval(sum, b), a);
+        assert_eq!(AluOp::Sub.eval(sum, b), a);
         if b != 0 {
             let q = AluOp::Udiv.eval(a, b);
             let r = AluOp::Urem.eval(a, b);
-            prop_assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
-            prop_assert!(r < b);
+            assert_eq!(q.wrapping_mul(b).wrapping_add(r), a);
+            assert!(r < b);
         }
     }
+}
 
-    /// Sparse memory behaves like a flat byte map.
-    #[test]
-    fn memory_matches_model(
-        writes in prop::collection::vec((0u64..0x10000, any::<u8>()), 1..200),
-        probes in prop::collection::vec(0u64..0x10000, 1..100),
-    ) {
+/// Sparse memory behaves like a flat byte map.
+#[test]
+fn memory_matches_model() {
+    let mut gen = Gen::new(0x04);
+    for _ in 0..50 {
         let mut mem = Memory::new();
         let mut model = std::collections::HashMap::new();
-        for (addr, value) in &writes {
-            mem.write_u8(*addr, *value);
-            model.insert(*addr, *value);
+        for _ in 0..gen.range(1, 200) {
+            let (addr, value) = (gen.range(0, 0x10000), gen.u64() as u8);
+            mem.write_u8(addr, value);
+            model.insert(addr, value);
         }
-        for addr in &probes {
-            prop_assert_eq!(mem.read_u8(*addr), model.get(addr).copied().unwrap_or(0));
+        for _ in 0..gen.range(1, 100) {
+            let addr = gen.range(0, 0x10000);
+            assert_eq!(mem.read_u8(addr), model.get(&addr).copied().unwrap_or(0));
         }
     }
+}
 
-    /// Multi-byte reads assemble little-endian from byte writes.
-    #[test]
-    fn memory_endianness(addr in 0u64..0xFFFF, value in any::<u64>()) {
+/// Multi-byte reads assemble little-endian from byte writes.
+#[test]
+fn memory_endianness() {
+    let mut gen = Gen::new(0x05);
+    for _ in 0..500 {
+        let (addr, value) = (gen.range(0, 0xFFFF), gen.u64());
         let mut mem = Memory::new();
         mem.write_u64(addr, value);
         for i in 0..8 {
-            prop_assert_eq!(mem.read_u8(addr + i), (value >> (8 * i)) as u8);
+            assert_eq!(mem.read_u8(addr + i), (value >> (8 * i)) as u8);
         }
-        prop_assert_eq!(mem.read_u32(addr), value as u32);
+        assert_eq!(mem.read_u32(addr), value as u32);
     }
+}
 
-    /// Sample profiles survive text serialization for arbitrary contents.
-    #[test]
-    fn sample_profile_roundtrip(
-        samples in prop::collection::vec(
-            (0u32..3, 0u64..0x10000, 0u64..100_000,
-             prop::collection::vec((0u32..3, 0u64..0x10000), 0..4)),
-            0..40,
-        ),
-        period in 1u64..100_000,
-    ) {
+/// Sample profiles survive text serialization for arbitrary contents.
+#[test]
+fn sample_profile_roundtrip() {
+    let mut gen = Gen::new(0x06);
+    for _ in 0..100 {
+        let period = gen.range(1, 100_000);
+        let mut samples = Vec::new();
+        for _ in 0..gen.range(0, 40) {
+            let stack = (0..gen.range(0, 4))
+                .map(|_| wiser_sim::CodeLoc {
+                    module: wiser_sim::ModuleId(gen.range(0, 3) as u32),
+                    offset: gen.range(0, 0x10000) & !7,
+                })
+                .collect();
+            samples.push(Sample {
+                loc: wiser_sim::CodeLoc {
+                    module: wiser_sim::ModuleId(gen.range(0, 3) as u32),
+                    offset: gen.range(0, 0x10000) & !7,
+                },
+                weight: gen.range(0, 100_000),
+                stack,
+            });
+        }
         let profile = SampleProfile {
             module_names: vec!["a".into(), "b".into(), "c".into()],
-            samples: samples
-                .into_iter()
-                .map(|(m, off, weight, stack)| Sample {
-                    loc: wiser_sim::CodeLoc {
-                        module: wiser_sim::ModuleId(m),
-                        offset: off & !7,
-                    },
-                    weight,
-                    stack: stack
-                        .into_iter()
-                        .map(|(sm, so)| wiser_sim::CodeLoc {
-                            module: wiser_sim::ModuleId(sm),
-                            offset: so & !7,
-                        })
-                        .collect(),
-                })
-                .collect(),
+            samples,
             period,
             total_cycles: period * 1000,
             unmapped: 3,
+            ..SampleProfile::default()
         };
         let back = SampleProfile::from_text(&profile.to_text()).expect("roundtrip parses");
-        prop_assert_eq!(back, profile);
+        assert_eq!(back, profile);
     }
+}
 
-    /// Random loop nests: the reconstructed loop forest recovers the exact
-    /// nesting depth, back-edge frequencies and invocation counts that the
-    /// program was generated with.
-    #[test]
-    fn loop_forest_recovers_random_nests(
-        iters in prop::collection::vec(2u64..6, 1..4),
-    ) {
-        use wiser_cfg::{build_cfg, find_all_loops, MERGE_THRESHOLD};
+/// Random loop nests: the reconstructed loop forest recovers the exact
+/// nesting depth, back-edge frequencies and invocation counts that the
+/// program was generated with.
+#[test]
+fn loop_forest_recovers_random_nests() {
+    use wiser_cfg::{build_cfg, find_all_loops, MERGE_THRESHOLD};
 
-        let depth = iters.len();
+    let mut gen = Gen::new(0x07);
+    for _ in 0..12 {
+        let depth = gen.range(1, 4) as usize;
+        let iters: Vec<u64> = (0..depth).map(|_| gen.range(2, 6)).collect();
+
         let mut asm = wiser_isa::asm::Asm::new("nest");
         asm.func("_start", true);
         let zero = Gpr::new(9).unwrap();
@@ -279,38 +348,40 @@ proptest! {
         let cfg = build_cfg(wiser_sim::ModuleId(0), &image.modules[0].linked, &counts);
         let forest = &find_all_loops(&cfg, Some(MERGE_THRESHOLD))[0];
 
-        prop_assert_eq!(forest.loops.len(), depth);
+        assert_eq!(forest.loops.len(), depth);
         let mut by_depth: Vec<_> = forest.loops.iter().collect();
         by_depth.sort_by_key(|l| l.depth);
         let mut outer_product = 1u64;
         for (level, l) in by_depth.iter().enumerate() {
-            prop_assert_eq!(l.depth, level);
+            assert_eq!(l.depth, level);
             // Back edges: outer iterations × (own iterations − 1).
-            prop_assert_eq!(
+            assert_eq!(
                 l.back_edge_freq,
                 outer_product * (iters[level] - 1),
-                "level {} of {:?}", level, &iters
+                "level {level} of {iters:?}"
             );
             outer_product *= iters[level];
         }
     }
+}
 
-    /// Random straight-line ALU programs: the timing model retires exactly
-    /// the instructions the functional run executed, in at least
-    /// ceil(n / commit_width) cycles.
-    #[test]
-    fn timing_conserves_instructions(
-        ops in prop::collection::vec((alu_op(), 1u8..8, 1u8..8, 1u8..8), 1..60),
-    ) {
+/// Random straight-line ALU programs: the timing model retires exactly the
+/// instructions the functional run executed, in at least
+/// ceil(n / commit_width) cycles.
+#[test]
+fn timing_conserves_instructions() {
+    let mut gen = Gen::new(0x08);
+    for _ in 0..20 {
+        let n_ops = gen.range(1, 60) as usize;
         let mut asm = wiser_isa::asm::Asm::new("prop");
         asm.func("_start", true);
-        for (op, rd, rs1, rs2) in &ops {
+        for _ in 0..n_ops {
             // Avoid writing x0 (syscall number register is set below).
             asm.alu(
-                *op,
-                Gpr::new(*rd).unwrap(),
-                Gpr::new(*rs1).unwrap(),
-                Gpr::new(*rs2).unwrap(),
+                gen.alu_op(),
+                Gpr::new(gen.range(1, 8) as u8).unwrap(),
+                Gpr::new(gen.range(1, 8) as u8).unwrap(),
+                Gpr::new(gen.range(1, 8) as u8).unwrap(),
             );
         }
         asm.li(Gpr::new(1).unwrap(), 0);
@@ -322,12 +393,12 @@ proptest! {
         let image = ProcessImage::load_single(&module).expect("loads");
         let run = run_timed(&image, 0, CoreConfig::xeon_like(), &mut NoProbes, 1_000_000)
             .expect("runs");
-        let n = ops.len() as u64 + 3;
-        prop_assert_eq!(run.stats.retired, n);
-        prop_assert!(run.stats.cycles >= n / 4);
+        let n = n_ops as u64 + 3;
+        assert_eq!(run.stats.retired, n);
+        assert!(run.stats.cycles >= n / 4);
         // And the DBI engine counts the same instructions.
         let counts = instrument_run(&image, &DbiConfig::default()).expect("instruments");
-        prop_assert_eq!(counts.cost.native_insns, n);
-        prop_assert_eq!(counts.total_insns(), n);
+        assert_eq!(counts.cost.native_insns, n);
+        assert_eq!(counts.total_insns(), n);
     }
 }
