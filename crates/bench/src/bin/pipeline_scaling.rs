@@ -1,0 +1,125 @@
+//! Pipeline-level scaling benchmark: sequential vs overlapped two-pass
+//! wall time, and batch throughput on the bounded worker pool.
+//!
+//! Every parallel run is also checked byte-for-byte against its sequential
+//! twin — the speedup is only interesting if the report cannot change.
+
+use std::time::Instant;
+
+use optiwise::{report, run_optiwise, AnalysisOptions, OptiwiseConfig};
+use wiser_bench::harness;
+use wiser_isa::Module;
+use wiser_workloads::InputSize;
+
+const WORKLOADS: &[&str] = &["rand_walk", "loop_merge", "udiv_chain", "mcf_like"];
+const REPS: usize = 3;
+
+fn build(name: &str) -> Vec<Module> {
+    wiser_workloads::by_name(name)
+        .unwrap_or_else(|| panic!("workload {name} registered"))
+        .build(InputSize::Test)
+        .unwrap()
+}
+
+fn config(parallel: bool) -> OptiwiseConfig {
+    OptiwiseConfig {
+        concurrent_passes: parallel,
+        analysis: AnalysisOptions {
+            jobs: if parallel {
+                wiser_par::available_jobs().max(2)
+            } else {
+                1
+            },
+            ..AnalysisOptions::default()
+        },
+        ..OptiwiseConfig::default()
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn timed_report(modules: &[Module], cfg: &OptiwiseConfig) -> (f64, String) {
+    let t = Instant::now();
+    let run = run_optiwise(modules, cfg).expect("pipeline");
+    let ms = t.elapsed().as_secs_f64() * 1e3;
+    (ms, report::full_report(&run.analysis, 10))
+}
+
+fn main() {
+    let threads = wiser_par::available_jobs();
+    let mut out = String::new();
+    out.push_str("Pipeline scaling: sequential vs overlapped two-pass wall time\n");
+    out.push_str(&format!(
+        "(median of {REPS} runs per cell; {threads} hardware thread(s))\n\n"
+    ));
+    out.push_str(&format!(
+        "{:<14} {:>10} {:>10} {:>8}\n",
+        "WORKLOAD", "SEQ ms", "PAR ms", "PAR/SEQ"
+    ));
+
+    let mut ratios = Vec::new();
+    for name in WORKLOADS {
+        let modules = build(name);
+        let mut seq_times = Vec::new();
+        let mut par_times = Vec::new();
+        for _ in 0..REPS {
+            let (ms, seq_report) = timed_report(&modules, &config(false));
+            seq_times.push(ms);
+            let (ms, par_report) = timed_report(&modules, &config(true));
+            par_times.push(ms);
+            assert_eq!(
+                seq_report, par_report,
+                "{name}: overlapped report must be byte-identical"
+            );
+        }
+        let seq = median(seq_times);
+        let par = median(par_times);
+        ratios.push(par / seq);
+        out.push_str(&format!(
+            "{:<14} {:>10.1} {:>10.1} {:>7.2}x\n",
+            name,
+            seq,
+            par,
+            par / seq
+        ));
+    }
+    out.push_str(&format!(
+        "\ngeomean par/seq wall-time ratio: {:.2}x (lower is better; <1 needs\n\
+         more than one hardware thread — the overlap adds no work, so the\n\
+         ratio stays ~1.0 on a single-core machine)\n",
+        harness::geomean(&ratios)
+    ));
+
+    // Batch throughput: the same four workloads back to back vs fanned out
+    // on the worker pool, as `optiwise run a b c d --jobs N` does.
+    let t = Instant::now();
+    for name in WORKLOADS {
+        run_optiwise(&build(name), &config(false)).expect("pipeline");
+    }
+    let batch_seq = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let pool = wiser_par::WorkerPool::new(threads.max(2).min(WORKLOADS.len()));
+    for name in WORKLOADS {
+        pool.execute(move || {
+            run_optiwise(&build(name), &config(false)).expect("pipeline");
+        });
+    }
+    pool.finish().expect("worker pool");
+    let batch_par = t.elapsed().as_secs_f64() * 1e3;
+
+    out.push_str(&format!(
+        "\nbatch of {} workloads: sequential {:.1} ms, worker pool {:.1} ms \
+         ({:.2}x)\n",
+        WORKLOADS.len(),
+        batch_seq,
+        batch_par,
+        batch_par / batch_seq
+    ));
+
+    print!("{out}");
+    harness::write_result("pipeline_scaling.txt", &out);
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! optiwise check
 //! optiwise list
-//! optiwise run [OPTIONS] <workload>          # both passes + report
+//! optiwise run [OPTIONS] <workload>...       # both passes + report
 //! optiwise sample [OPTIONS] <workload>       # sampling pass only
 //! optiwise instrument [OPTIONS] <workload>   # instrumentation pass only
 //! optiwise analyze [OPTIONS] <workload> --samples F --counts F
@@ -13,7 +13,12 @@
 //! Options: `--size test|train|ref`, `--arch xeon|neoverse`, `--period N`,
 //! `--attribution interrupt|precise|predecessor`, `--no-stack-profiling`,
 //! `--merge-threshold N|off`, `--seed N`, `--top N`, `--out FILE`,
-//! `--strict`, `--allow-partial`, `--inject SPEC`.
+//! `--jobs N`, `--strict`, `--allow-partial`, `--inject SPEC`.
+//!
+//! `run` accepts multiple workloads: they are profiled concurrently on a
+//! bounded worker pool (`--jobs N` threads) and the reports are merged in
+//! command-line order, so the output is byte-identical for every thread
+//! count.
 //!
 //! Exit codes mirror [`OptiwiseError::exit_code`]: 0 success, 2 load or
 //! disassembly failure, 3 execution fault, 4 instruction limit or disallowed
@@ -45,7 +50,8 @@ struct Options {
     counts_path: Option<String>,
     function: Option<String>,
     csv_dir: Option<String>,
-    workload: Option<String>,
+    workloads: Vec<String>,
+    jobs: usize,
     strict: bool,
     allow_partial: bool,
     fault: FaultPlan,
@@ -66,7 +72,8 @@ impl Default for Options {
             counts_path: None,
             function: None,
             csv_dir: None,
-            workload: None,
+            workloads: Vec::new(),
+            jobs: wiser_par::available_jobs(),
             strict: false,
             allow_partial: true,
             fault: FaultPlan::default(),
@@ -139,6 +146,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--counts" => opts.counts_path = Some(value(&mut i)?),
             "--function" => opts.function = Some(value(&mut i)?),
             "--csv-dir" => opts.csv_dir = Some(value(&mut i)?),
+            "--jobs" => {
+                opts.jobs = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad jobs: {e}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--strict" => opts.strict = true,
             "--allow-partial" => opts.allow_partial = true,
             "--no-partial" => opts.allow_partial = false,
@@ -150,29 +165,28 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"))
             }
-            _ => {
-                if opts.workload.is_some() {
-                    return Err(format!("unexpected argument `{}`", args[i]));
-                }
-                opts.workload = Some(args[i].clone());
-            }
+            _ => opts.workloads.push(args[i].clone()),
         }
         i += 1;
     }
     Ok(opts)
 }
 
-fn build_workload(opts: &Options) -> Result<Vec<Module>, OptiwiseError> {
-    let name = opts
-        .workload
-        .as_deref()
-        .ok_or_else(|| OptiwiseError::Usage("no workload given; see `optiwise list`".into()))?;
+fn build_named_workload(name: &str, size: InputSize) -> Result<Vec<Module>, OptiwiseError> {
     let workload = wiser_workloads::by_name(name).ok_or_else(|| {
         OptiwiseError::Usage(format!("unknown workload `{name}`; see `optiwise list`"))
     })?;
     workload
-        .build(opts.size)
+        .build(size)
         .map_err(|e| OptiwiseError::Load(format!("assembling `{name}`: {e}")))
+}
+
+fn build_workload(opts: &Options) -> Result<Vec<Module>, OptiwiseError> {
+    let name = opts
+        .workloads
+        .first()
+        .ok_or_else(|| OptiwiseError::Usage("no workload given; see `optiwise list`".into()))?;
+    build_named_workload(name, opts.size)
 }
 
 fn pipeline_config(opts: &Options) -> OptiwiseConfig {
@@ -185,11 +199,15 @@ fn pipeline_config(opts: &Options) -> OptiwiseConfig {
         },
         analysis: AnalysisOptions {
             merge_threshold: opts.merge_threshold,
+            jobs: opts.jobs,
         },
         rand_seed: opts.seed,
         strict: opts.strict,
         allow_partial: opts.allow_partial,
         fault: opts.fault,
+        // `--jobs 1` is the fully sequential reference mode; anything above
+        // overlaps the two profiling passes as well.
+        concurrent_passes: opts.jobs > 1,
         ..OptiwiseConfig::default()
     }
 }
@@ -256,7 +274,11 @@ fn cmd_list() -> Result<(), OptiwiseError> {
     Ok(())
 }
 
-fn cmd_run(opts: &Options) -> Result<(), OptiwiseError> {
+fn cmd_run(opts: Options) -> Result<(), OptiwiseError> {
+    if opts.workloads.len() > 1 {
+        return cmd_run_batch(opts);
+    }
+    let opts = &opts;
     let modules = build_workload(opts)?;
     let run = run_optiwise(&modules, &pipeline_config(opts))?;
     if run.attempts.0 > 1 || run.attempts.1 > 1 {
@@ -301,6 +323,67 @@ fn cmd_run(opts: &Options) -> Result<(), OptiwiseError> {
         eprintln!("wrote CSV tables to {}", dir.display());
     }
     emit(opts, &text)
+}
+
+/// One batch-mode shard: the full report for a single workload.
+fn run_one(name: &str, opts: &Options) -> Result<String, OptiwiseError> {
+    let modules = build_named_workload(name, opts.size)?;
+    let run = run_optiwise(&modules, &pipeline_config(opts))?;
+    Ok(report::full_report(&run.analysis, opts.top))
+}
+
+/// Batch mode: profile every named workload on a bounded worker pool and
+/// merge the reports in command-line order. The merge key is the shard
+/// index, never completion order, so `--jobs 8` output is byte-identical
+/// to `--jobs 1`.
+fn cmd_run_batch(opts: Options) -> Result<(), OptiwiseError> {
+    if opts.function.is_some() || opts.csv_dir.is_some() {
+        return Err(OptiwiseError::Usage(
+            "--function/--csv-dir work with a single workload, not batch mode".into(),
+        ));
+    }
+    let opts = std::sync::Arc::new(opts);
+    let pool = wiser_par::WorkerPool::new(opts.jobs.min(opts.workloads.len()));
+    let (tx, rx) = std::sync::mpsc::channel();
+    for (index, name) in opts.workloads.iter().cloned().enumerate() {
+        let tx = tx.clone();
+        let opts = std::sync::Arc::clone(&opts);
+        pool.execute(move || {
+            let _ = tx.send((index, run_one(&name, &opts)));
+        });
+    }
+    drop(tx);
+    pool.finish()
+        .map_err(|e| OptiwiseError::Internal(format!("batch worker: {e}")))?;
+    let mut shards: Vec<(usize, Result<String, OptiwiseError>)> = rx.iter().collect();
+    shards.sort_by_key(|&(index, _)| index);
+
+    let mut out = String::new();
+    let mut first_error: Option<OptiwiseError> = None;
+    for (index, shard) in shards {
+        let name = &opts.workloads[index];
+        match shard {
+            Ok(text) => {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut out,
+                    format_args!("== workload: {name} ==\n{text}\n"),
+                );
+            }
+            Err(e) => {
+                eprintln!("optiwise: workload `{name}` failed: {e}");
+                // The reported error is the first by command-line order,
+                // not by completion order: deterministic exit codes.
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    emit(&opts, &out)?;
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 fn module_of(analysis: &Analysis, func: &str) -> u32 {
@@ -412,6 +495,7 @@ fn cmd_analyze(opts: &Options) -> Result<(), OptiwiseError> {
     let linked: Vec<Module> = image.modules.iter().map(|m| m.linked.clone()).collect();
     let analysis_opts = AnalysisOptions {
         merge_threshold: opts.merge_threshold,
+        jobs: opts.jobs,
     };
     // Same recovery ladder as the live pipeline: truncated counts are
     // discarded and the analysis degrades, unless partials are disallowed.
@@ -478,7 +562,9 @@ usage: optiwise <command> [options] [workload]
 commands:
   check                 end-to-end self test
   list                  list registered workloads
-  run <workload>        sample + instrument + fused report
+  run <workload>...     sample + instrument + fused report; several
+                        workloads run concurrently (see --jobs) and their
+                        reports merge in command-line order
   sample <workload>     sampling pass; write profile text
   instrument <workload> instrumentation pass; write counts text
   analyze <workload> --samples F --counts F
@@ -488,6 +574,10 @@ options:
   --attribution interrupt|precise|predecessor
   --no-stack-profiling    --merge-threshold N|off
   --seed N  --top N  --out FILE  --csv-dir DIR
+  --jobs N                worker threads (default: available cores); 1 runs
+                          every stage sequentially, >1 also overlaps the
+                          two profiling passes; reports are identical
+                          for every N
   --strict                fail on truncation or run divergence
   --allow-partial / --no-partial
                           accept or reject truncated profiles (default: accept)
@@ -515,8 +605,11 @@ fn main() -> ExitCode {
         }
         cmd => match parse_options(rest) {
             Err(e) => Err(OptiwiseError::Usage(e)),
+            Ok(opts) if cmd != "run" && opts.workloads.len() > 1 => Err(OptiwiseError::Usage(
+                format!("`{cmd}` takes one workload; only `run` accepts several"),
+            )),
             Ok(opts) => match cmd {
-                "run" => cmd_run(&opts),
+                "run" => cmd_run(opts),
                 "sample" => cmd_sample(&opts),
                 "instrument" => cmd_instrument(&opts),
                 "analyze" => cmd_analyze(&opts),
@@ -549,10 +642,12 @@ mod tests {
     #[test]
     fn defaults() {
         let o = parse(&["mcf_like"]).unwrap();
-        assert_eq!(o.workload.as_deref(), Some("mcf_like"));
+        assert_eq!(o.workloads, vec!["mcf_like".to_string()]);
         assert_eq!(o.size, InputSize::Train);
         assert!(o.stack_profiling);
         assert_eq!(o.merge_threshold, Some(wiser_cfg::MERGE_THRESHOLD));
+        assert_eq!(o.jobs, wiser_par::available_jobs());
+        assert!(o.jobs >= 1);
     }
 
     #[test]
@@ -568,6 +663,7 @@ mod tests {
             "--top", "5",
             "--out", "/tmp/x.txt",
             "--function", "main",
+            "--jobs", "3",
             "udiv_chain",
         ])
         .unwrap();
@@ -580,16 +676,31 @@ mod tests {
         assert_eq!(o.top, 5);
         assert_eq!(o.out.as_deref(), Some("/tmp/x.txt"));
         assert_eq!(o.function.as_deref(), Some("main"));
-        assert_eq!(o.workload.as_deref(), Some("udiv_chain"));
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.workloads, vec!["udiv_chain".to_string()]);
     }
 
     #[test]
-    fn rejects_unknown_option_and_extra_positional() {
+    fn rejects_unknown_option_and_bad_values() {
         assert!(parse(&["--bogus"]).is_err());
-        assert!(parse(&["a", "b"]).is_err());
         assert!(parse(&["--size"]).is_err());
         assert!(parse(&["--size", "gigantic"]).is_err());
         assert!(parse(&["--attribution", "psychic"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn multiple_workloads_collect_in_order() {
+        let o = parse(&["rand_walk", "loop_merge", "udiv_chain"]).unwrap();
+        assert_eq!(
+            o.workloads,
+            vec![
+                "rand_walk".to_string(),
+                "loop_merge".to_string(),
+                "udiv_chain".to_string()
+            ]
+        );
     }
 
     #[test]

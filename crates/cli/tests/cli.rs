@@ -198,6 +198,64 @@ fn desynced_seeds_fail_strict_run_with_divergence_code() {
 }
 
 #[test]
+fn report_is_byte_identical_across_thread_counts() {
+    // `--jobs 1` runs every stage sequentially; `--jobs 8` overlaps the
+    // two profiling passes and shards the per-module analysis. The merge
+    // is keyed on ModuleId order, so the report must not change by a byte.
+    for workload in ["rand_walk", "loop_merge"] {
+        let seq = optiwise(&["run", workload, "--size", "test", "--jobs", "1"]);
+        assert!(seq.status.success(), "{seq:?}");
+        let par = optiwise(&["run", workload, "--size", "test", "--jobs", "8"]);
+        assert!(par.status.success(), "{par:?}");
+        assert_eq!(
+            seq.stdout, par.stdout,
+            "`{workload}` report differs between --jobs 1 and --jobs 8"
+        );
+    }
+}
+
+#[test]
+fn batch_run_merges_reports_in_argument_order() {
+    let args = ["run", "loop_merge", "rand_walk", "udiv_chain", "--size", "test"];
+    let seq = optiwise(&[&args[..], &["--jobs", "1"]].concat());
+    assert!(seq.status.success(), "{seq:?}");
+    let par = optiwise(&[&args[..], &["--jobs", "8"]].concat());
+    assert!(par.status.success(), "{par:?}");
+    // Deterministic merge: batch output is identical for every thread count.
+    assert_eq!(seq.stdout, par.stdout);
+
+    // Shards appear in command-line order, not completion order.
+    let stdout = String::from_utf8_lossy(&par.stdout);
+    let pos = |name: &str| {
+        stdout
+            .find(&format!("== workload: {name} ==" ))
+            .unwrap_or_else(|| panic!("missing {name} header in: {stdout}"))
+    };
+    assert!(pos("loop_merge") < pos("rand_walk"));
+    assert!(pos("rand_walk") < pos("udiv_chain"));
+}
+
+#[test]
+fn batch_run_reports_first_failing_workload() {
+    // One bad name among good ones: the good reports still print, the exit
+    // code reflects the first (command-line order) failure.
+    let out = optiwise(&["run", "loop_merge", "not_a_workload", "--size", "test"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== workload: loop_merge =="), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("not_a_workload"), "{stderr}");
+}
+
+#[test]
+fn batch_mode_is_run_only() {
+    let out = optiwise(&["sample", "loop_merge", "rand_walk", "--size", "test"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("one workload"), "{stderr}");
+}
+
+#[test]
 fn usage_on_no_args() {
     let out = optiwise(&[]);
     assert!(!out.status.success());

@@ -97,6 +97,8 @@ pub enum OptiwiseError {
     Usage(String),
     /// Filesystem I/O failed.
     Io(String),
+    /// A pipeline worker thread died (a panic inside a parallel stage).
+    Internal(String),
 }
 
 impl OptiwiseError {
@@ -111,7 +113,7 @@ impl OptiwiseError {
             OptiwiseError::InsnLimit(_) | OptiwiseError::Truncated { .. } => 4,
             OptiwiseError::Divergence { .. } => 5,
             OptiwiseError::Parse { .. } => 6,
-            OptiwiseError::Usage(_) | OptiwiseError::Io(_) => 1,
+            OptiwiseError::Usage(_) | OptiwiseError::Io(_) | OptiwiseError::Internal(_) => 1,
         }
     }
 }
@@ -143,6 +145,7 @@ impl fmt::Display for OptiwiseError {
             }
             OptiwiseError::Usage(msg) => write!(f, "{msg}"),
             OptiwiseError::Io(msg) => write!(f, "i/o error: {msg}"),
+            OptiwiseError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
 }
@@ -206,6 +209,7 @@ mod tests {
             ),
             (OptiwiseError::Usage("u".into()), 1),
             (OptiwiseError::Io("io".into()), 1),
+            (OptiwiseError::Internal("worker died".into()), 1),
         ];
         for (e, code) in errors {
             assert_eq!(e.exit_code(), code, "{e}");

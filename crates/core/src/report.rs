@@ -5,11 +5,14 @@ use std::fmt::Write as _;
 use crate::analysis::{Analysis, AnalysisMode};
 use crate::types::InsnRow;
 
-fn pct(part: u64, whole: u64) -> f64 {
+/// Formats `part` as a 7-character percentage cell of `whole`. An empty or
+/// degraded profile has `whole == 0`: there is no meaningful percentage, so
+/// the cell renders `-` instead of `NaN`/`0.0%`.
+fn pct_cell(part: u64, whole: u64) -> String {
     if whole == 0 {
-        0.0
+        format!("{:>7}", "-")
     } else {
-        100.0 * part as f64 / whole as f64
+        format!("{:>6.1}%", 100.0 * part as f64 / whole as f64)
     }
 }
 
@@ -32,10 +35,10 @@ pub fn functions_table(analysis: &Analysis, limit: usize) -> String {
     for f in analysis.functions().iter().take(limit) {
         let _ = writeln!(
             out,
-            "{:<28} {:>6.1}% {:>6.1}% {:>14} {:>7} {:>7}",
+            "{:<28} {} {} {:>14} {:>7} {:>7}",
             truncate(&f.name, 28),
-            pct(f.self_cycles, analysis.total_cycles),
-            pct(f.incl_cycles, analysis.total_cycles),
+            pct_cell(f.self_cycles, analysis.total_cycles),
+            pct_cell(f.incl_cycles, analysis.total_cycles),
             f.self_insns,
             fmt_opt(f.ipc()),
             fmt_opt(f.cpi()),
@@ -61,10 +64,10 @@ pub fn loops_table(analysis: &Analysis, limit: usize) -> String {
         };
         let _ = writeln!(
             out,
-            "{:<24} {:<16} {:>6.1}% {:>10} {:>9} {:>9.1} {:>7} {:>7}",
+            "{:<24} {:<16} {} {:>10} {:>9} {:>9.1} {:>7} {:>7}",
             truncate(&l.function, 24),
             truncate(&lines, 16),
-            pct(l.cycles, analysis.total_cycles),
+            pct_cell(l.cycles, analysis.total_cycles),
             l.iterations,
             l.invocations,
             l.insns_per_iteration(),
@@ -86,9 +89,9 @@ pub fn lines_table(analysis: &Analysis, limit: usize) -> String {
     for l in analysis.lines().iter().take(limit) {
         let _ = writeln!(
             out,
-            "{:<28} {:>6.1}% {:>12} {:>12} {:>7}",
+            "{:<28} {} {:>12} {:>12} {:>7}",
             truncate(&format!("{}:{}", short_file(&l.file), l.line), 28),
-            pct(l.cycles, analysis.total_cycles),
+            pct_cell(l.cycles, analysis.total_cycles),
             l.cycles,
             l.count,
             fmt_opt(l.cpi()),
@@ -109,14 +112,14 @@ pub fn annotate(rows: &[InsnRow], total_cycles: u64) -> String {
     for r in rows {
         let _ = writeln!(
             out,
-            "{:>8x}  {:<34} {:>8} {:>10} {:>12} {:>8} {:>6.1}%",
+            "{:>8x}  {:<34} {:>8} {:>10} {:>12} {:>8} {}",
             r.loc.offset,
             truncate(&r.text, 34),
             r.samples,
             r.cycles,
             r.count,
             fmt_opt(r.cpi),
-            pct(r.cycles, total_cycles),
+            pct_cell(r.cycles, total_cycles),
         );
     }
     out
@@ -159,16 +162,22 @@ pub fn diagnostics_section(analysis: &Analysis) -> String {
 pub fn full_report(analysis: &Analysis, limit: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== OptiWISE report ==");
+    // No cycles (empty profile) or no counts (degraded sampling-only run)
+    // means there is no IPC to report — render `-`, never `NaN`/`inf`/a
+    // misleading 0.00.
+    let overall_ipc = if analysis.wall_cycles == 0 || analysis.total_insns == 0 {
+        "-".to_string()
+    } else {
+        format!(
+            "{:.2}",
+            analysis.total_insns as f64 / analysis.wall_cycles as f64
+        )
+    };
     let _ = writeln!(
         out,
-        "total cycles (sampled): {}   total instructions (counted): {}   overall IPC: {:.2}",
+        "total cycles (sampled): {}   total instructions (counted): {}   overall IPC: {overall_ipc}",
         analysis.wall_cycles,
         analysis.total_insns,
-        if analysis.wall_cycles > 0 {
-            analysis.total_insns as f64 / analysis.wall_cycles as f64
-        } else {
-            0.0
-        }
     );
     let diag = diagnostics_section(analysis);
     if !diag.is_empty() {
@@ -214,6 +223,30 @@ mod tests {
         assert!(text.contains("udiv"));
         assert!(text.contains("40.00"));
         assert!(text.contains("50.0%"));
+    }
+
+    #[test]
+    fn zero_totals_render_dash_not_nan() {
+        // Empty profile: every percentage denominator is zero.
+        let rows = vec![InsnRow {
+            loc: CodeLoc {
+                module: ModuleId(0),
+                offset: 0x40,
+            },
+            text: "nop".into(),
+            samples: 0,
+            cycles: 0,
+            count: 0,
+            cpi: None,
+        }];
+        let text = annotate(&rows, 0);
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(!text.contains("inf"), "{text}");
+        assert!(text.contains('-'), "{text}");
+        assert_eq!(pct_cell(5, 0), format!("{:>7}", "-"));
+        assert_eq!(pct_cell(1, 2), "  50.0%");
+        // The dash cell keeps column width so tables stay aligned.
+        assert_eq!(pct_cell(5, 0).len(), pct_cell(1, 2).len());
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! instrumentation pass that stays unusable degrades the analysis to
 //! sampling-only instead of discarding the run; and the post-join
 //! divergence check can fail the pipeline in strict mode.
+//!
+//! The two passes are *independent executions* of the same program (§III):
+//! they share no state beyond the module list and the config, so by default
+//! the runner overlaps them on two threads ([`OptiwiseConfig::concurrent_passes`]).
+//! Each pass keeps its own budget-escalation retry loop, and the fused
+//! analysis is built from the joined results exactly as in the sequential
+//! order — output is bit-identical either way.
 
 use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
 use wiser_isa::Module;
@@ -71,6 +78,11 @@ pub struct OptiwiseConfig {
     pub retry: RetryPolicy,
     /// Deterministic fault injection applied to both passes (testing only).
     pub fault: FaultPlan,
+    /// Overlap the sampling and instrumentation passes on two threads. The
+    /// passes are independent executions, so the fused output is
+    /// bit-identical either way; disable only to measure the sequential
+    /// baseline or to cap the pipeline at one thread.
+    pub concurrent_passes: bool,
 }
 
 impl Default for OptiwiseConfig {
@@ -88,6 +100,7 @@ impl Default for OptiwiseConfig {
             divergence_threshold: DEFAULT_DIVERGENCE_THRESHOLD,
             retry: RetryPolicy::default(),
             fault: FaultPlan::default(),
+            concurrent_passes: true,
         }
     }
 }
@@ -160,34 +173,90 @@ pub fn run_optiwise(
 ) -> Result<OptiwiseRun, OptiwiseError> {
     let allow_partial = config.allow_partial && !config.strict;
 
-    // Run 1: sampling on the timing model, retrying on budget exhaustion.
-    let load_a = LoadConfig {
-        aslr_seed: Some(config.aslr_seeds.0),
-        ..LoadConfig::default()
-    };
-    let image_a = ProcessImage::load(modules, &load_a)?;
-    let mut sampler_cfg = config.sampler;
-    sampler_cfg.fault = config.fault;
-    let mut budget = config.max_insns;
-    let mut sample_attempts = 0u32;
-    let (samples, timed) = loop {
-        sample_attempts += 1;
-        let (samples, timed) = sample_run(
-            &image_a,
-            config.rand_seed,
-            config.core,
-            sampler_cfg,
-            budget,
-        )?;
-        match &samples.truncated {
-            Some(reason)
-                if reason.retryable() && sample_attempts <= config.retry.max_retries =>
-            {
-                budget = budget.saturating_mul(config.retry.budget_multiplier);
+    // Pass 1: sampling on the timing model, retrying on budget exhaustion.
+    let sampling_pass = || -> Result<(SampleProfile, TimedRun, u32), OptiwiseError> {
+        let load_a = LoadConfig {
+            aslr_seed: Some(config.aslr_seeds.0),
+            ..LoadConfig::default()
+        };
+        let image_a = ProcessImage::load(modules, &load_a)?;
+        let mut sampler_cfg = config.sampler;
+        sampler_cfg.fault = config.fault;
+        let mut budget = config.max_insns;
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let (samples, timed) = sample_run(
+                &image_a,
+                config.rand_seed,
+                config.core,
+                sampler_cfg,
+                budget,
+            )?;
+            match &samples.truncated {
+                Some(reason)
+                    if reason.retryable() && attempts <= config.retry.max_retries =>
+                {
+                    budget = budget.saturating_mul(config.retry.budget_multiplier);
+                }
+                _ => break Ok((samples, timed, attempts)),
             }
-            _ => break (samples, timed),
         }
     };
+
+    // Pass 2: instrumentation, under a different layout. The fault plan's
+    // desync seed (if any) deliberately runs this pass on different input.
+    // Also returns the linked (module-relative) view the analysis keys on.
+    let counts_pass = || -> Result<(CountsProfile, Vec<Module>, u32), OptiwiseError> {
+        let load_b = LoadConfig {
+            aslr_seed: Some(config.aslr_seeds.1),
+            ..LoadConfig::default()
+        };
+        let image_b = ProcessImage::load(modules, &load_b)?;
+        let dbi_rand_seed = config.fault.desync_rand_seed.unwrap_or(config.rand_seed);
+        let mut budget = config.max_insns;
+        let mut attempts = 0u32;
+        let counts = loop {
+            attempts += 1;
+            let dbi_cfg = DbiConfig {
+                rand_seed: dbi_rand_seed,
+                max_insns: budget,
+                fault: config.fault,
+                ..config.dbi
+            };
+            let counts = instrument_run(&image_b, &dbi_cfg)?;
+            match &counts.truncated {
+                Some(reason)
+                    if reason.retryable() && attempts <= config.retry.max_retries =>
+                {
+                    budget = budget.saturating_mul(config.retry.budget_multiplier);
+                }
+                _ => break counts,
+            }
+        };
+        let linked: Vec<Module> = image_b.modules.iter().map(|m| m.linked.clone()).collect();
+        Ok((counts, linked, attempts))
+    };
+
+    // The two passes are independent executions of the same program with
+    // their own process images and retry loops, so they can overlap. Errors
+    // are reported in the fixed pass order (sampling first) regardless of
+    // which thread failed first, keeping failures deterministic too.
+    let (sampling_result, counts_result) = if config.concurrent_passes {
+        std::thread::scope(|scope| {
+            let dbi_thread = scope.spawn(counts_pass);
+            let sampling_result = sampling_pass();
+            let counts_result = dbi_thread
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            (sampling_result, counts_result)
+        })
+    } else {
+        (sampling_pass(), counts_pass())
+    };
+    let (samples, timed, sample_attempts) = sampling_result?;
+    let (counts, linked, count_attempts) = counts_result?;
+
     if let Some(reason) = &samples.truncated {
         if !allow_partial {
             return Err(OptiwiseError::Truncated {
@@ -197,37 +266,7 @@ pub fn run_optiwise(
         }
     }
 
-    // Run 2: instrumentation, under a different layout. The fault plan's
-    // desync seed (if any) deliberately runs this pass on different input.
-    let load_b = LoadConfig {
-        aslr_seed: Some(config.aslr_seeds.1),
-        ..LoadConfig::default()
-    };
-    let image_b = ProcessImage::load(modules, &load_b)?;
-    let dbi_rand_seed = config.fault.desync_rand_seed.unwrap_or(config.rand_seed);
-    let mut budget = config.max_insns;
-    let mut count_attempts = 0u32;
-    let counts = loop {
-        count_attempts += 1;
-        let dbi_cfg = DbiConfig {
-            rand_seed: dbi_rand_seed,
-            max_insns: budget,
-            fault: config.fault,
-            ..config.dbi
-        };
-        let counts = instrument_run(&image_b, &dbi_cfg)?;
-        match &counts.truncated {
-            Some(reason)
-                if reason.retryable() && count_attempts <= config.retry.max_retries =>
-            {
-                budget = budget.saturating_mul(config.retry.budget_multiplier);
-            }
-            _ => break counts,
-        }
-    };
-
     // Analysis over the linked modules (module-relative, layout agnostic).
-    let linked: Vec<Module> = image_b.modules.iter().map(|m| m.linked.clone()).collect();
     let analysis = match &counts.truncated {
         Some(reason) => {
             if !allow_partial {
@@ -359,6 +398,26 @@ mod tests {
         let run = run_optiwise(&[counted_loop()], &cfg).unwrap();
         assert!(run.analysis.diagnostics.divergence_score < DEFAULT_DIVERGENCE_THRESHOLD);
         assert_eq!(run.attempts, (1, 1));
+    }
+
+    #[test]
+    fn concurrent_and_sequential_passes_agree_exactly() {
+        let par = run_optiwise(&[counted_loop()], &OptiwiseConfig::default()).unwrap();
+        let seq = run_optiwise(
+            &[counted_loop()],
+            &OptiwiseConfig {
+                concurrent_passes: false,
+                ..OptiwiseConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(par.samples, seq.samples);
+        assert_eq!(par.counts, seq.counts);
+        assert_eq!(par.attempts, seq.attempts);
+        assert_eq!(
+            crate::report::full_report(&par.analysis, 20),
+            crate::report::full_report(&seq.analysis, 20),
+        );
     }
 
     #[test]

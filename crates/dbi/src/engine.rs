@@ -91,11 +91,13 @@ pub fn instrument_run(image: &ProcessImage, cfg: &DbiConfig) -> Result<CountsPro
     let model = cfg.cost;
     let injected_limit = cfg.fault.truncate_counts_at;
     let effective_max = injected_limit.map_or(cfg.max_insns, |n| n.min(cfg.max_insns));
-    let limit_reason = |hit: u64| {
-        match injected_limit {
-            Some(inj) if hit == inj && inj < cfg.max_insns => TruncationReason::Injected(inj),
-            _ => TruncationReason::InsnLimit(hit),
-        }
+    // When the injection point ties with the instruction budget, the
+    // injected fault wins the label: `Injected` is deterministic and
+    // non-retryable, while `InsnLimit` would make the caller's retry loop
+    // escalate the budget and replay a cut that can never move.
+    let limit_reason = |hit: u64| match injected_limit {
+        Some(inj) if hit == inj => TruncationReason::Injected(inj),
+        _ => TruncationReason::InsnLimit(hit),
     };
     let mut truncated: Option<TruncationReason> = None;
 

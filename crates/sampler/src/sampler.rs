@@ -31,6 +31,9 @@ pub struct PerfSampler {
     cfg: SamplerConfig,
     rng: StdRng,
     ranges: Vec<(u64, u64, u32)>,
+    /// Per range: sorted text offsets of function starts, bounding how far a
+    /// stack frame's call-site rewind may go.
+    func_starts: Vec<Vec<u64>>,
     module_names: Vec<String>,
     next_interrupt: u64,
     pending: bool,
@@ -50,6 +53,11 @@ impl PerfSampler {
                 .modules
                 .iter()
                 .map(|m| (m.base, m.base + m.text_size, m.id.0))
+                .collect(),
+            func_starts: image
+                .modules
+                .iter()
+                .map(|m| m.linked.functions().iter().map(|s| s.offset).collect())
                 .collect(),
             module_names: image
                 .modules
@@ -73,12 +81,53 @@ impl PerfSampler {
     }
 
     fn resolve(&self, addr: u64) -> Option<CodeLoc> {
-        self.ranges.iter().find_map(|&(base, end, id)| {
-            (addr >= base && addr < end).then(|| CodeLoc {
-                module: ModuleId(id),
-                offset: addr - base,
+        self.resolve_idx(addr).map(|(_, loc)| loc)
+    }
+
+    /// Like [`resolve`](Self::resolve), also returning the index of the
+    /// containing range.
+    fn resolve_idx(&self, addr: u64) -> Option<(usize, CodeLoc)> {
+        self.ranges.iter().enumerate().find_map(|(i, &(base, end, id))| {
+            (addr >= base && addr < end).then(|| {
+                (
+                    i,
+                    CodeLoc {
+                        module: ModuleId(id),
+                        offset: addr - base,
+                    },
+                )
             })
         })
+    }
+
+    /// Maps a stack frame's return address to its call site: one instruction
+    /// back, bounded by the containing function and module. A frame pointing
+    /// at a module base or a function's first instruction must not be
+    /// rewound — the preceding address belongs to an unrelated function (or
+    /// to whatever module happens to sit below in memory), and attributing
+    /// the sample there would corrupt inclusive costs.
+    fn call_site_of(&self, ret: u64) -> Option<CodeLoc> {
+        let Some((idx, loc)) = self.resolve_idx(ret) else {
+            // A return address just past a module's text (the call was its
+            // final instruction) does not resolve, but the call site does.
+            return self.resolve(ret.wrapping_sub(INSN_BYTES));
+        };
+        // Greatest function start at or below the return address; module
+        // base when the module has no function symbols there.
+        let starts = &self.func_starts[idx];
+        let floor = match starts.binary_search(&loc.offset) {
+            Ok(_) => loc.offset,
+            Err(0) => 0,
+            Err(i) => starts[i - 1],
+        };
+        if loc.offset >= floor.saturating_add(INSN_BYTES) {
+            Some(CodeLoc {
+                module: loc.module,
+                offset: loc.offset - INSN_BYTES,
+            })
+        } else {
+            Some(loc)
+        }
     }
 
     fn record(&mut self, addr: Option<u64>, point: &ProbePoint<'_>) {
@@ -95,8 +144,9 @@ impl PerfSampler {
             StackMode::Accurate => point
                 .arch_stack
                 .iter()
-                // Frames hold return addresses; report the call site.
-                .filter_map(|&ret| self.resolve(ret.wrapping_sub(INSN_BYTES)))
+                // Frames hold return addresses; report the call site,
+                // bounded to the containing function/module range.
+                .filter_map(|&ret| self.call_site_of(ret))
                 .collect(),
         };
         self.samples.push(Sample { loc, weight, stack });
@@ -248,10 +298,13 @@ pub fn sample_run(
     let mut sampler = PerfSampler::new(image, sampler_cfg);
     let (run, mut truncated) =
         wiser_sim::run_timed_partial(image, rand_seed, core_cfg, &mut sampler, effective_max)?;
-    // Relabel a budget cut that only exists because the fault plan lowered
-    // the budget: it is an injected abort, not a real limit.
+    // Relabel a budget cut at the fault plan's abort point: it is an
+    // injected (deterministic, non-retryable) abort, not a real limit. The
+    // injection wins even when it ties with the configured budget —
+    // labelling the tie `InsnLimit` would make the retry loop re-run a
+    // fault that recurs at any budget.
     if let (Some(TruncationReason::InsnLimit(hit)), Some(inj)) = (&truncated, injected_limit) {
-        if *hit == inj && inj < max_insns {
+        if *hit == inj {
             truncated = Some(TruncationReason::Injected(inj));
         }
     }
@@ -397,6 +450,81 @@ mod tests {
             })
             .count();
         assert!(in_spin_with_stack > 10, "{in_spin_with_stack}");
+    }
+
+    #[test]
+    fn skid_rewind_bounded_to_containing_function_and_module() {
+        let main = assemble(
+            "main",
+            r#"
+            .import helper
+            .func first
+                ret
+            .endfunc
+            .func _start global
+                call helper
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        )
+        .unwrap();
+        let lib = assemble(
+            "lib",
+            r#"
+            .func helper global
+                addi x1, x1, 1
+                ret
+            .endfunc
+            "#,
+        )
+        .unwrap();
+        let image =
+            ProcessImage::load(&[main, lib], &wiser_sim::LoadConfig::default()).unwrap();
+        let sampler = PerfSampler::new(&image, SamplerConfig::default());
+        let m0 = &image.modules[0];
+        let m1 = &image.modules[1];
+
+        // A frame at a module's base stays in that module instead of
+        // rewinding into whatever is mapped below it in memory.
+        assert_eq!(
+            sampler.call_site_of(m1.base),
+            Some(CodeLoc {
+                module: m1.id,
+                offset: 0
+            })
+        );
+        // A frame at a function's first instruction stays at that function
+        // instead of crediting the previous function's last instruction:
+        // `_start` begins at offset 8, right after `first`.
+        let start_off = m0.linked.symbol("_start").unwrap().offset;
+        assert_eq!(
+            sampler.call_site_of(m0.base + start_off),
+            Some(CodeLoc {
+                module: m0.id,
+                offset: start_off
+            })
+        );
+        // A mid-function frame rewinds one instruction to the call site.
+        assert_eq!(
+            sampler.call_site_of(m0.base + start_off + INSN_BYTES),
+            Some(CodeLoc {
+                module: m0.id,
+                offset: start_off
+            })
+        );
+        // A return address just past a module's text still yields the
+        // final-instruction call site.
+        assert_eq!(
+            sampler.call_site_of(m1.base + m1.text_size),
+            Some(CodeLoc {
+                module: m1.id,
+                offset: m1.text_size - INSN_BYTES
+            })
+        );
+        // A completely unmapped address resolves to nothing.
+        assert_eq!(sampler.call_site_of(0xdead_beef_0000), None);
     }
 
     #[test]

@@ -143,6 +143,30 @@ fn injected_sampling_abort_is_retried_only_for_real_limits() {
 }
 
 #[test]
+fn injected_abort_at_budget_boundary_is_not_retried() {
+    // Regression: when the injection point ties exactly with the current
+    // instruction budget, both passes used to label the cut `InsnLimit`
+    // (retryable), so the retry loop escalated the budget and replayed a
+    // deterministic fault. The injected label must win the tie.
+    let mut cfg = OptiwiseConfig {
+        max_insns: 10_000,
+        ..OptiwiseConfig::default()
+    };
+    cfg.fault.abort_sample_at = Some(10_000);
+    cfg.fault.truncate_counts_at = Some(10_000);
+    let run = run_optiwise(&[counted_loop()], &cfg).unwrap();
+    assert_eq!(run.attempts, (1, 1), "no retry may be spent on injected cuts");
+    assert_eq!(
+        run.samples.truncated,
+        Some(TruncationReason::Injected(10_000))
+    );
+    assert_eq!(
+        run.counts.truncated,
+        Some(TruncationReason::Injected(10_000))
+    );
+}
+
+#[test]
 fn corrupted_profile_text_fails_parse_with_line_number() {
     let run = run_optiwise(&[counted_loop()], &OptiwiseConfig::default()).unwrap();
     let plan = FaultPlan {
