@@ -10,7 +10,7 @@
 
 use std::time::Instant;
 
-use optiwise::{Analysis, AnalysisOptions};
+use optiwise::{diff_tables, Analysis, AnalysisOptions, DiffOptions, ProfileTables};
 use wiser_cfg::{build_cfg, find_all_loops, MERGE_THRESHOLD};
 use wiser_dbi::{instrument_run, DbiConfig};
 use wiser_isa::Module;
@@ -109,5 +109,36 @@ fn main() {
     bench("analysis_fuse_mcf_test", || {
         let analysis = Analysis::new(&linked, &samples, &counts, AnalysisOptions::default());
         analysis.loops().len()
+    });
+
+    // Store encode/decode and the differential engine: the persistence side
+    // of the pipeline (`--save`, `show`, `diff`).
+    let analysis = Analysis::new(&linked, &samples, &counts, AnalysisOptions::default());
+    let stored = wiser_store::StoredProfile {
+        meta: wiser_store::RunMeta {
+            label: "mcf_like".into(),
+            rand_seed: 0,
+            tool_version: "bench".into(),
+            arch: "wiser-ooo".into(),
+        },
+        samples: Some(samples.clone()),
+        counts: Some(counts.clone()),
+        tables: ProfileTables::from_analysis(&analysis),
+    };
+    bench("store_encode_mcf_test", || stored.to_bytes().len());
+
+    let bytes = stored.to_bytes();
+    bench("store_decode_mcf_test", || {
+        wiser_store::StoredProfile::from_bytes(&bytes)
+            .unwrap()
+            .tables
+            .functions
+            .len()
+    });
+
+    bench("diff_tables_mcf_test", || {
+        diff_tables(&stored.tables, &stored.tables, DiffOptions::default())
+            .summary()
+            .2
     });
 }

@@ -8,12 +8,17 @@
 //! optiwise instrument [OPTIONS] <workload>   # instrumentation pass only
 //! optiwise analyze [OPTIONS] <workload> --samples F --counts F
 //! optiwise annotate [OPTIONS] <workload> --function NAME
+//! optiwise show <profile.owp>                # report a saved profile
+//! optiwise report <profile.owp> [--format json]
+//! optiwise diff <old.owp> <new.owp>          # differential CPI analysis
 //! ```
 //!
 //! Options: `--size test|train|ref`, `--arch xeon|neoverse`, `--period N`,
 //! `--attribution interrupt|precise|predecessor`, `--no-stack-profiling`,
 //! `--merge-threshold N|off`, `--seed N`, `--top N`, `--out FILE`,
-//! `--jobs N`, `--strict`, `--allow-partial`, `--inject SPEC`.
+//! `--jobs N`, `--strict`, `--allow-partial`, `--inject SPEC`,
+//! `--save FILE`, `--threshold PCT`, `--fail-on-regression`,
+//! `--format text|json`.
 //!
 //! `run` accepts multiple workloads: they are profiled concurrently on a
 //! bounded worker pool (`--jobs N` threads) and the reports are merged in
@@ -23,14 +28,15 @@
 //! Exit codes mirror [`OptiwiseError::exit_code`]: 0 success, 2 load or
 //! disassembly failure, 3 execution fault, 4 instruction limit or disallowed
 //! truncation, 5 run divergence (strict mode), 6 profile parse error,
-//! 1 usage/io/other.
+//! 7 regressions found by `diff --fail-on-regression`, 1 usage/io/other.
 
 use std::process::ExitCode;
 
 use optiwise::{
-    report, run_optiwise, Analysis, AnalysisMode, AnalysisOptions, OptiwiseConfig, OptiwiseError,
-    Pass, ProfileKind, DEFAULT_DIVERGENCE_THRESHOLD,
+    diff_tables, report, run_optiwise, Analysis, AnalysisMode, AnalysisOptions, DiffOptions,
+    OptiwiseConfig, OptiwiseError, Pass, ProfileKind, DEFAULT_DIVERGENCE_THRESHOLD,
 };
+use wiser_store::StoredProfile;
 use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
 use wiser_isa::Module;
 use wiser_sampler::{sample_run, Attribution, SampleProfile, SamplerConfig};
@@ -55,6 +61,10 @@ struct Options {
     strict: bool,
     allow_partial: bool,
     fault: FaultPlan,
+    save: Option<String>,
+    threshold: f64,
+    fail_on_regression: bool,
+    json: bool,
 }
 
 impl Default for Options {
@@ -77,6 +87,10 @@ impl Default for Options {
             strict: false,
             allow_partial: true,
             fault: FaultPlan::default(),
+            save: None,
+            threshold: optiwise::DiffOptions::default().threshold_pct,
+            fail_on_regression: false,
+            json: false,
         }
     }
 }
@@ -160,6 +174,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--inject" => {
                 opts.fault = FaultPlan::parse(&value(&mut i)?)
                     .map_err(|e| format!("bad --inject spec: {e}"))?
+            }
+            "--save" => opts.save = Some(value(&mut i)?),
+            "--threshold" => {
+                opts.threshold = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?;
+                if !opts.threshold.is_finite() || opts.threshold < 0.0 {
+                    return Err("--threshold must be a non-negative percentage".into());
+                }
+            }
+            "--fail-on-regression" => opts.fail_on_regression = true,
+            "--format" => {
+                opts.json = match value(&mut i)?.as_str() {
+                    "text" => false,
+                    "json" => true,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
             }
             "--" => {}
             other if other.starts_with("--") => {
@@ -290,6 +321,12 @@ fn cmd_run(opts: Options) -> Result<(), OptiwiseError> {
     if run.analysis.mode == AnalysisMode::SamplingOnly {
         eprintln!("optiwise: DEGRADED sampling-only analysis (see report header)");
     }
+    if let Some(path) = &opts.save {
+        let name = opts.workloads.first().map(String::as_str).unwrap_or("run");
+        let stored = StoredProfile::from_run(name, &run, opts.seed);
+        stored.save(std::path::Path::new(path))?;
+        eprintln!("saved profile to {path}");
+    }
     let mut text = report::full_report(&run.analysis, opts.top);
     if let Some(func) = &opts.function {
         let rows = run
@@ -337,9 +374,9 @@ fn run_one(name: &str, opts: &Options) -> Result<String, OptiwiseError> {
 /// index, never completion order, so `--jobs 8` output is byte-identical
 /// to `--jobs 1`.
 fn cmd_run_batch(opts: Options) -> Result<(), OptiwiseError> {
-    if opts.function.is_some() || opts.csv_dir.is_some() {
+    if opts.function.is_some() || opts.csv_dir.is_some() || opts.save.is_some() {
         return Err(OptiwiseError::Usage(
-            "--function/--csv-dir work with a single workload, not batch mode".into(),
+            "--function/--csv-dir/--save work with a single workload, not batch mode".into(),
         ));
     }
     let opts = std::sync::Arc::new(opts);
@@ -557,6 +594,83 @@ fn cmd_annotate(opts: &Options) -> Result<(), OptiwiseError> {
     emit(opts, &report::annotate(&rows, run.analysis.total_cycles))
 }
 
+/// The single positional argument of `show`/`report`: a stored-profile path.
+fn profile_arg<'a>(opts: &'a Options, cmd: &str) -> Result<&'a str, OptiwiseError> {
+    match opts.workloads.as_slice() {
+        [path] => Ok(path),
+        _ => Err(OptiwiseError::Usage(format!(
+            "`{cmd}` takes exactly one stored profile (.owp) path"
+        ))),
+    }
+}
+
+fn load_profile(path: &str) -> Result<StoredProfile, OptiwiseError> {
+    StoredProfile::load(std::path::Path::new(path))
+}
+
+fn cmd_show(opts: &Options) -> Result<(), OptiwiseError> {
+    let path = profile_arg(opts, "show")?;
+    let stored = load_profile(path)?;
+    let meta = &stored.meta;
+    let mut text = format!(
+        "== stored profile: {} ==\nfile: {}   format v{}   tool {}   arch {}   seed {}\n\
+         sections: meta{}{} tables\n\n",
+        meta.label,
+        path,
+        wiser_store::FORMAT_VERSION,
+        meta.tool_version,
+        meta.arch,
+        meta.rand_seed,
+        if stored.samples.is_some() { " samples" } else { "" },
+        if stored.counts.is_some() { " counts" } else { "" },
+    );
+    text.push_str(&report::tables_report(&stored.tables, opts.top));
+    emit(opts, &text)
+}
+
+fn cmd_report(opts: &Options) -> Result<(), OptiwiseError> {
+    let path = profile_arg(opts, "report")?;
+    let stored = load_profile(path)?;
+    let text = if opts.json {
+        optiwise::export::tables_json(&stored.tables)
+    } else {
+        report::tables_report(&stored.tables, opts.top)
+    };
+    emit(opts, &text)
+}
+
+fn cmd_diff(opts: &Options) -> Result<(), OptiwiseError> {
+    let (old_path, new_path) = match opts.workloads.as_slice() {
+        [old, new] => (old, new),
+        _ => {
+            return Err(OptiwiseError::Usage(
+                "`diff` takes exactly two stored profile (.owp) paths: old then new".into(),
+            ))
+        }
+    };
+    let old = load_profile(old_path)?;
+    let new = load_profile(new_path)?;
+    let options = DiffOptions {
+        threshold_pct: opts.threshold,
+        ..DiffOptions::default()
+    };
+    let diff = diff_tables(&old.tables, &new.tables, options);
+    let mut text = format!(
+        "old: {} ({old_path})\nnew: {} ({new_path})\n",
+        old.meta.label, new.meta.label
+    );
+    text.push_str(&report::diff_report(&diff, opts.top));
+    emit(opts, &text)?;
+    if opts.fail_on_regression && diff.has_regressions() {
+        let (regressions, _, _) = diff.summary();
+        return Err(OptiwiseError::Regression {
+            count: regressions,
+            threshold_pct: opts.threshold,
+        });
+    }
+    Ok(())
+}
+
 const USAGE: &str = "\
 usage: optiwise <command> [options] [workload]
 commands:
@@ -569,6 +683,10 @@ commands:
   instrument <workload> instrumentation pass; write counts text
   analyze <workload> --samples F --counts F
   annotate <workload> --function NAME
+  show <profile.owp>    report a saved binary profile
+  report <profile.owp>  tables from a saved profile (--format text|json)
+  diff <old.owp> <new.owp>
+                        differential CPI analysis between two saved runs
 options:
   --size test|train|ref   --arch xeon|neoverse   --period N
   --attribution interrupt|precise|predecessor
@@ -584,9 +702,13 @@ options:
   --inject SPEC           deterministic fault injection, SPEC is a comma list:
                           seed=N, drop-samples=PCT, abort-sample=N,
                           truncate-counts=N, desync-seed=N, corrupt
+  --save FILE             (run) also save the profile as a binary .owp store
+  --format text|json      (report) output format (default: text)
+  --threshold PCT         (diff) significance threshold in percent (default: 5)
+  --fail-on-regression    (diff) exit 7 when regressions are found
 exit codes:
   0 ok   2 load/disasm   3 exec fault   4 truncated   5 divergence
-  6 parse error   1 usage/other
+  6 parse error   7 regression   1 usage/other
 ";
 
 fn main() -> ExitCode {
@@ -605,15 +727,24 @@ fn main() -> ExitCode {
         }
         cmd => match parse_options(rest) {
             Err(e) => Err(OptiwiseError::Usage(e)),
-            Ok(opts) if cmd != "run" && opts.workloads.len() > 1 => Err(OptiwiseError::Usage(
-                format!("`{cmd}` takes one workload; only `run` accepts several"),
-            )),
+            // `run` fans out over several workloads and `diff` takes two file
+            // paths; every other command takes exactly one positional.
+            Ok(opts)
+                if !matches!(cmd, "run" | "diff") && opts.workloads.len() > 1 =>
+            {
+                Err(OptiwiseError::Usage(format!(
+                    "`{cmd}` takes one workload; only `run` accepts several"
+                )))
+            }
             Ok(opts) => match cmd {
                 "run" => cmd_run(opts),
                 "sample" => cmd_sample(&opts),
                 "instrument" => cmd_instrument(&opts),
                 "analyze" => cmd_analyze(&opts),
                 "annotate" => cmd_annotate(&opts),
+                "show" => cmd_show(&opts),
+                "report" => cmd_report(&opts),
+                "diff" => cmd_diff(&opts),
                 other => Err(OptiwiseError::Usage(format!(
                     "unknown command `{other}`\n{USAGE}"
                 ))),
@@ -708,6 +839,33 @@ mod tests {
         let o = parse(&["--merge-threshold", "7"]).unwrap();
         assert_eq!(o.merge_threshold, Some(7));
         assert!(parse(&["--merge-threshold", "many"]).is_err());
+    }
+
+    #[test]
+    fn store_and_diff_flags_parse() {
+        let o = parse(&["--save", "p.owp", "recip_loop"]).unwrap();
+        assert_eq!(o.save.as_deref(), Some("p.owp"));
+        assert!(!o.fail_on_regression);
+        assert!(!o.json);
+        assert!((o.threshold - 5.0).abs() < 1e-9);
+
+        let o = parse(&[
+            "--threshold",
+            "12.5",
+            "--fail-on-regression",
+            "old.owp",
+            "new.owp",
+        ])
+        .unwrap();
+        assert!((o.threshold - 12.5).abs() < 1e-9);
+        assert!(o.fail_on_regression);
+        assert_eq!(o.workloads, vec!["old.owp".to_string(), "new.owp".to_string()]);
+
+        let o = parse(&["--format", "json", "p.owp"]).unwrap();
+        assert!(o.json);
+        assert!(parse(&["--format", "xml"]).is_err());
+        assert!(parse(&["--threshold", "-3"]).is_err());
+        assert!(parse(&["--threshold", "nope"]).is_err());
     }
 
     #[test]

@@ -256,6 +256,149 @@ fn batch_mode_is_run_only() {
 }
 
 #[test]
+fn save_show_report_roundtrip() {
+    let dir = std::env::temp_dir().join("optiwise-store-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let owp = dir.join("loop_merge.owp");
+
+    let out = optiwise(&[
+        "run", "loop_merge", "--size", "test",
+        "--save", owp.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(owp.exists());
+
+    let out = optiwise(&["show", owp.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("stored profile: loop_merge"), "{stdout}");
+    assert!(stdout.contains("-- loops --"), "{stdout}");
+
+    let out = optiwise(&["report", owp.to_str().unwrap(), "--format", "json"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"functions\":"), "{stdout}");
+    assert!(stdout.contains("\"total_insns\":"), "{stdout}");
+}
+
+#[test]
+fn saved_profile_is_byte_identical_across_thread_counts() {
+    let dir = std::env::temp_dir().join("optiwise-store-jobs-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let seq = dir.join("jobs1.owp");
+    let par = dir.join("jobs8.owp");
+    let out = optiwise(&[
+        "run", "rand_walk", "--size", "test", "--jobs", "1",
+        "--save", seq.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = optiwise(&[
+        "run", "rand_walk", "--size", "test", "--jobs", "8",
+        "--save", par.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(
+        std::fs::read(&seq).unwrap(),
+        std::fs::read(&par).unwrap(),
+        "saved .owp differs between --jobs 1 and --jobs 8"
+    );
+}
+
+#[test]
+fn diff_workflow_flags_known_regression() {
+    // Two builds of the same reciprocal workload: `recip_loop_opt` replaces
+    // the loop's udiv with a multiply-shift. Diffing optimized -> unoptimized
+    // must flag the known-hotter loop body as a regression and exit 7 under
+    // --fail-on-regression.
+    let dir = std::env::temp_dir().join("optiwise-diff-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let old = dir.join("opt.owp");
+    let new = dir.join("unopt.owp");
+    for (name, path) in [("recip_loop_opt", &old), ("recip_loop", &new)] {
+        let out = optiwise(&[
+            "run", name, "--size", "test",
+            "--save", path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{out:?}");
+    }
+
+    let out = optiwise(&[
+        "diff",
+        old.to_str().unwrap(),
+        new.to_str().unwrap(),
+        "--fail-on-regression",
+    ]);
+    assert_eq!(out.status.code(), Some(7), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REGRESSION"), "{stdout}");
+    assert!(stdout.contains("recip.c"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("regression"), "{stderr}");
+
+    // The same comparison without --fail-on-regression still reports but
+    // exits cleanly, and a self-diff finds nothing to fail on.
+    let out = optiwise(&["diff", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let out = optiwise(&[
+        "diff",
+        old.to_str().unwrap(),
+        old.to_str().unwrap(),
+        "--fail-on-regression",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("regressions: 0"), "{stdout}");
+}
+
+#[test]
+fn corrupted_store_file_is_diagnosed_with_offset() {
+    let dir = std::env::temp_dir().join("optiwise-store-corrupt-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let owp = dir.join("victim.owp");
+    let out = optiwise(&[
+        "run", "loop_merge", "--size", "test",
+        "--save", owp.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    // Flip one bit in the middle of the file: exit 6, offset diagnosed.
+    let mut bytes = std::fs::read(&owp).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x08;
+    std::fs::write(&owp, &bytes).unwrap();
+    let out = optiwise(&["show", owp.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("byte"), "{stderr}");
+
+    // Truncation is equally fatal, and not a panic.
+    bytes[mid] ^= 0x08;
+    std::fs::write(&owp, &bytes[..bytes.len() - 7]).unwrap();
+    let out = optiwise(&["diff", owp.to_str().unwrap(), owp.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+}
+
+#[test]
+fn store_commands_validate_their_arguments() {
+    let out = optiwise(&["diff", "only-one.owp"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("two"), "{stderr}");
+
+    let out = optiwise(&["show", "/nonexistent/profile.owp"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    // --save is single-run only, like the CSV exports.
+    let out = optiwise(&[
+        "run", "loop_merge", "rand_walk", "--size", "test",
+        "--save", "/tmp/batch.owp",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("batch"), "{stderr}");
+}
+
+#[test]
 fn usage_on_no_args() {
     let out = optiwise(&[]);
     assert!(!out.status.success());

@@ -46,6 +46,59 @@ impl fmt::Display for ProfileKind {
     }
 }
 
+/// A corrupted, truncated or malformed binary profile store file
+/// (`wiser-store`'s `.owp` format). The byte-offset analogue of
+/// [`ProfileParseError`]: it pinpoints where in the file decoding failed
+/// and, when known, which section was being read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreError {
+    /// Absolute byte offset in the file where decoding failed.
+    pub offset: u64,
+    /// Section tag (e.g. `SAMP`) being decoded, if decoding got that far.
+    pub section: Option<String>,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl StoreError {
+    /// A failure at `offset`, outside any section (header, framing).
+    pub fn at(offset: u64, message: impl Into<String>) -> StoreError {
+        StoreError {
+            offset,
+            section: None,
+            message: message.into(),
+        }
+    }
+
+    /// A failure at `offset` while decoding `section`.
+    pub fn in_section(
+        offset: u64,
+        section: impl Into<String>,
+        message: impl Into<String>,
+    ) -> StoreError {
+        StoreError {
+            offset,
+            section: Some(section.into()),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.section {
+            Some(s) => write!(
+                f,
+                "parse error at byte {} (section {s}): {}",
+                self.offset, self.message
+            ),
+            None => write!(f, "parse error at byte {}: {}", self.offset, self.message),
+        }
+    }
+}
+
+impl Error for StoreError {}
+
 /// Everything that can go wrong in the OptiWISE pipeline.
 #[derive(Clone, Debug, PartialEq)]
 pub enum OptiwiseError {
@@ -76,6 +129,16 @@ pub enum OptiwiseError {
         /// The parse failure with its line number.
         error: ProfileParseError,
     },
+    /// A binary profile store file was corrupted, truncated or malformed.
+    Store(StoreError),
+    /// A differential analysis detected regressions and the caller asked
+    /// for that to be fatal (`optiwise diff --fail-on-regression`).
+    Regression {
+        /// Number of rows classified as regressions.
+        count: usize,
+        /// The significance threshold (percent) the rows exceeded.
+        threshold_pct: f64,
+    },
     /// The two profiles disagree beyond the configured tolerance — the runs
     /// likely observed different control flow (§IV-F's assumption broken).
     Divergence {
@@ -104,15 +167,17 @@ pub enum OptiwiseError {
 impl OptiwiseError {
     /// The process exit code for this error, one per failure class:
     /// 2 = load/disassembly, 3 = execution fault, 4 = instruction limit or
-    /// disallowed truncation, 5 = run divergence, 6 = profile parse error,
-    /// 1 = everything else (usage, I/O).
+    /// disallowed truncation, 5 = run divergence, 6 = profile parse error
+    /// (text or binary store), 7 = regressions detected by `diff` when
+    /// failing on them was requested, 1 = everything else (usage, I/O).
     pub fn exit_code(&self) -> u8 {
         match self {
             OptiwiseError::Load(_) | OptiwiseError::Disasm { .. } => 2,
             OptiwiseError::Exec { .. } => 3,
             OptiwiseError::InsnLimit(_) | OptiwiseError::Truncated { .. } => 4,
             OptiwiseError::Divergence { .. } => 5,
-            OptiwiseError::Parse { .. } => 6,
+            OptiwiseError::Parse { .. } | OptiwiseError::Store(_) => 6,
+            OptiwiseError::Regression { .. } => 7,
             OptiwiseError::Usage(_) | OptiwiseError::Io(_) | OptiwiseError::Internal(_) => 1,
         }
     }
@@ -132,6 +197,15 @@ impl fmt::Display for OptiwiseError {
                 write!(f, "{pass} run truncated: {reason} (partial profiles disallowed)")
             }
             OptiwiseError::Parse { kind, error } => write!(f, "{kind} {error}"),
+            OptiwiseError::Store(error) => write!(f, "profile store {error}"),
+            OptiwiseError::Regression {
+                count,
+                threshold_pct,
+            } => write!(
+                f,
+                "differential analysis found {count} regression(s) beyond the \
+                 {threshold_pct:.1}% threshold"
+            ),
             OptiwiseError::Divergence {
                 score,
                 threshold,
@@ -151,6 +225,12 @@ impl fmt::Display for OptiwiseError {
 }
 
 impl Error for OptiwiseError {}
+
+impl From<StoreError> for OptiwiseError {
+    fn from(e: StoreError) -> OptiwiseError {
+        OptiwiseError::Store(e)
+    }
+}
 
 impl From<SimError> for OptiwiseError {
     fn from(e: SimError) -> OptiwiseError {
@@ -207,6 +287,17 @@ mod tests {
                 },
                 6,
             ),
+            (
+                OptiwiseError::Store(StoreError::in_section(64, "SAMP", "crc mismatch")),
+                6,
+            ),
+            (
+                OptiwiseError::Regression {
+                    count: 3,
+                    threshold_pct: 5.0,
+                },
+                7,
+            ),
             (OptiwiseError::Usage("u".into()), 1),
             (OptiwiseError::Io("io".into()), 1),
             (OptiwiseError::Internal("worker died".into()), 1),
@@ -215,6 +306,16 @@ mod tests {
             assert_eq!(e.exit_code(), code, "{e}");
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn store_errors_carry_offset_and_section() {
+        let e = StoreError::at(12, "bad magic");
+        assert!(e.to_string().contains("byte 12"), "{e}");
+        let e = StoreError::in_section(64, "CNTS", "crc mismatch");
+        let text = OptiwiseError::from(e).to_string();
+        assert!(text.contains("CNTS"), "{text}");
+        assert!(text.contains("byte 64"), "{text}");
     }
 
     #[test]

@@ -1,13 +1,18 @@
-//! Machine-readable exports (CSV) of the analysis tables, for plotting the
-//! figures the way the artifact's gnuplot scripts do.
+//! Machine-readable exports (CSV and JSON) of the analysis tables, for
+//! plotting the figures the way the artifact's gnuplot scripts do and for
+//! feeding stored profiles to external dashboards.
 
 use std::fmt::Write as _;
 
 use crate::analysis::Analysis;
 use crate::blocks::block_stats;
+use crate::tables::ProfileTables;
+use crate::types::{FuncStats, LoopStats};
 
 fn esc(s: &str) -> String {
-    if s.contains(',') || s.contains('"') {
+    // RFC 4180: a field containing the delimiter, a quote, or a line break
+    // must be quoted, or the row splits mid-record.
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -108,6 +113,118 @@ pub fn blocks_csv(analysis: &Analysis) -> String {
     out
 }
 
+/// Escapes `s` as the contents of a JSON string literal (RFC 8259): quote,
+/// backslash and control characters only — everything else passes through
+/// as UTF-8.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.4}"),
+        _ => "null".to_string(),
+    }
+}
+
+/// Functions table as a JSON array, mirroring `functions_csv` columns.
+pub fn functions_json(functions: &[FuncStats]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in functions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"module\":{},\"function\":\"{}\",\"self_cycles\":{},\"incl_cycles\":{},\
+             \"self_samples\":{},\"self_insns\":{},\"incl_insns\":{},\"ipc\":{},\"cpi\":{}}}",
+            f.module,
+            json_escape(&f.name),
+            f.self_cycles,
+            f.incl_cycles,
+            f.self_samples,
+            f.self_insns,
+            f.incl_insns,
+            json_opt(f.ipc()),
+            json_opt(f.cpi()),
+        );
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// Loops table as a JSON array, mirroring `loops_csv` columns.
+pub fn loops_json(loops: &[LoopStats]) -> String {
+    let mut out = String::from("[");
+    for (i, l) in loops.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let lines = match &l.lines {
+            Some((file, lo, hi)) => format!(
+                "{{\"file\":\"{}\",\"lo\":{lo},\"hi\":{hi}}}",
+                json_escape(file)
+            ),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            out,
+            "\n  {{\"module\":{},\"function\":\"{}\",\"header_offset\":{},\"depth\":{},\
+             \"iterations\":{},\"invocations\":{},\"body_insns\":{},\"total_insns\":{},\
+             \"cycles\":{},\"samples\":{},\"insns_per_iter\":{:.2},\"cpi\":{},\"lines\":{lines}}}",
+            l.module,
+            json_escape(&l.function),
+            l.header_offset,
+            l.depth,
+            l.iterations,
+            l.invocations,
+            l.body_insns,
+            l.total_insns,
+            l.cycles,
+            l.samples,
+            l.insns_per_iteration(),
+            json_opt(l.cpi()),
+        );
+    }
+    out.push_str("\n]");
+    out
+}
+
+/// A stored profile's tables as one JSON document:
+/// `{summary, modules, functions, loops}`.
+pub fn tables_json(tables: &ProfileTables) -> String {
+    let modules: Vec<String> = tables
+        .modules
+        .iter()
+        .map(|m| format!("\"{}\"", json_escape(m)))
+        .collect();
+    format!(
+        "{{\n\"summary\":{{\"mode\":\"{:?}\",\"wall_cycles\":{},\"total_cycles\":{},\
+         \"total_insns\":{}}},\n\"modules\":[{}],\n\"functions\":{},\n\"loops\":{}\n}}\n",
+        tables.mode,
+        tables.wall_cycles,
+        tables.total_cycles,
+        tables.total_insns,
+        modules.join(","),
+        functions_json(&tables.functions),
+        loops_json(&tables.loops),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,5 +299,42 @@ mod tests {
         assert_eq!(esc("plain"), "plain");
         assert_eq!(esc("a,b"), "\"a,b\"");
         assert_eq!(esc("q\"q"), "\"q\"\"q\"");
+        // Embedded line breaks must be quoted or the row splits mid-record.
+        assert_eq!(esc("a\nb"), "\"a\nb\"");
+        assert_eq!(esc("a\rb"), "\"a\rb\"");
+        assert_eq!(esc("a\r\nb"), "\"a\r\nb\"");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("q\"q"), "q\\\"q");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\t"), "a\\nb\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn json_exports_mirror_tables() {
+        let a = analysis();
+        let t = ProfileTables::from_analysis(&a);
+
+        let funcs = functions_json(&t.functions);
+        assert!(funcs.starts_with('[') && funcs.ends_with(']'), "{funcs}");
+        assert!(funcs.contains("\"function\":\"_start\""), "{funcs}");
+        assert!(funcs.contains("\"cpi\":"), "{funcs}");
+
+        let loops = loops_json(&t.loops);
+        assert!(loops.contains("\"file\":\"c.c\""), "{loops}");
+        assert!(loops.contains("\"iterations\":"), "{loops}");
+
+        let doc = tables_json(&t);
+        assert!(doc.contains("\"summary\""), "{doc}");
+        assert!(doc.contains("\"modules\":[\"csv\"]"), "{doc}");
+        // Rows match the table lengths: one object per row.
+        assert_eq!(
+            funcs.matches("\"function\"").count(),
+            t.functions.len(),
+        );
     }
 }

@@ -21,10 +21,12 @@
 
 mod analysis;
 mod blocks;
+pub mod diff;
 mod error;
 pub mod export;
 pub mod report;
 mod runner;
+mod tables;
 mod types;
 
 pub use analysis::{
@@ -32,6 +34,8 @@ pub use analysis::{
     DEFAULT_DIVERGENCE_THRESHOLD,
 };
 pub use blocks::{block_stats, blocks_table, BlockStats};
-pub use error::{OptiwiseError, Pass, ProfileKind};
+pub use diff::{diff_tables, DiffClass, DiffMetric, DiffOptions, DiffReport, DiffRow, DiffSide};
+pub use error::{OptiwiseError, Pass, ProfileKind, StoreError};
 pub use runner::{run_optiwise, OptiwiseConfig, OptiwiseRun, RetryPolicy};
+pub use tables::ProfileTables;
 pub use types::{FuncStats, InsnRow, LineStats, LoopStats};

@@ -3,7 +3,9 @@
 use std::fmt::Write as _;
 
 use crate::analysis::{Analysis, AnalysisMode};
-use crate::types::InsnRow;
+use crate::diff::{DiffClass, DiffReport, DiffRow};
+use crate::tables::ProfileTables;
+use crate::types::{FuncStats, InsnRow, LineStats, LoopStats};
 
 /// Formats `part` as a 7-character percentage cell of `whole`. An empty or
 /// degraded profile has `whole == 0`: there is no meaningful percentage, so
@@ -26,19 +28,23 @@ fn fmt_opt(v: Option<f64>) -> String {
 
 /// Renders the function table (top `limit` by self cycles).
 pub fn functions_table(analysis: &Analysis, limit: usize) -> String {
+    functions_table_rows(analysis.functions(), analysis.total_cycles, limit)
+}
+
+fn functions_table_rows(functions: &[FuncStats], total_cycles: u64, limit: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<28} {:>7} {:>7} {:>14} {:>7} {:>7}",
         "FUNCTION", "SELF%", "INCL%", "INSNS", "IPC", "CPI"
     );
-    for f in analysis.functions().iter().take(limit) {
+    for f in functions.iter().take(limit) {
         let _ = writeln!(
             out,
             "{:<28} {} {} {:>14} {:>7} {:>7}",
             truncate(&f.name, 28),
-            pct_cell(f.self_cycles, analysis.total_cycles),
-            pct_cell(f.incl_cycles, analysis.total_cycles),
+            pct_cell(f.self_cycles, total_cycles),
+            pct_cell(f.incl_cycles, total_cycles),
             f.self_insns,
             fmt_opt(f.ipc()),
             fmt_opt(f.cpi()),
@@ -50,13 +56,17 @@ pub fn functions_table(analysis: &Analysis, limit: usize) -> String {
 /// Renders the loop table (top `limit` by attributed cycles) — the view the
 /// paper highlights for finding optimization candidates.
 pub fn loops_table(analysis: &Analysis, limit: usize) -> String {
+    loops_table_rows(analysis.loops(), analysis.total_cycles, limit)
+}
+
+fn loops_table_rows(loops: &[LoopStats], total_cycles: u64, limit: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<24} {:<16} {:>7} {:>10} {:>9} {:>9} {:>7} {:>7}",
         "LOOP (function)", "LINES", "CYCLE%", "ITERS", "INVOCS", "INS/ITER", "CPI", "DEPTH"
     );
-    for l in analysis.loops().iter().take(limit) {
+    for l in loops.iter().take(limit) {
         let lines = match &l.lines {
             Some((file, lo, hi)) if lo == hi => format!("{}:{}", short_file(file), lo),
             Some((file, lo, hi)) => format!("{}:{}-{}", short_file(file), lo, hi),
@@ -67,7 +77,7 @@ pub fn loops_table(analysis: &Analysis, limit: usize) -> String {
             "{:<24} {:<16} {} {:>10} {:>9} {:>9.1} {:>7} {:>7}",
             truncate(&l.function, 24),
             truncate(&lines, 16),
-            pct_cell(l.cycles, analysis.total_cycles),
+            pct_cell(l.cycles, total_cycles),
             l.iterations,
             l.invocations,
             l.insns_per_iteration(),
@@ -80,18 +90,22 @@ pub fn loops_table(analysis: &Analysis, limit: usize) -> String {
 
 /// Renders the source-line table.
 pub fn lines_table(analysis: &Analysis, limit: usize) -> String {
+    lines_table_rows(analysis.lines(), analysis.total_cycles, limit)
+}
+
+fn lines_table_rows(lines: &[LineStats], total_cycles: u64, limit: usize) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:<28} {:>7} {:>12} {:>12} {:>7}",
         "FILE:LINE", "CYCLE%", "CYCLES", "EXECS", "CPI"
     );
-    for l in analysis.lines().iter().take(limit) {
+    for l in lines.iter().take(limit) {
         let _ = writeln!(
             out,
             "{:<28} {} {:>12} {:>12} {:>7}",
             truncate(&format!("{}:{}", short_file(&l.file), l.line), 28),
-            pct_cell(l.cycles, analysis.total_cycles),
+            pct_cell(l.cycles, total_cycles),
             l.cycles,
             l.count,
             fmt_opt(l.cpi()),
@@ -189,6 +203,108 @@ pub fn full_report(analysis: &Analysis, limit: usize) -> String {
     out
 }
 
+/// Renders a stored profile's tables in the `full_report` style — the body
+/// of `optiwise show`. The run-health section is unavailable (diagnostics
+/// are not persisted), but mode degradation still is.
+pub fn tables_report(tables: &ProfileTables, limit: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== OptiWISE report ==");
+    let overall_ipc = if tables.wall_cycles == 0 || tables.total_insns == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}", tables.total_insns as f64 / tables.wall_cycles as f64)
+    };
+    let _ = writeln!(
+        out,
+        "total cycles (sampled): {}   total instructions (counted): {}   overall IPC: {overall_ipc}",
+        tables.wall_cycles, tables.total_insns,
+    );
+    if tables.mode == AnalysisMode::SamplingOnly {
+        let _ = writeln!(
+            out,
+            "!! DEGRADED: sampling-only analysis (no instruction counts)"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\n-- functions --\n{}",
+        functions_table_rows(&tables.functions, tables.total_cycles, limit)
+    );
+    let _ = writeln!(
+        out,
+        "-- loops --\n{}",
+        loops_table_rows(&tables.loops, tables.total_cycles, limit)
+    );
+    let _ = writeln!(
+        out,
+        "-- lines --\n{}",
+        lines_table_rows(&tables.lines, tables.total_cycles, limit)
+    );
+    out
+}
+
+fn diff_table(rows: &[DiffRow], limit: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<44} {:>8} {:>8} {:>9} {:>9} {:<12}",
+        "KEY", "OLD", "NEW", "DELTA%", "NOISE%", "CLASS"
+    );
+    for r in rows.iter().take(limit) {
+        let (old_v, new_v) = match (r.old, r.new) {
+            (Some(o), Some(n)) => match r.metric {
+                crate::diff::DiffMetric::Cpi => (fmt_opt(o.cpi), fmt_opt(n.cpi)),
+                crate::diff::DiffMetric::Cycles => {
+                    (o.cycles.to_string(), n.cycles.to_string())
+                }
+            },
+            (Some(o), None) => (o.cycles.to_string(), "-".to_string()),
+            (None, Some(n)) => ("-".to_string(), n.cycles.to_string()),
+            (None, None) => ("-".to_string(), "-".to_string()),
+        };
+        let delta = match r.class {
+            DiffClass::Added | DiffClass::Removed => format!("{:>9}", "-"),
+            _ if r.delta_pct.is_infinite() => format!("{:>9}", "+inf"),
+            _ => format!("{:>+8.1}%", r.delta_pct),
+        };
+        let noise = if r.noise_pct.is_infinite() {
+            format!("{:>9}", "-")
+        } else {
+            format!("{:>8.1}%", r.noise_pct)
+        };
+        let _ = writeln!(
+            out,
+            "{:<44} {:>8} {:>8} {delta} {noise} {:<12}",
+            truncate(&r.key, 44),
+            old_v,
+            new_v,
+            r.class,
+        );
+    }
+    out
+}
+
+/// Renders the differential report: summary line, then the function, loop
+/// and line tables (each already sorted regressions-first).
+pub fn diff_report(report: &DiffReport, limit: usize) -> String {
+    let mut out = String::new();
+    let (reg, imp, noise) = report.summary();
+    let _ = writeln!(out, "== OptiWISE diff ==");
+    let _ = writeln!(
+        out,
+        "threshold: {:.1}%   confidence: {:.2}   regressions: {reg}   improvements: {imp}   noise: {noise}",
+        report.options.threshold_pct, report.options.confidence,
+    );
+    let _ = writeln!(
+        out,
+        "\n-- functions --\n{}",
+        diff_table(&report.functions, limit)
+    );
+    let _ = writeln!(out, "-- loops --\n{}", diff_table(&report.loops, limit));
+    let _ = writeln!(out, "-- lines --\n{}", diff_table(&report.lines, limit));
+    out
+}
+
 fn truncate(s: &str, max: usize) -> String {
     if s.len() <= max {
         s.to_string()
@@ -260,5 +376,45 @@ mod tests {
     fn short_file_strips_dirs() {
         assert_eq!(short_file("a/b/c.c"), "c.c");
         assert_eq!(short_file("c.c"), "c.c");
+    }
+
+    #[test]
+    fn tables_and_diff_reports_render() {
+        use crate::diff::{diff_tables, DiffOptions};
+        use crate::tables::ProfileTables;
+        use crate::types::FuncStats;
+
+        let mk = |cycles| ProfileTables {
+            mode: AnalysisMode::Full,
+            wall_cycles: cycles,
+            total_cycles: cycles,
+            total_insns: 1000,
+            modules: vec!["m".into()],
+            functions: vec![FuncStats {
+                module: 0,
+                name: "hot".into(),
+                self_cycles: cycles,
+                incl_cycles: cycles,
+                self_samples: 400,
+                self_insns: 1000,
+                incl_insns: 1000,
+            }],
+            loops: vec![],
+            lines: vec![],
+        };
+        let old = mk(1000);
+        let new = mk(2000);
+
+        let shown = tables_report(&old, 10);
+        assert!(shown.contains("-- functions --"), "{shown}");
+        assert!(shown.contains("hot"), "{shown}");
+        assert!(!shown.contains("NaN"), "{shown}");
+
+        let report = diff_tables(&old, &new, DiffOptions::default());
+        let text = diff_report(&report, 10);
+        assert!(text.contains("REGRESSION"), "{text}");
+        assert!(text.contains("m:hot"), "{text}");
+        assert!(text.contains("regressions: 1"), "{text}");
+        assert!(text.contains("+100.0%"), "{text}");
     }
 }

@@ -222,6 +222,64 @@ impl CountsProfile {
         out
     }
 
+    /// Callee table in a deterministic order (sorted by call site). Every
+    /// serializer must use this instead of iterating the `HashMap` directly
+    /// so that identical profiles encode to identical bytes.
+    pub fn sorted_callee_counts(&self) -> Vec<(CodeLoc, u64)> {
+        sorted_callees(&self.callee_counts)
+    }
+
+    /// Structural consistency check for profiles decoded from untrusted
+    /// bytes (the binary store path, which bypasses [`from_text`]'s inline
+    /// checks): every block entry, branch target and callee site must
+    /// reference a declared module, block extents must not overflow, and
+    /// fall-through counts cannot exceed block counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    ///
+    /// [`from_text`]: CountsProfile::from_text
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.module_names.len();
+        let check = |loc: CodeLoc, what: &str| -> Result<(), String> {
+            if (loc.module.0 as usize) >= n {
+                Err(format!("{what} references undeclared module {}", loc.module.0))
+            } else {
+                Ok(())
+            }
+        };
+        for (i, b) in self.blocks.iter().enumerate() {
+            check(b.entry, &format!("block {i}"))?;
+            if b.entry
+                .offset
+                .checked_add((b.len as u64).saturating_mul(wiser_isa::INSN_BYTES))
+                .is_none()
+            {
+                return Err(format!(
+                    "block {i} extent overflows: offset {:#x} len {}",
+                    b.entry.offset, b.len
+                ));
+            }
+            if b.fallthrough > b.count {
+                return Err(format!(
+                    "block {i} fallthrough {} exceeds count {}",
+                    b.fallthrough, b.count
+                ));
+            }
+            if let Some(t) = b.direct_target {
+                check(t, &format!("block {i} target"))?;
+            }
+            for (t, _) in &b.targets {
+                check(*t, &format!("block {i} indirect target"))?;
+            }
+        }
+        for site in self.callee_counts.keys() {
+            check(*site, "callee site")?;
+        }
+        Ok(())
+    }
+
     /// Parses the text format produced by [`CountsProfile::to_text`].
     ///
     /// Every record is validated structurally: block entries, targets and
@@ -512,6 +570,29 @@ mod tests {
     fn overhead_ratio() {
         let p = sample();
         assert!((p.cost.overhead() - 4000.0 / 550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validate_checks_consistency() {
+        let p = sample();
+        p.validate().unwrap();
+        assert_eq!(p.sorted_callee_counts(), vec![(loc(0, 0x20), 1234)]);
+
+        let mut bad = sample();
+        bad.blocks[0].entry.module = ModuleId(4);
+        assert!(bad.validate().unwrap_err().contains("undeclared module 4"));
+
+        let mut bad = sample();
+        bad.blocks[0].fallthrough = bad.blocks[0].count + 1;
+        assert!(bad.validate().unwrap_err().contains("fallthrough"));
+
+        let mut bad = sample();
+        bad.blocks[1].targets[0].0.module = ModuleId(9);
+        assert!(bad.validate().unwrap_err().contains("indirect target"));
+
+        let mut bad = sample();
+        bad.callee_counts.insert(loc(7, 0), 1);
+        assert!(bad.validate().unwrap_err().contains("callee site"));
     }
 
     #[test]

@@ -96,6 +96,37 @@ impl SampleProfile {
         out
     }
 
+    /// Structural consistency check for profiles decoded from untrusted
+    /// bytes (the binary store path, which bypasses [`from_text`]'s inline
+    /// checks): every sample and stack frame must reference a declared
+    /// module.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first dangling reference.
+    ///
+    /// [`from_text`]: SampleProfile::from_text
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.module_names.len();
+        for (i, s) in self.samples.iter().enumerate() {
+            if (s.loc.module.0 as usize) >= n {
+                return Err(format!(
+                    "sample {i} references undeclared module {}",
+                    s.loc.module.0
+                ));
+            }
+            for frame in &s.stack {
+                if (frame.module.0 as usize) >= n {
+                    return Err(format!(
+                        "sample {i} stack frame references undeclared module {}",
+                        frame.module.0
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Parses the text format produced by [`SampleProfile::to_text`].
     ///
     /// Every record is validated structurally: module references must point
@@ -321,6 +352,20 @@ mod tests {
         assert_eq!(agg[&loc(0, 0x10)], (2, 4148));
         assert_eq!(agg[&loc(1, 0x28)], (1, 1900));
         assert_eq!(p.total_weight(), 6048);
+    }
+
+    #[test]
+    fn validate_checks_module_references() {
+        let p = sample_profile();
+        p.validate().unwrap();
+
+        let mut bad = sample_profile();
+        bad.samples[0].loc.module = ModuleId(9);
+        assert!(bad.validate().unwrap_err().contains("undeclared module 9"));
+
+        let mut bad = sample_profile();
+        bad.samples[0].stack[1].module = ModuleId(5);
+        assert!(bad.validate().unwrap_err().contains("stack frame"));
     }
 
     #[test]

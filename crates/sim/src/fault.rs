@@ -177,6 +177,25 @@ impl FaultPlan {
         String::from_utf8(bytes).expect("ascii substitution keeps utf8 valid")
     }
 
+    /// Deterministically flips one bit of `data` past the first 16 bytes
+    /// (when `corrupt_text` is set; otherwise returns the data unchanged) —
+    /// the binary-format analogue of [`corrupt`](FaultPlan::corrupt). The
+    /// header is spared so the damage lands in a section body or frame and
+    /// must be caught by checksums, not by magic-number comparison. Inputs
+    /// of 16 bytes or fewer are returned unchanged.
+    pub fn corrupt_bytes(&self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        if !self.corrupt_text || data.len() <= 16 {
+            return out;
+        }
+        let span = data.len() - 16;
+        let r = splitmix64(self.seed);
+        let pos = 16 + (r as usize % span);
+        let bit = (r >> 32) % 8;
+        out[pos] ^= 1 << bit;
+        out
+    }
+
     /// Parses a CLI fault spec: comma-separated `key=value` entries
     /// (`seed=N`, `drop-samples=PCT`, `abort-sample=N`, `truncate-counts=N`,
     /// `desync-seed=N`) plus the bare flag `corrupt`.
@@ -274,6 +293,43 @@ mod tests {
         assert!(diffs[0] > text.find('\n').unwrap(), "header untouched");
         // Deterministic.
         assert_eq!(plan.corrupt(text), bad);
+    }
+
+    #[test]
+    fn corrupt_bytes_flips_one_bit_past_byte_16() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let noop = FaultPlan::default();
+        assert_eq!(noop.corrupt_bytes(&data), data);
+
+        for seed in 0..32 {
+            let plan = FaultPlan {
+                seed,
+                corrupt_text: true,
+                ..FaultPlan::default()
+            };
+            let bad = plan.corrupt_bytes(&data);
+            let diffs: Vec<usize> = data
+                .iter()
+                .zip(&bad)
+                .enumerate()
+                .filter(|(_, (a, b))| a != b)
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(diffs.len(), 1, "seed {seed}");
+            assert!(diffs[0] >= 16, "seed {seed}: header touched");
+            // One-bit damage, and deterministic per seed.
+            assert_eq!((data[diffs[0]] ^ bad[diffs[0]]).count_ones(), 1);
+            assert_eq!(plan.corrupt_bytes(&data), bad);
+        }
+
+        // Too-short inputs are untouched rather than panicking.
+        let tiny = vec![0u8; 16];
+        let plan = FaultPlan {
+            seed: 1,
+            corrupt_text: true,
+            ..FaultPlan::default()
+        };
+        assert_eq!(plan.corrupt_bytes(&tiny), tiny);
     }
 
     #[test]

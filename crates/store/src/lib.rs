@@ -1,0 +1,31 @@
+//! # wiser-store
+//!
+//! Persistent, versioned, checksummed storage for OptiWISE profiling runs —
+//! the `.owp` binary format behind `optiwise run --save`, `optiwise show`
+//! and `optiwise diff`.
+//!
+//! The paper's headline use cases are comparative: regressions are
+//! diagnosed by contrasting per-loop/per-line CPI across program versions.
+//! That needs profiles to outlive the run that produced them. This crate
+//! persists a run's raw sampling profile, raw DBI count profile, and joined
+//! analysis tables in a section-based container ([`format`]) and decodes
+//! them back ([`StoredProfile`]); the differential engine that compares two
+//! stored runs lives in [`optiwise::diff`].
+//!
+//! Design properties:
+//!
+//! - **Deterministic**: equal runs serialize to equal bytes, extending the
+//!   pipeline's `--jobs`-invariance guarantee to the on-disk format.
+//! - **Fail-closed**: every section carries a CRC-32 over tag and payload;
+//!   corrupted or truncated files decode to offset-diagnosed
+//!   [`StoreError`](optiwise::StoreError)s, never panics or silent damage.
+//! - **Forward-compatible**: unknown (checksum-valid) sections are skipped,
+//!   so newer writers can add sections without breaking older readers.
+
+#![warn(missing_docs)]
+
+pub mod format;
+mod profile;
+
+pub use format::{crc32, read_sections, section_spans, write_store, FORMAT_VERSION, MAGIC};
+pub use profile::{RunMeta, StoredProfile};

@@ -48,6 +48,23 @@ pub(crate) fn all() -> Vec<Workload> {
             builder: rand_walk,
         },
         Workload {
+            name: "recip_loop",
+            description: "hot loop computing reciprocals with a loop-carried \
+                          udiv: the unoptimised half of the diff-workflow \
+                          pair (high CPI on recip.c:3)",
+            kind: Kind::Micro,
+            builder: recip_loop,
+        },
+        Workload {
+            name: "recip_loop_opt",
+            description: "same program with the udiv strength-reduced to \
+                          mul+shift — same module/function/line layout as \
+                          recip_loop so `optiwise diff` aligns the loop and \
+                          flags the CPI change",
+            kind: Kind::Micro,
+            builder: recip_loop_opt,
+        },
+        Workload {
             name: "stack_attr",
             description: "two loops in different functions calling a shared \
                           callee, plus a second caller chain; validates \
@@ -301,6 +318,56 @@ fn rand_walk(size: InputSize) -> Result<Vec<Module>, IsaError> {
     Ok(vec![assemble("rand_walk", &src)?])
 }
 
+/// The diff-workflow pair: one source program at two "optimisation levels",
+/// assembled into identically-named modules with identical function names
+/// and `.loc` line layout so the stored-profile differ aligns every row.
+/// The unoptimised variant divides by a loop-invariant denominator every
+/// iteration; the optimised variant strength-reduces the divide to a
+/// multiply + shift. Same loop, same lines — only recip.c:3's CPI moves.
+fn recip_loop_src(iters: u64, optimised: bool) -> String {
+    let recip = if optimised {
+        // x5 = x7 * (2^16 / 9) >> 16: the compiler's reciprocal trick.
+        "            mul x5, x7, x11\n            shri x5, x5, 16"
+    } else {
+        "            udiv x5, x7, x6"
+    };
+    format!(
+        r#"
+        .func _start global
+        .loc "recip.c" 1
+            li x8, {iters}
+            li x9, 0
+            li x6, 9
+            li x11, 7281       ; 2^16/9, used by the optimised variant
+            li x7, 1
+        loop:
+        .loc "recip.c" 3
+{recip}
+        .loc "recip.c" 4
+            add x2, x2, x5
+            addi x7, x7, 3
+            subi x8, x8, 1
+            bne x8, x9, loop
+        .loc "recip.c" 6
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    )
+}
+
+fn recip_loop(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let iters = scale(size, 20_000, 200_000, 1_000_000);
+    Ok(vec![assemble("recip_loop", &recip_loop_src(iters, false))?])
+}
+
+fn recip_loop_opt(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let iters = scale(size, 20_000, 200_000, 1_000_000);
+    Ok(vec![assemble("recip_loop", &recip_loop_src(iters, true))?])
+}
+
 /// Figures 4 and 5: `func3` is called from `loop1` (in `func1`, hot) and
 /// from `loop2` (in `func2`, cold) in a 3:1 ratio; `func1` is itself called
 /// from `loop0` (in `func0`) and from `func4`. Stack profiling must credit
@@ -440,6 +507,25 @@ mod tests {
     #[test]
     fn stack_attr_runs() {
         runs_clean("stack_attr");
+    }
+
+    #[test]
+    fn recip_pair_runs_and_shares_layout() {
+        runs_clean("recip_loop");
+        runs_clean("recip_loop_opt");
+        // The pair must assemble identically-named modules (the differ
+        // aligns rows on module *name*), and the optimised build really is
+        // cheaper per iteration.
+        let unopt = crate::by_name("recip_loop")
+            .unwrap()
+            .build(InputSize::Test)
+            .unwrap();
+        let opt = crate::by_name("recip_loop_opt")
+            .unwrap()
+            .build(InputSize::Test)
+            .unwrap();
+        assert_eq!(unopt[0].name, "recip_loop");
+        assert_eq!(opt[0].name, "recip_loop");
     }
 
     #[test]
