@@ -11,6 +11,7 @@
 //! optiwise show <profile.owp>                # report a saved profile
 //! optiwise report <profile.owp> [--format json]
 //! optiwise diff <old.owp> <new.owp>          # differential CPI analysis
+//! optiwise resume <checkpoint.owp>           # continue an interrupted run
 //! ```
 //!
 //! Options: `--size test|train|ref`, `--arch xeon|neoverse`, `--period N`,
@@ -18,25 +19,38 @@
 //! `--merge-threshold N|off`, `--seed N`, `--top N`, `--out FILE`,
 //! `--jobs N`, `--strict`, `--allow-partial`, `--inject SPEC`,
 //! `--save FILE`, `--threshold PCT`, `--fail-on-regression`,
-//! `--format text|json`.
+//! `--format text|json`, `--deadline SECS`, `--checkpoint FILE`,
+//! `--checkpoint-every N`.
 //!
 //! `run` accepts multiple workloads: they are profiled concurrently on a
 //! bounded worker pool (`--jobs N` threads) and the reports are merged in
 //! command-line order, so the output is byte-identical for every thread
 //! count.
 //!
+//! `run --checkpoint FILE` persists a crash-consistent checkpoint every
+//! `--checkpoint-every N` committed instructions; after a crash, deadline
+//! or Ctrl-C, `optiwise resume FILE` validates the checkpoint against the
+//! workload's current build and replays the interrupted passes, producing
+//! a report (and `--save` profile) byte-identical to an uninterrupted run.
+//! `--deadline SECS` stops the run at the next safe instruction boundary
+//! once the wall-clock budget is spent; so does Ctrl-C.
+//!
 //! Exit codes mirror [`OptiwiseError::exit_code`]: 0 success, 2 load or
 //! disassembly failure, 3 execution fault, 4 instruction limit or disallowed
 //! truncation, 5 run divergence (strict mode), 6 profile parse error,
-//! 7 regressions found by `diff --fail-on-regression`, 1 usage/io/other.
+//! 7 regressions found by `diff --fail-on-regression`, 8 deadline exceeded
+//! or cancelled, 9 injected crash, 1 usage/io/other.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use optiwise::{
-    diff_tables, report, run_optiwise, Analysis, AnalysisMode, AnalysisOptions, DiffOptions,
-    OptiwiseConfig, OptiwiseError, Pass, ProfileKind, DEFAULT_DIVERGENCE_THRESHOLD,
+    diff_tables, module_fingerprint, report, run_optiwise, run_optiwise_ctl, Analysis,
+    AnalysisMode, AnalysisOptions, CancelToken, DiffOptions, OptiwiseConfig, OptiwiseError,
+    OptiwiseRun, Pass, PassEvent, ProfileKind, RunControl, StoreError,
+    DEFAULT_DIVERGENCE_THRESHOLD,
 };
-use wiser_store::StoredProfile;
+use wiser_store::{Checkpoint, CheckpointSpec, CheckpointWriter, StoredProfile};
 use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
 use wiser_isa::Module;
 use wiser_sampler::{sample_run, Attribution, SampleProfile, SamplerConfig};
@@ -46,6 +60,7 @@ use wiser_workloads::InputSize;
 struct Options {
     size: InputSize,
     core: CoreConfig,
+    arch_name: &'static str,
     sampler: SamplerConfig,
     stack_profiling: bool,
     merge_threshold: Option<u64>,
@@ -65,13 +80,21 @@ struct Options {
     threshold: f64,
     fail_on_regression: bool,
     json: bool,
+    deadline: Option<f64>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
 }
+
+/// Checkpoint cadence (committed instructions) when `--checkpoint` is given
+/// without an explicit `--checkpoint-every`.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 1_000_000;
 
 impl Default for Options {
     fn default() -> Options {
         Options {
             size: InputSize::Train,
             core: CoreConfig::xeon_like(),
+            arch_name: "xeon",
             sampler: SamplerConfig::default(),
             stack_profiling: true,
             merge_threshold: Some(wiser_cfg::MERGE_THRESHOLD),
@@ -91,6 +114,9 @@ impl Default for Options {
             threshold: optiwise::DiffOptions::default().threshold_pct,
             fail_on_regression: false,
             json: false,
+            deadline: None,
+            checkpoint: None,
+            checkpoint_every: None,
         }
     }
 }
@@ -116,9 +142,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--arch" => {
-                opts.core = match value(&mut i)?.as_str() {
-                    "xeon" => CoreConfig::xeon_like(),
-                    "neoverse" => CoreConfig::neoverse_like(),
+                (opts.core, opts.arch_name) = match value(&mut i)?.as_str() {
+                    "xeon" => (CoreConfig::xeon_like(), "xeon"),
+                    "neoverse" => (CoreConfig::neoverse_like(), "neoverse"),
                     other => return Err(format!("unknown arch `{other}`")),
                 }
             }
@@ -185,6 +211,25 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--fail-on-regression" => opts.fail_on_regression = true,
+            "--deadline" => {
+                let secs: f64 = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad deadline: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--deadline must be a positive number of seconds".into());
+                }
+                opts.deadline = Some(secs);
+            }
+            "--checkpoint" => opts.checkpoint = Some(value(&mut i)?),
+            "--checkpoint-every" => {
+                let n: u64 = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad checkpoint cadence: {e}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                opts.checkpoint_every = Some(n);
+            }
             "--format" => {
                 opts.json = match value(&mut i)?.as_str() {
                     "text" => false,
@@ -245,13 +290,136 @@ fn pipeline_config(opts: &Options) -> OptiwiseConfig {
 
 fn emit(opts: &Options, text: &str) -> Result<(), OptiwiseError> {
     match &opts.out {
-        Some(path) => std::fs::write(path, text)
+        Some(path) => wiser_store::atomic_write(std::path::Path::new(path), text.as_bytes())
             .map_err(|e| OptiwiseError::Io(format!("writing {path}: {e}"))),
         None => {
             print!("{text}");
             Ok(())
         }
     }
+}
+
+/// Ctrl-C → cooperative cancellation. The handler does exactly one thing —
+/// latch the run's [`CancelToken`] — which is async-signal-safe; the
+/// pipeline then stops at the next instruction boundary and the process
+/// exits 8 through the normal error path, flushing reports and checkpoints
+/// on the way out.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::OnceLock;
+
+    use optiwise::CancelToken;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        if let Some(token) = TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    /// Routes SIGINT to `token`. Installed once per process; later calls
+    /// with a different token are ignored (one run per process).
+    pub fn install(token: &CancelToken) {
+        if TOKEN.set(token.clone()).is_ok() {
+            const SIGINT: i32 = 2;
+            unsafe {
+                signal(SIGINT, on_sigint as *const () as usize);
+            }
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    pub fn install(_token: &optiwise::CancelToken) {}
+}
+
+/// The run's cancellation token: armed with `--deadline` if given, and
+/// wired to Ctrl-C.
+fn make_token(opts: &Options) -> CancelToken {
+    let token = match opts.deadline {
+        Some(secs) => CancelToken::with_deadline(Duration::from_secs_f64(secs)),
+        None => CancelToken::new(),
+    };
+    sigint::install(&token);
+    token
+}
+
+/// The checkpoint cadence in effect, or an error for a cadence without a
+/// file to write to.
+fn checkpoint_cadence(opts: &Options) -> Result<u64, OptiwiseError> {
+    match (&opts.checkpoint, opts.checkpoint_every) {
+        (None, Some(_)) => Err(OptiwiseError::Usage(
+            "--checkpoint-every needs --checkpoint FILE".into(),
+        )),
+        (None, None) => Ok(0),
+        (Some(_), every) => Ok(every.unwrap_or(DEFAULT_CHECKPOINT_EVERY)),
+    }
+}
+
+/// The identity-and-config spec stored in a fresh checkpoint, pinning it to
+/// this exact workload build and run configuration.
+fn checkpoint_spec(
+    opts: &Options,
+    name: &str,
+    modules: &[Module],
+    config: &OptiwiseConfig,
+    checkpoint_every: u64,
+) -> CheckpointSpec {
+    CheckpointSpec {
+        module_hash: module_fingerprint(modules),
+        workload: name.to_string(),
+        size: opts.size.name().to_string(),
+        arch: opts.arch_name.to_string(),
+        rand_seed: opts.seed,
+        period: opts.sampler.period,
+        jitter: opts.sampler.jitter,
+        sampler_seed: opts.sampler.seed,
+        attribution: opts.sampler.attribution,
+        stacks: opts.sampler.stacks,
+        stack_profiling: opts.stack_profiling,
+        merge_threshold: opts.merge_threshold,
+        max_insns: config.max_insns,
+        strict: opts.strict,
+        allow_partial: opts.allow_partial,
+        checkpoint_every,
+    }
+}
+
+/// Runs the pipeline under a cancellation token, checkpointing to `writer`
+/// (when given) on every pass event. Checkpoint-persist failures surface
+/// only after the run settles: a sick checkpoint disk must not kill a
+/// healthy profile run, but it must not go unreported either.
+fn run_with_control(
+    modules: &[Module],
+    config: &OptiwiseConfig,
+    token: &CancelToken,
+    checkpoint_every: u64,
+    writer: Option<&CheckpointWriter>,
+    resume: optiwise::ResumeState,
+) -> Result<OptiwiseRun, OptiwiseError> {
+    let observe = writer.map(|w| move |event: PassEvent<'_>| w.observe(event));
+    let run = run_optiwise_ctl(
+        modules,
+        config,
+        RunControl {
+            cancel: token.clone(),
+            checkpoint_every,
+            observer: observe
+                .as_ref()
+                .map(|f| f as &(dyn Fn(PassEvent<'_>) + Sync)),
+            resume,
+        },
+    )?;
+    if let Some(w) = writer {
+        w.finish()?;
+    }
+    Ok(run)
 }
 
 fn cmd_check() -> Result<(), OptiwiseError> {
@@ -310,8 +478,53 @@ fn cmd_run(opts: Options) -> Result<(), OptiwiseError> {
         return cmd_run_batch(opts);
     }
     let opts = &opts;
+    let checkpoint_every = checkpoint_cadence(opts)?;
     let modules = build_workload(opts)?;
-    let run = run_optiwise(&modules, &pipeline_config(opts))?;
+    let config = pipeline_config(opts);
+    let token = make_token(opts);
+    let name = opts
+        .workloads
+        .first()
+        .map(String::as_str)
+        .unwrap_or("run")
+        .to_string();
+    let writer = match &opts.checkpoint {
+        Some(path) => {
+            let spec = checkpoint_spec(opts, &name, &modules, &config, checkpoint_every);
+            let writer = CheckpointWriter::new(
+                path,
+                Checkpoint::fresh(spec),
+                token.clone(),
+                opts.fault.kill_in_checkpoint_write,
+            );
+            // Fail before profiling if the checkpoint path is unwritable,
+            // and make even a kill-at-instruction-zero resumable.
+            writer.persist_initial()?;
+            Some(writer)
+        }
+        None => None,
+    };
+    let run = run_with_control(
+        &modules,
+        &config,
+        &token,
+        checkpoint_every,
+        writer.as_ref(),
+        optiwise::ResumeState::default(),
+    )?;
+    render_run(opts, &name, opts.seed, &run)
+}
+
+/// Everything that happens after a (fresh or resumed) run settles: retry
+/// and degradation notices, `--save`, the report, `--function` annotation
+/// and `--csv-dir` exports. Shared by `run` and `resume` so a resumed run
+/// is rendered through the exact same path — byte-identical output.
+fn render_run(
+    opts: &Options,
+    name: &str,
+    seed: u64,
+    run: &OptiwiseRun,
+) -> Result<(), OptiwiseError> {
     if run.attempts.0 > 1 || run.attempts.1 > 1 {
         eprintln!(
             "optiwise: retried truncated passes (sampling x{}, instrumentation x{})",
@@ -322,8 +535,7 @@ fn cmd_run(opts: Options) -> Result<(), OptiwiseError> {
         eprintln!("optiwise: DEGRADED sampling-only analysis (see report header)");
     }
     if let Some(path) = &opts.save {
-        let name = opts.workloads.first().map(String::as_str).unwrap_or("run");
-        let stored = StoredProfile::from_run(name, &run, opts.seed);
+        let stored = StoredProfile::from_run(name, run, seed);
         stored.save(std::path::Path::new(path))?;
         eprintln!("saved profile to {path}");
     }
@@ -341,7 +553,7 @@ fn cmd_run(opts: Options) -> Result<(), OptiwiseError> {
             .map_err(|e| OptiwiseError::Io(format!("creating {}: {e}", dir.display())))?;
         let write = |name: &str, contents: String| -> Result<(), OptiwiseError> {
             let path = dir.join(name);
-            std::fs::write(&path, contents)
+            wiser_store::atomic_write(&path, contents.as_bytes())
                 .map_err(|e| OptiwiseError::Io(format!("{}: {e}", path.display())))
         };
         write("functions.csv", optiwise::export::functions_csv(&run.analysis))?;
@@ -362,10 +574,19 @@ fn cmd_run(opts: Options) -> Result<(), OptiwiseError> {
     emit(opts, &text)
 }
 
-/// One batch-mode shard: the full report for a single workload.
-fn run_one(name: &str, opts: &Options) -> Result<String, OptiwiseError> {
+/// One batch-mode shard: the full report for a single workload. The shared
+/// token lets a deadline or Ctrl-C stop every in-flight shard at its next
+/// instruction boundary.
+fn run_one(name: &str, opts: &Options, token: &CancelToken) -> Result<String, OptiwiseError> {
     let modules = build_named_workload(name, opts.size)?;
-    let run = run_optiwise(&modules, &pipeline_config(opts))?;
+    let run = run_optiwise_ctl(
+        &modules,
+        &pipeline_config(opts),
+        RunControl {
+            cancel: token.clone(),
+            ..RunControl::default()
+        },
+    )?;
     Ok(report::full_report(&run.analysis, opts.top))
 }
 
@@ -379,14 +600,27 @@ fn cmd_run_batch(opts: Options) -> Result<(), OptiwiseError> {
             "--function/--csv-dir/--save work with a single workload, not batch mode".into(),
         ));
     }
+    if opts.checkpoint.is_some() || opts.checkpoint_every.is_some() {
+        return Err(OptiwiseError::Usage(
+            "--checkpoint works with a single workload, not batch mode".into(),
+        ));
+    }
+    let token = make_token(&opts);
     let opts = std::sync::Arc::new(opts);
-    let pool = wiser_par::WorkerPool::new(opts.jobs.min(opts.workloads.len()));
+    // The pool shares the run's token: a deadline or Ctrl-C stops shards
+    // already executing at their next instruction boundary and discards
+    // shards still queued, then joins every worker.
+    let pool = wiser_par::WorkerPool::with_cancel(
+        opts.jobs.min(opts.workloads.len()),
+        token.clone(),
+    );
     let (tx, rx) = std::sync::mpsc::channel();
     for (index, name) in opts.workloads.iter().cloned().enumerate() {
         let tx = tx.clone();
         let opts = std::sync::Arc::clone(&opts);
+        let token = token.clone();
         pool.execute(move || {
-            let _ = tx.send((index, run_one(&name, &opts)));
+            let _ = tx.send((index, run_one(&name, &opts, &token)));
         });
     }
     drop(tx);
@@ -417,10 +651,78 @@ fn cmd_run_batch(opts: Options) -> Result<(), OptiwiseError> {
         }
     }
     emit(&opts, &out)?;
+    if first_error.is_none() {
+        if let Some(cause) = token.cause() {
+            // Every completed shard succeeded but queued shards were
+            // discarded by the cancellation: the batch did not finish.
+            first_error = Some(OptiwiseError::DeadlineExceeded {
+                retired: 0,
+                deadline: cause == optiwise::CancelCause::Deadline,
+            });
+        }
+    }
     match first_error {
         Some(e) => Err(e),
         None => Ok(()),
     }
+}
+
+/// `optiwise resume CHECKPOINT.owp`: continue an interrupted run.
+///
+/// The checkpoint pins the run's whole configuration, so the command takes
+/// no workload and no profiling options — only execution-environment flags
+/// (`--jobs`, `--deadline`, `--out`, `--save`, `--top`, `--function`,
+/// `--csv-dir`, and `--inject` for tests). Completed passes are restored
+/// verbatim from the checkpoint; interrupted passes are replayed
+/// deterministically from instruction zero, so the report and any `--save`
+/// profile are byte-identical to an uninterrupted run. The resumed run
+/// keeps checkpointing into the same file and may itself be interrupted
+/// and resumed again.
+fn cmd_resume(opts: &Options) -> Result<(), OptiwiseError> {
+    let path = profile_arg(opts, "resume")?;
+    let ckpt = Checkpoint::load(std::path::Path::new(path))?;
+    let spec = ckpt.spec.clone();
+    let size = InputSize::parse(&spec.size).ok_or_else(|| {
+        OptiwiseError::Store(StoreError::in_section(
+            0,
+            "CKPT",
+            format!("unknown input size `{}` in checkpoint", spec.size),
+        ))
+    })?;
+    let modules = build_named_workload(&spec.workload, size)?;
+    let fingerprint = module_fingerprint(&modules);
+    if fingerprint != spec.module_hash {
+        return Err(OptiwiseError::Store(StoreError::in_section(
+            0,
+            "CKPT",
+            format!(
+                "checkpoint was taken against a different build of `{}` \
+                 (module hash {:016x}, current build {:016x}); \
+                 rerun `optiwise run` instead",
+                spec.workload, spec.module_hash, fingerprint
+            ),
+        )));
+    }
+    let mut config = spec.to_config(opts.jobs)?;
+    // Fault injection is never stored in a checkpoint; a resumed leg only
+    // gets faults the tests pass explicitly on this command line.
+    config.fault = opts.fault;
+    let token = make_token(opts);
+    let writer = CheckpointWriter::new(
+        path,
+        ckpt.clone(),
+        token.clone(),
+        opts.fault.kill_in_checkpoint_write,
+    );
+    let run = run_with_control(
+        &modules,
+        &config,
+        &token,
+        spec.checkpoint_every,
+        Some(&writer),
+        ckpt.resume_state(),
+    )?;
+    render_run(opts, &spec.workload, spec.rand_seed, &run)
 }
 
 fn module_of(analysis: &Analysis, func: &str) -> u32 {
@@ -687,6 +989,9 @@ commands:
   report <profile.owp>  tables from a saved profile (--format text|json)
   diff <old.owp> <new.owp>
                         differential CPI analysis between two saved runs
+  resume <checkpoint.owp>
+                        continue an interrupted run from its checkpoint;
+                        the report is byte-identical to an uninterrupted run
 options:
   --size test|train|ref   --arch xeon|neoverse   --period N
   --attribution interrupt|precise|predecessor
@@ -699,16 +1004,25 @@ options:
   --strict                fail on truncation or run divergence
   --allow-partial / --no-partial
                           accept or reject truncated profiles (default: accept)
+  --deadline SECS         wall-clock budget; the run stops at the next safe
+                          instruction boundary and exits 8 (Ctrl-C does the
+                          same without a budget)
+  --checkpoint FILE       (run) persist a crash-consistent checkpoint of both
+                          passes, resumable with `optiwise resume FILE`
+  --checkpoint-every N    checkpoint cadence in committed instructions
+                          (default: 1000000; needs --checkpoint)
   --inject SPEC           deterministic fault injection, SPEC is a comma list:
                           seed=N, drop-samples=PCT, abort-sample=N,
-                          truncate-counts=N, desync-seed=N, corrupt
+                          truncate-counts=N, desync-seed=N, corrupt,
+                          kill-after=N, kill-in-write=N
   --save FILE             (run) also save the profile as a binary .owp store
   --format text|json      (report) output format (default: text)
   --threshold PCT         (diff) significance threshold in percent (default: 5)
   --fail-on-regression    (diff) exit 7 when regressions are found
 exit codes:
   0 ok   2 load/disasm   3 exec fault   4 truncated   5 divergence
-  6 parse error   7 regression   1 usage/other
+  6 parse error   7 regression   8 deadline/cancelled   9 injected crash
+  1 usage/other
 ";
 
 fn main() -> ExitCode {
@@ -745,6 +1059,7 @@ fn main() -> ExitCode {
                 "show" => cmd_show(&opts),
                 "report" => cmd_report(&opts),
                 "diff" => cmd_diff(&opts),
+                "resume" => cmd_resume(&opts),
                 other => Err(OptiwiseError::Usage(format!(
                     "unknown command `{other}`\n{USAGE}"
                 ))),
@@ -866,6 +1181,44 @@ mod tests {
         assert!(parse(&["--format", "xml"]).is_err());
         assert!(parse(&["--threshold", "-3"]).is_err());
         assert!(parse(&["--threshold", "nope"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_deadline_flags_parse() {
+        let o = parse(&[
+            "--deadline", "2.5",
+            "--checkpoint", "ck.owp",
+            "--checkpoint-every", "5000",
+            "long_haul",
+        ])
+        .unwrap();
+        assert_eq!(o.deadline, Some(2.5));
+        assert_eq!(o.checkpoint.as_deref(), Some("ck.owp"));
+        assert_eq!(o.checkpoint_every, Some(5000));
+        assert_eq!(checkpoint_cadence(&o).unwrap(), 5000);
+
+        // Defaults: no checkpointing; with a file but no cadence, the
+        // default cadence applies.
+        let o = parse(&["long_haul"]).unwrap();
+        assert_eq!(o.deadline, None);
+        assert_eq!(checkpoint_cadence(&o).unwrap(), 0);
+        let o = parse(&["--checkpoint", "ck.owp", "long_haul"]).unwrap();
+        assert_eq!(checkpoint_cadence(&o).unwrap(), DEFAULT_CHECKPOINT_EVERY);
+
+        // A cadence without a file is a usage error; bad values reject.
+        let o = parse(&["--checkpoint-every", "9", "long_haul"]).unwrap();
+        assert!(checkpoint_cadence(&o).is_err());
+        assert!(parse(&["--checkpoint-every", "0"]).is_err());
+        assert!(parse(&["--deadline", "0"]).is_err());
+        assert!(parse(&["--deadline", "-1"]).is_err());
+        assert!(parse(&["--deadline", "soon"]).is_err());
+    }
+
+    #[test]
+    fn arch_flag_tracks_spec_name() {
+        assert_eq!(parse(&["x"]).unwrap().arch_name, "xeon");
+        let o = parse(&["--arch", "neoverse", "x"]).unwrap();
+        assert_eq!(o.arch_name, "neoverse");
     }
 
     #[test]

@@ -405,3 +405,77 @@ fn usage_on_no_args() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage"), "{stderr}");
 }
+
+#[test]
+fn kill_checkpoint_resume_is_byte_identical() {
+    let dir = std::env::temp_dir().join("optiwise-ckpt-e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    let golden = dir.join("golden.owp");
+    let ck = dir.join("ck.owp");
+    let resumed = dir.join("resumed.owp");
+
+    let out = optiwise(&[
+        "run", "long_haul", "--size", "test", "--seed", "5",
+        "--save", golden.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    // The same run, killed mid-flight while checkpointing, exits 9 and
+    // leaves a decodable checkpoint behind.
+    let out = optiwise(&[
+        "run", "long_haul", "--size", "test", "--seed", "5",
+        "--checkpoint", ck.to_str().unwrap(),
+        "--checkpoint-every", "2000",
+        "--inject", "kill-after=8000",
+    ]);
+    assert_eq!(out.status.code(), Some(9), "{out:?}");
+
+    // Resuming the checkpoint completes the run with the same bytes.
+    let out = optiwise(&[
+        "resume", ck.to_str().unwrap(),
+        "--save", resumed.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(
+        std::fs::read(&golden).unwrap(),
+        std::fs::read(&resumed).unwrap(),
+        "resumed profile must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_exits_with_code_8() {
+    let out = optiwise(&["run", "long_haul", "--size", "ref", "--deadline", "0.3"]);
+    assert_eq!(out.status.code(), Some(8), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("deadline"), "{stderr}");
+}
+
+#[test]
+fn checkpoint_flags_are_validated() {
+    // Cadence without a file has nowhere to write.
+    let out = optiwise(&["run", "long_haul", "--size", "test", "--checkpoint-every", "2000"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--checkpoint"), "{stderr}");
+
+    // Checkpoints are single-run only, like --save.
+    let out = optiwise(&[
+        "run", "loop_merge", "rand_walk", "--size", "test",
+        "--checkpoint", "/tmp/batch-ck.owp",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+
+    // A stored profile is not a checkpoint: resume rejects it cleanly.
+    let dir = std::env::temp_dir().join("optiwise-ckpt-reject");
+    std::fs::create_dir_all(&dir).unwrap();
+    let profile = dir.join("profile.owp");
+    let out = optiwise(&[
+        "run", "loop_merge", "--size", "test", "--save", profile.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = optiwise(&["resume", profile.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(6), "{out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

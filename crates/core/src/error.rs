@@ -156,6 +156,25 @@ pub enum OptiwiseError {
         /// Description of the failure.
         message: String,
     },
+    /// The run was cancelled — wall-clock deadline (`--deadline`) or an
+    /// external signal (Ctrl-C) — before both passes completed. State up
+    /// to the cancellation survives in the checkpoint file, if one was
+    /// configured.
+    DeadlineExceeded {
+        /// Instructions the farthest-along cancelled pass had committed.
+        retired: u64,
+        /// True when the wall-clock deadline fired (as opposed to a
+        /// signal/manual cancellation).
+        deadline: bool,
+    },
+    /// An injected crash (`FaultPlan::kill_after_insns` or a kill during a
+    /// checkpoint write) terminated a pass abruptly — the test double of
+    /// `kill -9`. No final state was persisted; only checkpoints written
+    /// before the kill survive.
+    Killed {
+        /// Instructions retired when the pass died.
+        retired: u64,
+    },
     /// Bad invocation (CLI usage errors).
     Usage(String),
     /// Filesystem I/O failed.
@@ -169,7 +188,9 @@ impl OptiwiseError {
     /// 2 = load/disassembly, 3 = execution fault, 4 = instruction limit or
     /// disallowed truncation, 5 = run divergence, 6 = profile parse error
     /// (text or binary store), 7 = regressions detected by `diff` when
-    /// failing on them was requested, 1 = everything else (usage, I/O).
+    /// failing on them was requested, 8 = deadline exceeded or run
+    /// cancelled, 9 = injected crash kill, 1 = everything else (usage,
+    /// I/O).
     pub fn exit_code(&self) -> u8 {
         match self {
             OptiwiseError::Load(_) | OptiwiseError::Disasm { .. } => 2,
@@ -178,6 +199,8 @@ impl OptiwiseError {
             OptiwiseError::Divergence { .. } => 5,
             OptiwiseError::Parse { .. } | OptiwiseError::Store(_) => 6,
             OptiwiseError::Regression { .. } => 7,
+            OptiwiseError::DeadlineExceeded { .. } => 8,
+            OptiwiseError::Killed { .. } => 9,
             OptiwiseError::Usage(_) | OptiwiseError::Io(_) | OptiwiseError::Internal(_) => 1,
         }
     }
@@ -217,6 +240,17 @@ impl fmt::Display for OptiwiseError {
             OptiwiseError::Disasm { module, message } => {
                 write!(f, "module `{module}` failed to disassemble: {message}")
             }
+            OptiwiseError::DeadlineExceeded { retired, deadline } => {
+                let cause = if *deadline { "deadline exceeded" } else { "cancelled" };
+                write!(
+                    f,
+                    "run {cause} after {retired} committed instructions; \
+                     partial state is in the checkpoint, if one was configured"
+                )
+            }
+            OptiwiseError::Killed { retired } => {
+                write!(f, "injected crash killed the run after {retired} instructions")
+            }
             OptiwiseError::Usage(msg) => write!(f, "{msg}"),
             OptiwiseError::Io(msg) => write!(f, "i/o error: {msg}"),
             OptiwiseError::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -238,6 +272,7 @@ impl From<SimError> for OptiwiseError {
             SimError::Load(msg) => OptiwiseError::Load(msg),
             SimError::Exec { pc, message } => OptiwiseError::Exec { pc, message },
             SimError::InsnLimit(n) => OptiwiseError::InsnLimit(n),
+            SimError::Killed(n) => OptiwiseError::Killed { retired: n },
         }
     }
 }
@@ -298,6 +333,21 @@ mod tests {
                 },
                 7,
             ),
+            (
+                OptiwiseError::DeadlineExceeded {
+                    retired: 4096,
+                    deadline: true,
+                },
+                8,
+            ),
+            (
+                OptiwiseError::DeadlineExceeded {
+                    retired: 4096,
+                    deadline: false,
+                },
+                8,
+            ),
+            (OptiwiseError::Killed { retired: 9000 }, 9),
             (OptiwiseError::Usage("u".into()), 1),
             (OptiwiseError::Io("io".into()), 1),
             (OptiwiseError::Internal("worker died".into()), 1),

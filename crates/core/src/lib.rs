@@ -36,6 +36,10 @@ pub use analysis::{
 pub use blocks::{block_stats, blocks_table, BlockStats};
 pub use diff::{diff_tables, DiffClass, DiffMetric, DiffOptions, DiffReport, DiffRow, DiffSide};
 pub use error::{OptiwiseError, Pass, ProfileKind, StoreError};
-pub use runner::{run_optiwise, OptiwiseConfig, OptiwiseRun, RetryPolicy};
+pub use runner::{
+    module_fingerprint, run_optiwise, run_optiwise_ctl, OptiwiseConfig, OptiwiseRun, PassEvent,
+    ResumeState, RetryPolicy, RunControl,
+};
+pub use wiser_sim::{CancelCause, CancelToken};
 pub use tables::ProfileTables;
 pub use types::{FuncStats, InsnRow, LineStats, LoopStats};

@@ -18,10 +18,13 @@
 //! analysis is built from the joined results exactly as in the sequential
 //! order — output is bit-identical either way.
 
-use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
+use wiser_dbi::{instrument_run_ctl, CountsPassControl, CountsProfile, DbiConfig};
 use wiser_isa::Module;
-use wiser_sampler::{sample_run, SampleProfile, SamplerConfig};
-use wiser_sim::{CoreConfig, FaultPlan, LoadConfig, ProcessImage, TimedRun};
+use wiser_sampler::{sample_run_ctl, SamplePassControl, SampleProfile, SamplerConfig};
+use wiser_sim::{
+    CancelCause, CancelToken, CoreConfig, CoreStats, FaultPlan, LoadConfig, ProcessImage,
+    TimedRun, TruncationReason,
+};
 
 use crate::analysis::{Analysis, AnalysisOptions, DEFAULT_DIVERGENCE_THRESHOLD};
 use crate::error::{OptiwiseError, Pass};
@@ -36,6 +39,13 @@ pub struct RetryPolicy {
     pub max_retries: u32,
     /// Budget multiplier applied on each retry.
     pub budget_multiplier: u64,
+    /// Aggregate instruction cap across every attempt of one pass. Each
+    /// retry replays from instruction zero, so escalation multiplies total
+    /// work; an escalated budget that would push the pass's cumulative
+    /// spend past this cap is not taken, and the final budget truncation
+    /// stands as if it were non-retryable (the usual degradation path
+    /// applies).
+    pub max_total_insns: u64,
 }
 
 impl Default for RetryPolicy {
@@ -43,8 +53,121 @@ impl Default for RetryPolicy {
         RetryPolicy {
             max_retries: 1,
             budget_multiplier: 4,
+            max_total_insns: 8_000_000_000,
         }
     }
+}
+
+impl RetryPolicy {
+    /// Whether a pass truncated by `reason` after `attempts` attempts may
+    /// be re-run with `next_budget`, having already spent `spent`
+    /// instructions across its previous attempts.
+    fn may_retry(
+        &self,
+        attempts: u32,
+        spent: u64,
+        next_budget: u64,
+        reason: &TruncationReason,
+    ) -> bool {
+        reason.retryable()
+            && attempts <= self.max_retries
+            && spent.saturating_add(next_budget) <= self.max_total_insns
+    }
+}
+
+/// Pipeline progress notifications delivered to [`RunControl::observer`].
+///
+/// `*Checkpoint` events fire mid-pass every [`RunControl::checkpoint_every`]
+/// committed instructions with an owned snapshot (always marked
+/// `truncated = Cancelled`, since it describes an interrupted prefix of the
+/// pass); `*Done` events fire exactly once per pass when its retry loop
+/// settles, truncated or not. With concurrent passes the observer is called
+/// from two threads, so it must be `Sync`.
+pub enum PassEvent<'a> {
+    /// Mid-pass snapshot of the sampling profile.
+    SampleCheckpoint {
+        /// Instructions committed at the snapshot.
+        retired: u64,
+        /// The partial profile (owned; nothing else retains it).
+        profile: SampleProfile,
+    },
+    /// The sampling pass settled with this final profile.
+    SampleDone {
+        /// The final profile; `truncated` tells how it ended.
+        profile: &'a SampleProfile,
+    },
+    /// Mid-pass snapshot of the instrumentation profile.
+    CountsCheckpoint {
+        /// Instructions committed at the snapshot.
+        retired: u64,
+        /// The partial profile (owned; nothing else retains it).
+        profile: CountsProfile,
+    },
+    /// The instrumentation pass settled with this final profile.
+    CountsDone {
+        /// The final profile; `truncated` tells how it ended.
+        profile: &'a CountsProfile,
+    },
+}
+
+/// External controls threaded through one pipeline run: cooperative
+/// cancellation, checkpoint cadence, an event observer (typically a
+/// checkpoint writer), and passes restored from a previous checkpoint.
+///
+/// The default is inert: a fresh token nobody cancels, no checkpoints, no
+/// observer, nothing restored — exactly [`run_optiwise`].
+#[derive(Default)]
+pub struct RunControl<'a> {
+    /// Cancellation token polled by both passes at instruction boundaries.
+    pub cancel: CancelToken,
+    /// Checkpoint cadence in committed instructions; 0 disables checkpoint
+    /// events (Done events still fire).
+    pub checkpoint_every: u64,
+    /// Receives [`PassEvent`]s; must be `Sync` because concurrent passes
+    /// call it from two threads.
+    pub observer: Option<&'a (dyn Fn(PassEvent<'_>) + Sync)>,
+    /// Passes restored from a checkpoint, skipping their re-execution.
+    pub resume: ResumeState,
+}
+
+/// Completed passes restored from a checkpoint.
+///
+/// Only a pass that *finished* (its stored profile has `truncated = None`)
+/// may be restored — a partial profile is deliberately absent here because
+/// resume replays incomplete passes from instruction zero, which is what
+/// makes a resumed run byte-identical to an uninterrupted one.
+#[derive(Default)]
+pub struct ResumeState {
+    /// Completed sampling profile to restore, if any.
+    pub samples: Option<SampleProfile>,
+    /// Completed instrumentation profile to restore, if any.
+    pub counts: Option<CountsProfile>,
+}
+
+/// Order-sensitive FNV-1a fingerprint over the identity-bearing parts of a
+/// module set (name, text, data, bss size, entry point).
+///
+/// A checkpoint taken against one build of a program must not resume
+/// against another: the replayed passes would silently profile different
+/// code while claiming the restored passes describe it.
+pub fn module_fingerprint(modules: &[Module]) -> u64 {
+    fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+        for &b in bytes {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for m in modules {
+        h = eat(h, m.name.as_bytes());
+        h = eat(h, &[0]);
+        h = eat(h, &m.text);
+        h = eat(h, &[0]);
+        h = eat(h, &m.data);
+        h = eat(h, &m.bss_size.to_le_bytes());
+        h = eat(h, &m.entry.unwrap_or(u64::MAX).to_le_bytes());
+    }
+    h
 }
 
 /// Configuration of the whole OptiWISE pipeline.
@@ -171,10 +294,61 @@ pub fn run_optiwise(
     modules: &[Module],
     config: &OptiwiseConfig,
 ) -> Result<OptiwiseRun, OptiwiseError> {
+    run_optiwise_ctl(modules, config, RunControl::default())
+}
+
+/// Runs the full OptiWISE pipeline under external [`RunControl`]: a
+/// cancellation token (deadline / Ctrl-C) stops both passes at the next
+/// safe instruction boundary and surfaces as
+/// [`OptiwiseError::DeadlineExceeded`] (exit code 8) *after* the final
+/// state reached the observer; checkpoint events fire on the configured
+/// cadence; and passes restored via [`ResumeState`] are not re-executed
+/// (their `attempts` count reads 0).
+///
+/// # Errors
+///
+/// Everything [`run_optiwise`] returns, plus
+/// [`OptiwiseError::DeadlineExceeded`] for cancellation and
+/// [`OptiwiseError::Killed`] for an injected crash.
+pub fn run_optiwise_ctl(
+    modules: &[Module],
+    config: &OptiwiseConfig,
+    ctl: RunControl<'_>,
+) -> Result<OptiwiseRun, OptiwiseError> {
     let allow_partial = config.allow_partial && !config.strict;
+    let RunControl {
+        cancel,
+        checkpoint_every,
+        observer,
+        resume,
+    } = ctl;
+    let ResumeState {
+        samples: restored_samples,
+        counts: restored_counts,
+    } = resume;
+    let cancel = &cancel;
 
     // Pass 1: sampling on the timing model, retrying on budget exhaustion.
-    let sampling_pass = || -> Result<(SampleProfile, TimedRun, u32), OptiwiseError> {
+    let sampling_pass = move || -> Result<(SampleProfile, TimedRun, u32), OptiwiseError> {
+        if let Some(prior) = restored_samples {
+            // Restored from a checkpoint: the profile is used verbatim and
+            // the timing summary is synthesized from its totals (nothing
+            // downstream reads deeper pipeline statistics from a resumed
+            // run). Re-announce it so a continuing checkpoint keeps it.
+            let timed = TimedRun {
+                stats: CoreStats {
+                    cycles: prior.total_cycles,
+                    retired: prior.retired,
+                    ..CoreStats::default()
+                },
+                exit_code: None,
+                output: String::new(),
+            };
+            if let Some(obs) = observer {
+                obs(PassEvent::SampleDone { profile: &prior });
+            }
+            return Ok((prior, timed, 0));
+        }
         let load_a = LoadConfig {
             aslr_seed: Some(config.aslr_seeds.0),
             ..LoadConfig::default()
@@ -184,22 +358,39 @@ pub fn run_optiwise(
         sampler_cfg.fault = config.fault;
         let mut budget = config.max_insns;
         let mut attempts = 0u32;
+        let mut spent = 0u64;
         loop {
             attempts += 1;
-            let (samples, timed) = sample_run(
+            let mut sink = |retired: u64, profile: SampleProfile| {
+                if let Some(obs) = observer {
+                    obs(PassEvent::SampleCheckpoint { retired, profile });
+                }
+            };
+            let pass_ctl = SamplePassControl {
+                cancel: Some(cancel),
+                checkpoint_every,
+                sink: observer.is_some().then_some(&mut sink as _),
+            };
+            let (samples, timed) = sample_run_ctl(
                 &image_a,
                 config.rand_seed,
                 config.core,
                 sampler_cfg,
                 budget,
+                pass_ctl,
             )?;
+            spent += timed.stats.retired;
+            let escalated = budget.saturating_mul(config.retry.budget_multiplier);
             match &samples.truncated {
-                Some(reason)
-                    if reason.retryable() && attempts <= config.retry.max_retries =>
-                {
-                    budget = budget.saturating_mul(config.retry.budget_multiplier);
+                Some(reason) if config.retry.may_retry(attempts, spent, escalated, reason) => {
+                    budget = escalated;
                 }
-                _ => break Ok((samples, timed, attempts)),
+                _ => {
+                    if let Some(obs) = observer {
+                        obs(PassEvent::SampleDone { profile: &samples });
+                    }
+                    break Ok((samples, timed, attempts));
+                }
             }
         }
     };
@@ -207,15 +398,23 @@ pub fn run_optiwise(
     // Pass 2: instrumentation, under a different layout. The fault plan's
     // desync seed (if any) deliberately runs this pass on different input.
     // Also returns the linked (module-relative) view the analysis keys on.
-    let counts_pass = || -> Result<(CountsProfile, Vec<Module>, u32), OptiwiseError> {
+    let counts_pass = move || -> Result<(CountsProfile, Vec<Module>, u32), OptiwiseError> {
         let load_b = LoadConfig {
             aslr_seed: Some(config.aslr_seeds.1),
             ..LoadConfig::default()
         };
         let image_b = ProcessImage::load(modules, &load_b)?;
+        let linked: Vec<Module> = image_b.modules.iter().map(|m| m.linked.clone()).collect();
+        if let Some(prior) = restored_counts {
+            if let Some(obs) = observer {
+                obs(PassEvent::CountsDone { profile: &prior });
+            }
+            return Ok((prior, linked, 0));
+        }
         let dbi_rand_seed = config.fault.desync_rand_seed.unwrap_or(config.rand_seed);
         let mut budget = config.max_insns;
         let mut attempts = 0u32;
+        let mut spent = 0u64;
         let counts = loop {
             attempts += 1;
             let dbi_cfg = DbiConfig {
@@ -224,17 +423,29 @@ pub fn run_optiwise(
                 fault: config.fault,
                 ..config.dbi
             };
-            let counts = instrument_run(&image_b, &dbi_cfg)?;
+            let mut sink = |retired: u64, profile: CountsProfile| {
+                if let Some(obs) = observer {
+                    obs(PassEvent::CountsCheckpoint { retired, profile });
+                }
+            };
+            let pass_ctl = CountsPassControl {
+                cancel: Some(cancel),
+                checkpoint_every,
+                sink: observer.is_some().then_some(&mut sink as _),
+            };
+            let counts = instrument_run_ctl(&image_b, &dbi_cfg, pass_ctl)?;
+            spent += counts.total_insns();
+            let escalated = budget.saturating_mul(config.retry.budget_multiplier);
             match &counts.truncated {
-                Some(reason)
-                    if reason.retryable() && attempts <= config.retry.max_retries =>
-                {
-                    budget = budget.saturating_mul(config.retry.budget_multiplier);
+                Some(reason) if config.retry.may_retry(attempts, spent, escalated, reason) => {
+                    budget = escalated;
                 }
                 _ => break counts,
             }
         };
-        let linked: Vec<Module> = image_b.modules.iter().map(|m| m.linked.clone()).collect();
+        if let Some(obs) = observer {
+            obs(PassEvent::CountsDone { profile: &counts });
+        }
         Ok((counts, linked, attempts))
     };
 
@@ -256,6 +467,22 @@ pub fn run_optiwise(
     };
     let (samples, timed, sample_attempts) = sampling_result?;
     let (counts, linked, count_attempts) = counts_result?;
+
+    // Cooperative cancellation in either pass stops the pipeline here, with
+    // a dedicated error class (exit code 8) instead of the truncation
+    // handling below. The Done events above already handed the partial
+    // state to the observer, so a configured checkpoint has everything.
+    let cancel_point = |t: &Option<TruncationReason>| match t {
+        Some(TruncationReason::Cancelled(n)) => Some(*n),
+        _ => None,
+    };
+    let cancelled = cancel_point(&samples.truncated).max(cancel_point(&counts.truncated));
+    if let Some(retired) = cancelled {
+        return Err(OptiwiseError::DeadlineExceeded {
+            retired,
+            deadline: matches!(cancel.cause(), Some(CancelCause::Deadline)),
+        });
+    }
 
     if let Some(reason) = &samples.truncated {
         if !allow_partial {
@@ -418,6 +645,136 @@ mod tests {
             crate::report::full_report(&par.analysis, 20),
             crate::report::full_report(&seq.analysis, 20),
         );
+    }
+
+    #[test]
+    fn total_insn_cap_makes_final_truncation_stand() {
+        // ~15k instructions needed. The 8k first attempt truncates; the
+        // default policy would retry at 32k and succeed, but the 20k
+        // aggregate cap forbids spending 8k + 32k, so the budget truncation
+        // stands as non-retryable and the run degrades to sampling-only.
+        let cfg = OptiwiseConfig {
+            max_insns: 8_000,
+            retry: RetryPolicy {
+                max_total_insns: 20_000,
+                ..RetryPolicy::default()
+            },
+            ..OptiwiseConfig::default()
+        };
+        let run = run_optiwise(&[counted_loop()], &cfg).unwrap();
+        assert_eq!(run.attempts, (1, 1));
+        assert_eq!(run.counts.truncated, Some(TruncationReason::InsnLimit(8_000)));
+        assert_eq!(run.analysis.mode, AnalysisMode::SamplingOnly);
+
+        // Same workload with a permissive cap retries and completes.
+        let cfg = OptiwiseConfig {
+            max_insns: 8_000,
+            ..OptiwiseConfig::default()
+        };
+        let run = run_optiwise(&[counted_loop()], &cfg).unwrap();
+        assert_eq!(run.attempts, (2, 2));
+    }
+
+    #[test]
+    fn cancelled_token_surfaces_as_deadline_exceeded() {
+        let ctl = RunControl::default();
+        ctl.cancel.cancel();
+        let err = match run_optiwise_ctl(&[counted_loop()], &OptiwiseConfig::default(), ctl) {
+            Err(e) => e,
+            Ok(_) => panic!("pre-cancelled run should fail"),
+        };
+        match err {
+            OptiwiseError::DeadlineExceeded { deadline, .. } => assert!(!deadline),
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        assert_eq!(
+            OptiwiseError::DeadlineExceeded {
+                retired: 0,
+                deadline: false
+            }
+            .exit_code(),
+            8
+        );
+    }
+
+    #[test]
+    fn injected_kill_surfaces_as_killed() {
+        let mut cfg = OptiwiseConfig::default();
+        cfg.fault.kill_after_insns = Some(6_000);
+        let err = match run_optiwise(&[counted_loop()], &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("injected kill should fail the run"),
+        };
+        assert!(matches!(err, OptiwiseError::Killed { .. }), "{err}");
+        assert_eq!(err.exit_code(), 9);
+    }
+
+    #[test]
+    fn restored_passes_skip_execution_and_match_fresh_run() {
+        let cfg = OptiwiseConfig::default();
+        let fresh = run_optiwise(&[counted_loop()], &cfg).unwrap();
+
+        let ctl = RunControl {
+            resume: ResumeState {
+                samples: Some(fresh.samples.clone()),
+                counts: Some(fresh.counts.clone()),
+            },
+            ..RunControl::default()
+        };
+        let resumed = run_optiwise_ctl(&[counted_loop()], &cfg, ctl).unwrap();
+        assert_eq!(resumed.attempts, (0, 0));
+        assert_eq!(resumed.samples, fresh.samples);
+        assert_eq!(resumed.counts, fresh.counts);
+        assert_eq!(
+            crate::report::full_report(&resumed.analysis, 20),
+            crate::report::full_report(&fresh.analysis, 20),
+        );
+    }
+
+    #[test]
+    fn observer_receives_checkpoints_and_done_events() {
+        use std::sync::Mutex;
+        // (sample ckpts, counts ckpts, sample done, counts done)
+        let seen = Mutex::new((0u32, 0u32, 0u32, 0u32));
+        let observer = |ev: PassEvent<'_>| {
+            let mut s = seen.lock().unwrap();
+            match ev {
+                PassEvent::SampleCheckpoint { profile, .. } => {
+                    assert!(matches!(
+                        profile.truncated,
+                        Some(TruncationReason::Cancelled(_))
+                    ));
+                    s.0 += 1;
+                }
+                PassEvent::CountsCheckpoint { profile, .. } => {
+                    assert!(matches!(
+                        profile.truncated,
+                        Some(TruncationReason::Cancelled(_))
+                    ));
+                    s.1 += 1;
+                }
+                PassEvent::SampleDone { profile } => {
+                    assert!(profile.truncated.is_none());
+                    s.2 += 1;
+                }
+                PassEvent::CountsDone { profile } => {
+                    assert!(profile.truncated.is_none());
+                    s.3 += 1;
+                }
+            }
+        };
+        let ctl = RunControl {
+            checkpoint_every: 4_000,
+            observer: Some(&observer),
+            ..RunControl::default()
+        };
+        run_optiwise_ctl(&[counted_loop()], &OptiwiseConfig::default(), ctl).unwrap();
+        let s = seen.into_inner().unwrap();
+        // ~15k instructions at a 4k cadence: several snapshots per pass,
+        // one Done each.
+        assert!(s.0 >= 2, "sample checkpoints: {}", s.0);
+        assert!(s.1 >= 2, "counts checkpoints: {}", s.1);
+        assert_eq!((s.2, s.3), (1, 1));
     }
 
     #[test]

@@ -11,10 +11,17 @@
 use std::collections::HashMap;
 
 use wiser_isa::INSN_BYTES;
-use wiser_sim::{CodeLoc, FaultPlan, Interp, ProcessImage, SimError, Step, TruncationReason};
+use wiser_sim::{
+    CancelCause, CancelToken, CodeLoc, FaultPlan, Interp, ProcessImage, SimError, Step,
+    TruncationReason,
+};
 
 use crate::cost::CostModel;
 use crate::counts::{BlockCount, CountsProfile, InstrumentationCost, TermKind};
+
+/// How often (in retired instructions) the block-dispatch loop polls its
+/// [`CancelToken`].
+const CANCEL_POLL_INSNS: u64 = 1024;
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -77,6 +84,39 @@ struct RtBlock {
 /// Only load-class failures (the process image cannot even start) abort the
 /// pass with no profile.
 pub fn instrument_run(image: &ProcessImage, cfg: &DbiConfig) -> Result<CountsProfile, SimError> {
+    instrument_run_ctl(image, cfg, CountsPassControl::default())
+}
+
+/// External controls for one instrumentation pass: cooperative cancellation
+/// and periodic checkpoint snapshots. The default controls nothing.
+#[derive(Default)]
+pub struct CountsPassControl<'a> {
+    /// Cancellation token polled at block boundaries; a fired token
+    /// truncates the profile as `Cancelled`.
+    pub cancel: Option<&'a CancelToken>,
+    /// Checkpoint cadence in retired instructions; 0 disables snapshots.
+    pub checkpoint_every: u64,
+    /// Receives `(retired, snapshot)` at each checkpoint boundary.
+    pub sink: Option<&'a mut dyn FnMut(u64, CountsProfile)>,
+}
+
+/// Like [`instrument_run`], under external [`CountsPassControl`]: a fired
+/// cancellation token stops the run at the next block boundary (a safe
+/// point — only completed blocks are counted), and every
+/// `checkpoint_every` retired instructions an in-flight profile snapshot
+/// (marked `truncated = Cancelled`) is handed to the sink.
+///
+/// The config's `FaultPlan::kill_after_insns` (crash-style kill) also takes
+/// effect here, surfacing as [`SimError::Killed`] with no partial profile.
+///
+/// # Errors
+///
+/// Load-class failures, plus [`SimError::Killed`] for the injected crash.
+pub fn instrument_run_ctl(
+    image: &ProcessImage,
+    cfg: &DbiConfig,
+    mut ctl: CountsPassControl<'_>,
+) -> Result<CountsProfile, SimError> {
     let mut interp = Interp::new(image, cfg.rand_seed)?;
     let mut cache: HashMap<u64, usize> = HashMap::new();
     let mut blocks: Vec<RtBlock> = Vec::new();
@@ -101,9 +141,52 @@ pub fn instrument_run(image: &ProcessImage, cfg: &DbiConfig) -> Result<CountsPro
     };
     let mut truncated: Option<TruncationReason> = None;
 
+    let kill_after = cfg.fault.kill_after_insns;
+    let ckpt_every = if ctl.sink.is_some() { ctl.checkpoint_every } else { 0 };
+    let mut next_ckpt = if ckpt_every > 0 { ckpt_every } else { u64::MAX };
+    let mut next_cancel_poll = CANCEL_POLL_INSNS;
+
     'run: loop {
         if interp.exit_code().is_some() {
             break;
+        }
+        let retired = interp.retired();
+        // Crash-style kill: die abruptly with no partial profile. Checked
+        // before the checkpoint/cancel hooks so the kill wins any tie.
+        if let Some(k) = kill_after {
+            if retired >= k {
+                return Err(SimError::Killed(retired));
+            }
+        }
+        if retired >= next_ckpt {
+            next_ckpt = (retired / ckpt_every + 1) * ckpt_every;
+            // Snapshots fire at block boundaries, so the actual cut point
+            // can overshoot the nominal cadence by one block; resume
+            // replays deterministically either way.
+            let snap = build_profile(
+                image,
+                &blocks,
+                &callee_counts,
+                cfg.stack_profiling,
+                cost,
+                Some(TruncationReason::Cancelled(retired)),
+            );
+            if let Some(sink) = ctl.sink.as_mut() {
+                sink(retired, snap);
+            }
+        }
+        if retired >= next_cancel_poll {
+            next_cancel_poll = retired + CANCEL_POLL_INSNS;
+            if let Some(token) = ctl.cancel {
+                match token.cause() {
+                    Some(CancelCause::Kill) => return Err(SimError::Killed(retired)),
+                    Some(_) => {
+                        truncated = Some(TruncationReason::Cancelled(retired));
+                        break 'run;
+                    }
+                    None => {}
+                }
+            }
         }
         let pc = interp.cpu().pc;
         let block_id = match cache.get(&pc) {
@@ -137,6 +220,11 @@ pub fn instrument_run(image: &ProcessImage, cfg: &DbiConfig) -> Result<CountsPro
                     break 'run;
                 }
                 Err(e) => return Err(e),
+            }
+            if let Some(k) = kill_after {
+                if interp.retired() >= k {
+                    return Err(SimError::Killed(interp.retired()));
+                }
             }
             if interp.retired() > effective_max {
                 truncated = Some(limit_reason(effective_max));
@@ -213,10 +301,32 @@ pub fn instrument_run(image: &ProcessImage, cfg: &DbiConfig) -> Result<CountsPro
         }
     }
 
+    Ok(build_profile(
+        image,
+        &blocks,
+        &callee_counts,
+        cfg.stack_profiling,
+        cost,
+        truncated,
+    ))
+}
+
+/// Converts the engine's runtime block table into a [`CountsProfile`]
+/// without consuming it, so checkpoint snapshots and the final return share
+/// one code path (and therefore one notion of what a profile contains).
+fn build_profile(
+    image: &ProcessImage,
+    blocks: &[RtBlock],
+    callee_counts: &HashMap<CodeLoc, u64>,
+    stack_profiling: bool,
+    cost: InstrumentationCost,
+    truncated: Option<TruncationReason>,
+) -> CountsProfile {
     let blocks = blocks
-        .into_iter()
+        .iter()
         .map(|b| {
-            let mut targets: Vec<(CodeLoc, u64)> = b.targets.into_iter().collect();
+            let mut targets: Vec<(CodeLoc, u64)> =
+                b.targets.iter().map(|(t, c)| (*t, *c)).collect();
             targets.sort();
             BlockCount {
                 entry: b.entry,
@@ -230,18 +340,18 @@ pub fn instrument_run(image: &ProcessImage, cfg: &DbiConfig) -> Result<CountsPro
         })
         .collect();
 
-    Ok(CountsProfile {
+    CountsProfile {
         module_names: image
             .modules
             .iter()
             .map(|m| m.linked.name.clone())
             .collect(),
         blocks,
-        callee_counts,
-        stack_profiling: cfg.stack_profiling,
+        callee_counts: callee_counts.clone(),
+        stack_profiling,
         cost,
         truncated,
-    })
+    }
 }
 
 /// Translates the block starting at absolute address `pc`: decode forward
@@ -679,6 +789,85 @@ mod tests {
         let p = instrument_run(&image, &cfg).unwrap();
         assert_eq!(p.truncated, Some(TruncationReason::Injected(7_000)));
         assert!(p.total_insns() > 0 && p.total_insns() <= 7_000);
+    }
+
+    #[test]
+    fn kill_after_dies_with_no_profile() {
+        let image = ProcessImage::load_single(&assemble("t", COUNTED_LOOP).unwrap()).unwrap();
+        let mut cfg = DbiConfig::default();
+        cfg.fault.kill_after_insns = Some(6_000);
+        let err = instrument_run(&image, &cfg).unwrap_err();
+        match err {
+            SimError::Killed(n) => assert!(n >= 6_000, "killed at {n}"),
+            other => panic!("expected Killed, got {other}"),
+        }
+    }
+
+    #[test]
+    fn kill_wins_tie_with_budget() {
+        let image = ProcessImage::load_single(&assemble("t", COUNTED_LOOP).unwrap()).unwrap();
+        let mut cfg = DbiConfig {
+            max_insns: 6_000,
+            ..DbiConfig::default()
+        };
+        cfg.fault.kill_after_insns = Some(6_000);
+        assert!(matches!(
+            instrument_run(&image, &cfg),
+            Err(SimError::Killed(_))
+        ));
+    }
+
+    #[test]
+    fn cancelled_token_truncates_as_cancelled() {
+        let image = ProcessImage::load_single(&assemble("t", COUNTED_LOOP).unwrap()).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let p = instrument_run_ctl(
+            &image,
+            &DbiConfig::default(),
+            CountsPassControl {
+                cancel: Some(&token),
+                ..CountsPassControl::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            matches!(p.truncated, Some(TruncationReason::Cancelled(_))),
+            "{:?}",
+            p.truncated
+        );
+        // The cut happens at the first poll, so at most one poll interval
+        // plus one block of instructions ran.
+        assert!(p.total_insns() <= CANCEL_POLL_INSNS + 16);
+    }
+
+    #[test]
+    fn checkpoints_fire_at_cadence_with_monotonic_snapshots() {
+        let image = ProcessImage::load_single(&assemble("t", COUNTED_LOOP).unwrap()).unwrap();
+        let mut snaps: Vec<(u64, u64)> = Vec::new();
+        let mut sink = |retired: u64, p: CountsProfile| {
+            assert!(matches!(p.truncated, Some(TruncationReason::Cancelled(_))));
+            snaps.push((retired, p.total_insns()));
+        };
+        let p = instrument_run_ctl(
+            &image,
+            &DbiConfig::default(),
+            CountsPassControl {
+                cancel: None,
+                checkpoint_every: 5_000,
+                sink: Some(&mut sink),
+            },
+        )
+        .unwrap();
+        assert!(p.truncated.is_none());
+        // ~30k dynamic instructions at a 5k cadence: several snapshots,
+        // strictly increasing in both position and counted instructions.
+        assert!(snaps.len() >= 3, "only {} snapshots", snaps.len());
+        for w in snaps.windows(2) {
+            assert!(w[1].0 > w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!(snaps.iter().all(|&(_, total)| total <= p.total_insns()));
     }
 
     #[test]

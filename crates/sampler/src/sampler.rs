@@ -14,8 +14,8 @@ use rand::{Rng, SeedableRng};
 
 use wiser_isa::INSN_BYTES;
 use wiser_sim::{
-    CodeLoc, CoreConfig, ModuleId, ProbePoint, ProcessImage, Prober, SimError, TimedRun,
-    TruncationReason,
+    CancelToken, CodeLoc, CoreConfig, ModuleId, ProbePoint, ProcessImage, Prober, RunControl,
+    SimError, TimedRun, TruncationReason,
 };
 
 use crate::config::{Attribution, SamplerConfig, StackMode};
@@ -27,7 +27,11 @@ use crate::profile::{Sample, SampleProfile};
 pub const SAMPLE_SERVICE_COST: u64 = 24;
 
 /// The sampling profiler, used as a [`Prober`] on the timing model.
-pub struct PerfSampler {
+///
+/// The lifetime parameter carries an optional checkpoint sink (see
+/// [`PerfSampler::with_checkpoints`]); samplers without one are
+/// `PerfSampler<'static>`.
+pub struct PerfSampler<'a> {
     cfg: SamplerConfig,
     rng: StdRng,
     ranges: Vec<(u64, u64, u32)>,
@@ -41,11 +45,15 @@ pub struct PerfSampler {
     last_sample_cycle: u64,
     samples: Vec<Sample>,
     unmapped: u64,
+    /// Checkpoint cadence in retired instructions; 0 disables snapshots.
+    ckpt_every: u64,
+    next_ckpt: u64,
+    sink: Option<&'a mut dyn FnMut(u64, SampleProfile)>,
 }
 
-impl PerfSampler {
+impl<'a> PerfSampler<'a> {
     /// Creates a sampler for a loaded process.
-    pub fn new(image: &ProcessImage, cfg: SamplerConfig) -> PerfSampler {
+    pub fn new(image: &ProcessImage, cfg: SamplerConfig) -> PerfSampler<'a> {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let first = sample_interval(&cfg, &mut rng);
         PerfSampler {
@@ -72,7 +80,26 @@ impl PerfSampler {
             last_sample_cycle: 0,
             samples: Vec::new(),
             unmapped: 0,
+            ckpt_every: 0,
+            next_ckpt: u64::MAX,
+            sink: None,
         }
+    }
+
+    /// Arms periodic checkpoint snapshots: every `every` retired
+    /// instructions (as observed at probe time, so the granularity is
+    /// bounded below by the sampling period) the sampler hands an
+    /// in-flight [`SampleProfile`] snapshot to `sink`. Snapshots carry
+    /// `truncated = Cancelled(retired)` to mark them as partial.
+    pub fn with_checkpoints(
+        mut self,
+        every: u64,
+        sink: &'a mut dyn FnMut(u64, SampleProfile),
+    ) -> PerfSampler<'a> {
+        self.ckpt_every = every.max(1);
+        self.next_ckpt = self.ckpt_every;
+        self.sink = Some(sink);
+        self
     }
 
     /// Number of samples recorded so far.
@@ -195,6 +222,36 @@ impl PerfSampler {
     pub fn finish(self, total_cycles: u64) -> SampleProfile {
         self.finish_with(total_cycles, 0, None)
     }
+
+    /// A non-consuming snapshot of the in-flight profile, used for
+    /// periodic checkpoints. Applies the same fault-plan sample dropping
+    /// as [`PerfSampler::finish_with`] so a snapshot is exactly the
+    /// profile a cancellation at this point would produce; `truncated` is
+    /// stamped `Cancelled(retired)` to mark it partial.
+    fn snapshot(&mut self, total_cycles: u64, retired: u64) -> SampleProfile {
+        let fault = self.cfg.fault;
+        let mut dropped = 0u64;
+        let samples: Vec<Sample> = self
+            .samples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| {
+                let drop = fault.should_drop_sample(*i as u64);
+                dropped += drop as u64;
+                !drop
+            })
+            .map(|(_, s)| s.clone())
+            .collect();
+        SampleProfile {
+            module_names: self.module_names.clone(),
+            samples,
+            period: self.cfg.period,
+            total_cycles,
+            unmapped: self.unmapped + dropped,
+            retired,
+            truncated: Some(TruncationReason::Cancelled(retired)),
+        }
+    }
 }
 
 fn sample_interval(cfg: &SamplerConfig, rng: &mut StdRng) -> u64 {
@@ -207,7 +264,7 @@ fn sample_interval(cfg: &SamplerConfig, rng: &mut StdRng) -> u64 {
     }
 }
 
-impl Prober for PerfSampler {
+impl Prober for PerfSampler<'_> {
     fn next_probe_cycle(&self) -> u64 {
         if self.pending {
             0
@@ -217,6 +274,17 @@ impl Prober for PerfSampler {
     }
 
     fn probe(&mut self, point: ProbePoint<'_>) {
+        if self.ckpt_every > 0 && point.retired >= self.next_ckpt {
+            // Checkpoint boundary. Probes fire at most one sampling period
+            // apart, so the snapshot lands within one period of the
+            // requested cadence — close enough, since resume replays the
+            // pass deterministically rather than splicing at this point.
+            self.next_ckpt = (point.retired / self.ckpt_every + 1) * self.ckpt_every;
+            let snap = self.snapshot(point.cycle, point.retired);
+            if let Some(sink) = self.sink.as_mut() {
+                sink(point.retired, snap);
+            }
+        }
         if !self.pending && point.cycle >= self.next_interrupt {
             if self.cfg.attribution == Attribution::Precise {
                 // PEBS-like: capture the oldest incomplete instruction now.
@@ -293,11 +361,66 @@ pub fn sample_run(
     sampler_cfg: SamplerConfig,
     max_insns: u64,
 ) -> Result<(SampleProfile, TimedRun), SimError> {
+    sample_run_ctl(
+        image,
+        rand_seed,
+        core_cfg,
+        sampler_cfg,
+        max_insns,
+        SamplePassControl::default(),
+    )
+}
+
+/// External controls for one sampling pass: cooperative cancellation and
+/// periodic checkpoint snapshots. The default controls nothing.
+#[derive(Default)]
+pub struct SamplePassControl<'a> {
+    /// Cancellation token polled at instruction boundaries; a fired token
+    /// truncates the profile as `Cancelled`.
+    pub cancel: Option<&'a CancelToken>,
+    /// Checkpoint cadence in retired instructions; 0 disables snapshots.
+    pub checkpoint_every: u64,
+    /// Receives `(retired, snapshot)` at each checkpoint boundary.
+    pub sink: Option<&'a mut dyn FnMut(u64, SampleProfile)>,
+}
+
+/// Like [`sample_run`], under external [`SamplePassControl`].
+///
+/// The config's `FaultPlan::kill_after_insns` (crash-style kill) also takes
+/// effect here, surfacing as [`SimError::Killed`] with no partial profile —
+/// a crash leaves nothing behind except previously persisted checkpoints.
+///
+/// # Errors
+///
+/// Load-class failures, plus [`SimError::Killed`] for the injected crash.
+pub fn sample_run_ctl(
+    image: &ProcessImage,
+    rand_seed: u64,
+    core_cfg: CoreConfig,
+    sampler_cfg: SamplerConfig,
+    max_insns: u64,
+    ctl: SamplePassControl<'_>,
+) -> Result<(SampleProfile, TimedRun), SimError> {
     let injected_limit = sampler_cfg.fault.abort_sample_at;
+    let kill_after = sampler_cfg.fault.kill_after_insns;
     let effective_max = injected_limit.map_or(max_insns, |n| n.min(max_insns));
     let mut sampler = PerfSampler::new(image, sampler_cfg);
-    let (run, mut truncated) =
-        wiser_sim::run_timed_partial(image, rand_seed, core_cfg, &mut sampler, effective_max)?;
+    if let Some(sink) = ctl.sink {
+        if ctl.checkpoint_every > 0 {
+            sampler = sampler.with_checkpoints(ctl.checkpoint_every, sink);
+        }
+    }
+    let (run, mut truncated) = wiser_sim::run_timed_partial_ctl(
+        image,
+        rand_seed,
+        core_cfg,
+        &mut sampler,
+        effective_max,
+        RunControl {
+            cancel: ctl.cancel,
+            kill_after,
+        },
+    )?;
     // Relabel a budget cut at the fault plan's abort point: it is an
     // injected (deterministic, non-retryable) abort, not a real limit. The
     // injection wins even when it ties with the configured budget —

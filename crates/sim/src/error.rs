@@ -19,6 +19,11 @@ pub enum SimError {
     /// The configured instruction budget was exhausted before the program
     /// exited.
     InsnLimit(u64),
+    /// An injected crash (`FaultPlan::kill_after_insns`) terminated the
+    /// pass after this many retired instructions. Models `kill -9`: no
+    /// graceful truncation, no partial profile — the pass simply dies, and
+    /// only previously persisted checkpoints survive.
+    Killed(u64),
 }
 
 impl fmt::Display for SimError {
@@ -28,6 +33,9 @@ impl fmt::Display for SimError {
             SimError::Exec { pc, message } => write!(f, "execution fault at {pc:#x}: {message}"),
             SimError::InsnLimit(limit) => {
                 write!(f, "instruction limit of {limit} exhausted before exit")
+            }
+            SimError::Killed(n) => {
+                write!(f, "injected crash killed the pass after {n} instructions")
             }
         }
     }

@@ -32,6 +32,11 @@ pub enum TruncationReason {
     /// A [`FaultPlan`] deliberately aborted the pass after this many
     /// instructions.
     Injected(u64),
+    /// A cooperative cancellation (wall-clock deadline or Ctrl-C) stopped
+    /// the pass at a safe instruction boundary after this many
+    /// instructions. Also marks the in-flight snapshots a periodic
+    /// checkpoint takes of a still-running pass.
+    Cancelled(u64),
 }
 
 impl fmt::Display for TruncationReason {
@@ -46,6 +51,9 @@ impl fmt::Display for TruncationReason {
             TruncationReason::Injected(n) => {
                 write!(f, "injected abort after {n} instructions")
             }
+            TruncationReason::Cancelled(n) => {
+                write!(f, "cancelled at a safe boundary after {n} instructions")
+            }
         }
     }
 }
@@ -53,7 +61,8 @@ impl fmt::Display for TruncationReason {
 impl TruncationReason {
     /// Whether re-running with a larger instruction budget could complete
     /// the pass. Injected aborts and execution faults are deterministic —
-    /// they recur at any budget.
+    /// they recur at any budget — and a cancellation is a request to stop,
+    /// which a retry would defy.
     pub fn retryable(&self) -> bool {
         matches!(self, TruncationReason::InsnLimit(_))
     }
@@ -64,6 +73,7 @@ impl TruncationReason {
         match self {
             TruncationReason::InsnLimit(n) => format!("truncated limit {n}\n"),
             TruncationReason::Injected(n) => format!("truncated injected {n}\n"),
+            TruncationReason::Cancelled(n) => format!("truncated cancelled {n}\n"),
             TruncationReason::ExecFault { pc, message } => {
                 format!("truncated fault {pc:x} {message}\n")
             }
@@ -95,6 +105,10 @@ impl TruncationReason {
             Some("injected") => Ok(TruncationReason::Injected(num(
                 parts.next(),
                 "truncation point",
+            )?)),
+            Some("cancelled") => Ok(TruncationReason::Cancelled(num(
+                parts.next(),
+                "cancellation point",
             )?)),
             Some("fault") => {
                 let pc_str = parts.next().ok_or_else(|| err("missing fault pc".into()))?;
@@ -134,6 +148,17 @@ pub struct FaultPlan {
     /// configured one, desynchronizing the two passes' control flow — the
     /// exact divergence §IV-F assumes never happens.
     pub desync_rand_seed: Option<u64>,
+    /// Crash-style kill: terminate a pass after this many retired
+    /// instructions *without* graceful truncation or cleanup, as if the
+    /// process died. Unlike `abort_sample_at`/`truncate_counts_at`, no
+    /// partial profile survives the pass — only checkpoints persisted
+    /// before the kill. Applies to both passes.
+    pub kill_after_insns: Option<u64>,
+    /// Crash *during* the Nth checkpoint write (1-based): the checkpoint
+    /// writer leaves a torn temp file, skips the atomic rename, and kills
+    /// the run — exercising the crash-consistency protocol's guarantee
+    /// that the previous checkpoint stays intact.
+    pub kill_in_checkpoint_write: Option<u64>,
 }
 
 impl FaultPlan {
@@ -198,7 +223,8 @@ impl FaultPlan {
 
     /// Parses a CLI fault spec: comma-separated `key=value` entries
     /// (`seed=N`, `drop-samples=PCT`, `abort-sample=N`, `truncate-counts=N`,
-    /// `desync-seed=N`) plus the bare flag `corrupt`.
+    /// `desync-seed=N`, `kill-after=N`, `kill-in-write=N`) plus the bare
+    /// flag `corrupt`.
     ///
     /// # Errors
     ///
@@ -227,6 +253,14 @@ impl FaultPlan {
                         "abort-sample" => plan.abort_sample_at = Some(num()?),
                         "truncate-counts" => plan.truncate_counts_at = Some(num()?),
                         "desync-seed" => plan.desync_rand_seed = Some(num()?),
+                        "kill-after" => plan.kill_after_insns = Some(num()?),
+                        "kill-in-write" => {
+                            let n = num()?;
+                            if n == 0 {
+                                return Err("kill-in-write is 1-based".to_string());
+                            }
+                            plan.kill_in_checkpoint_write = Some(n);
+                        }
                         other => return Err(format!("unknown fault key `{other}`")),
                     }
                 }
@@ -346,6 +380,11 @@ mod tests {
         assert_eq!(plan.truncate_counts_at, Some(5000));
         assert_eq!(plan.desync_rand_seed, Some(4));
 
+        let plan = FaultPlan::parse("kill-after=7000,kill-in-write=2").unwrap();
+        assert_eq!(plan.kill_after_insns, Some(7000));
+        assert_eq!(plan.kill_in_checkpoint_write, Some(2));
+        assert!(FaultPlan::parse("kill-in-write=0").is_err());
+
         assert!(FaultPlan::parse("bogus").is_err());
         assert!(FaultPlan::parse("drop-samples=150").is_err());
         assert!(FaultPlan::parse("seed=abc").is_err());
@@ -356,6 +395,7 @@ mod tests {
     fn retryability() {
         assert!(TruncationReason::InsnLimit(5).retryable());
         assert!(!TruncationReason::Injected(5).retryable());
+        assert!(!TruncationReason::Cancelled(5).retryable());
         assert!(!TruncationReason::ExecFault {
             pc: 0,
             message: "x".into()
@@ -368,6 +408,7 @@ mod tests {
         for r in [
             TruncationReason::InsnLimit(5000),
             TruncationReason::Injected(77),
+            TruncationReason::Cancelled(4096),
             TruncationReason::ExecFault {
                 pc: 0x1040,
                 message: "bad jump target".into(),

@@ -22,7 +22,10 @@ pub use interp::{run_module, Cpu, Frame, Interp, Step};
 pub use loader::{CodeLoc, LoadConfig, LoadedModule, ModuleId, ProcessImage};
 pub use mem::{Memory, PAGE_SIZE};
 pub use syscall::{SyscallEffect, SyscallNr, SyscallState};
-pub use timed::{run_timed, run_timed_partial, TimedRun};
+pub use timed::{run_timed, run_timed_partial, run_timed_partial_ctl, RunControl, TimedRun};
+// Re-exported so dependents reach the cancellation primitive without a
+// direct `wiser-par` dependency.
+pub use wiser_par::{CancelCause, CancelToken};
 pub use uarch::{
     BpredConfig, BpredStats, CacheConfig, CacheStats, CommitMode, CoreConfig, CoreStats,
     MemHierConfig, NoProbes, OoOCore, ProbePoint, Prober,

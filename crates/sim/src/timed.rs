@@ -1,11 +1,32 @@
 //! High-level driver: functional execution and timing model in lockstep.
 
+use wiser_par::{CancelCause, CancelToken};
+
 use crate::error::SimError;
 use crate::fault::TruncationReason;
 use crate::interp::{Interp, Step};
 use crate::loader::ProcessImage;
 use crate::uarch::config::CoreConfig;
 use crate::uarch::core::{CoreStats, OoOCore, Prober};
+
+/// How often (in retired instructions) the execution loop polls its
+/// [`CancelToken`]: frequent enough that a deadline lands within a few
+/// microseconds of simulated work, rare enough to stay off the hot path.
+const CANCEL_POLL_INSNS: u64 = 1024;
+
+/// External controls for one timed execution: cooperative cancellation and
+/// the injected crash-style kill. The default controls nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunControl<'a> {
+    /// Cancellation token polled at instruction boundaries. A fired token
+    /// stops feeding the pipeline; the run surfaces as
+    /// [`TruncationReason::Cancelled`] (or [`SimError::Killed`] for a
+    /// [`CancelCause::Kill`]).
+    pub cancel: Option<&'a CancelToken>,
+    /// Injected crash: terminate the run abruptly once this many
+    /// instructions have retired (`FaultPlan::kill_after_insns`).
+    pub kill_after: Option<u64>,
+}
 
 /// Result of a timed run.
 #[derive(Clone, Debug)]
@@ -68,6 +89,9 @@ pub fn run_timed<P: Prober>(
         (run, None) => Ok(run),
         (_, Some(TruncationReason::InsnLimit(limit))) => Err(SimError::InsnLimit(limit)),
         (_, Some(TruncationReason::Injected(limit))) => Err(SimError::InsnLimit(limit)),
+        // Unreachable without a RunControl token, but kept total: a
+        // cancelled run is budget-like (stopped early, no fault).
+        (_, Some(TruncationReason::Cancelled(n))) => Err(SimError::InsnLimit(n)),
         (_, Some(TruncationReason::ExecFault { pc, message })) => {
             Err(SimError::Exec { pc, message })
         }
@@ -94,13 +118,63 @@ pub fn run_timed_partial<P: Prober>(
     prober: &mut P,
     max_insns: u64,
 ) -> Result<(TimedRun, Option<TruncationReason>), SimError> {
+    run_timed_partial_ctl(image, rand_seed, config, prober, max_insns, RunControl::default())
+}
+
+/// Like [`run_timed_partial`], under external [`RunControl`]: a fired
+/// cancellation token stops feeding the pipeline at the next instruction
+/// boundary (the in-flight window still drains, so committed state is
+/// consistent) and surfaces as [`TruncationReason::Cancelled`]; an injected
+/// kill aborts the run as [`SimError::Killed`], discarding the partial run
+/// like a real crash would.
+///
+/// # Errors
+///
+/// [`SimError::Load`]-class failures from constructing the interpreter, and
+/// [`SimError::Killed`] for the injected crash. Execution faults, budget
+/// exhaustion and cancellation are *not* errors here — they surface as a
+/// [`TruncationReason`] alongside the partial run.
+pub fn run_timed_partial_ctl<P: Prober>(
+    image: &ProcessImage,
+    rand_seed: u64,
+    config: CoreConfig,
+    prober: &mut P,
+    max_insns: u64,
+    ctl: RunControl<'_>,
+) -> Result<(TimedRun, Option<TruncationReason>), SimError> {
     let mut interp = Interp::new(image, rand_seed)?;
     let mut core = OoOCore::new(config);
     let mut error: Option<SimError> = None;
     let mut limit_hit = false;
+    let mut killed: Option<u64> = None;
+    let mut cancelled: Option<u64> = None;
+    let mut next_cancel_poll = 0u64;
     let stats = core.run(
         || {
-            if interp.retired() >= max_insns {
+            let retired = interp.retired();
+            if let Some(k) = ctl.kill_after {
+                if retired >= k {
+                    killed = Some(retired);
+                    return None;
+                }
+            }
+            if retired >= next_cancel_poll {
+                next_cancel_poll = retired + CANCEL_POLL_INSNS;
+                if let Some(token) = ctl.cancel {
+                    match token.cause() {
+                        Some(CancelCause::Kill) => {
+                            killed = Some(retired);
+                            return None;
+                        }
+                        Some(_) => {
+                            cancelled = Some(retired);
+                            return None;
+                        }
+                        None => {}
+                    }
+                }
+            }
+            if retired >= max_insns {
                 limit_hit = true;
                 return None;
             }
@@ -115,10 +189,17 @@ pub fn run_timed_partial<P: Prober>(
         },
         prober,
     );
+    if let Some(n) = killed {
+        // Crash semantics: no partial profile, no graceful truncation.
+        return Err(SimError::Killed(n));
+    }
     let truncated = match error {
         Some(SimError::Exec { pc, message }) => Some(TruncationReason::ExecFault { pc, message }),
         Some(SimError::InsnLimit(n)) => Some(TruncationReason::InsnLimit(n)),
-        Some(e @ SimError::Load(_)) => return Err(e),
+        Some(e) => return Err(e),
+        None if cancelled.is_some() && interp.exit_code().is_none() => {
+            Some(TruncationReason::Cancelled(cancelled.unwrap_or(0)))
+        }
         None if limit_hit && interp.exit_code().is_none() => {
             Some(TruncationReason::InsnLimit(max_insns))
         }

@@ -49,6 +49,10 @@ pub struct ProbePoint<'a> {
     /// Architectural call stack as of the committed state: return addresses,
     /// outermost first.
     pub arch_stack: &'a [u64],
+    /// Instructions committed (plus early-released) so far in the whole
+    /// run. Lets a prober mark progress — e.g. checkpoint boundaries —
+    /// without access to the interpreter.
+    pub retired: u64,
 }
 
 /// A consumer of per-cycle pipeline observations (the sampling profiler).
@@ -620,6 +624,7 @@ impl OoOCore {
                     first_commit_addr,
                     first_commit_next_addr,
                     arch_stack: &arch_stack,
+                    retired: stats.retired,
                 });
             }
 

@@ -1,0 +1,115 @@
+//! Crash-consistent file writes.
+//!
+//! Everything this crate (and the CLI) puts on disk goes through
+//! [`atomic_write`]: the bytes land in a temporary file in the target's
+//! directory, are fsynced, and are renamed over the target in one atomic
+//! step. A reader therefore observes either the complete old file or the
+//! complete new file — never a torn mixture — and a crash mid-write leaves
+//! at worst an orphaned temp file, which the next successful write of the
+//! same target cannot be confused with.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The temporary-file path [`atomic_write`] stages `path`'s new contents
+/// in: a dot-prefixed sibling tagged with the writing process id, so
+/// concurrent writers of *different* runs never collide and a leftover is
+/// recognizable as debris.
+pub fn temp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "owp".to_string());
+    let dir = parent_dir(path);
+    dir.join(format!(".{name}.tmp.{}", std::process::id()))
+}
+
+fn parent_dir(path: &Path) -> &Path {
+    match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    }
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// `write` + `fsync`, then `rename` over the target (followed by a
+/// best-effort directory fsync to make the rename itself durable).
+///
+/// A target that exists but is not a regular file — `/dev/null`, a pipe, a
+/// character device — cannot be replaced by rename; such targets are
+/// written through directly, with no atomicity (they have no contents to
+/// tear).
+///
+/// # Errors
+///
+/// Any I/O failure; the temp file is removed on the error path.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Ok(meta) = fs::metadata(path) {
+        if !meta.is_file() {
+            return fs::write(path, bytes);
+        }
+    }
+    let tmp = temp_path(path);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)?;
+        // Make the rename durable. Some filesystems cannot fsync a
+        // directory; losing that is a durability (not consistency) gap,
+        // so it is best-effort.
+        if let Ok(dir) = File::open(parent_dir(path)) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("wiser-atomic-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = scratch("replace.bin");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        assert!(!temp_path(&path).exists(), "temp file left behind");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_directory_errors_without_leaving_temp() {
+        let path = Path::new("/nonexistent-wiser-dir/x.owp");
+        assert!(atomic_write(path, b"x").is_err());
+        assert!(!temp_path(path).exists());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn non_regular_target_written_through() {
+        atomic_write(Path::new("/dev/null"), b"discarded").unwrap();
+    }
+
+    #[test]
+    fn bare_filename_stages_in_current_directory() {
+        let tmp = temp_path(Path::new("bare-name.owp"));
+        assert_eq!(tmp.parent(), Some(Path::new(".")));
+        let name = tmp.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with(".bare-name.owp.tmp."), "{name}");
+    }
+}

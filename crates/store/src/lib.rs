@@ -22,10 +22,20 @@
 //! - **Forward-compatible**: unknown (checksum-valid) sections are skipped,
 //!   so newer writers can add sections without breaking older readers.
 
+//!
+//! The same container framing backs crash-consistent run [`checkpoint`]s
+//! (`optiwise run --checkpoint` / `optiwise resume`), and every file this
+//! crate emits goes through the atomic temp-file + fsync + rename protocol
+//! in [`atomic_write`].
+
 #![warn(missing_docs)]
 
+mod atomic;
+mod checkpoint;
 pub mod format;
 mod profile;
 
+pub use atomic::{atomic_write, temp_path};
+pub use checkpoint::{Checkpoint, CheckpointSpec, CheckpointWriter};
 pub use format::{crc32, read_sections, section_spans, write_store, FORMAT_VERSION, MAGIC};
 pub use profile::{RunMeta, StoredProfile};

@@ -29,8 +29,8 @@ use wiser_sim::{CodeLoc, ModuleId, TruncationReason};
 use crate::format::{read_sections, write_store, ByteReader, ByteWriter};
 
 const TAG_META: [u8; 4] = *b"META";
-const TAG_SAMP: [u8; 4] = *b"SAMP";
-const TAG_CNTS: [u8; 4] = *b"CNTS";
+pub(crate) const TAG_SAMP: [u8; 4] = *b"SAMP";
+pub(crate) const TAG_CNTS: [u8; 4] = *b"CNTS";
 const TAG_TABL: [u8; 4] = *b"TABL";
 
 /// Identity of a stored run, for labelling reports and diffs.
@@ -163,7 +163,7 @@ impl StoredProfile {
     ///
     /// Returns [`OptiwiseError::Io`] on filesystem failure.
     pub fn save(&self, path: &std::path::Path) -> Result<(), OptiwiseError> {
-        std::fs::write(path, self.to_bytes())
+        crate::atomic::atomic_write(path, &self.to_bytes())
             .map_err(|e| OptiwiseError::Io(format!("{}: {e}", path.display())))
     }
 
@@ -226,6 +226,10 @@ fn put_truncation(w: &mut ByteWriter, t: &Option<TruncationReason>) {
             w.u64(*pc);
             w.string(message);
         }
+        Some(TruncationReason::Cancelled(n)) => {
+            w.u8(4);
+            w.u64(*n);
+        }
     }
 }
 
@@ -238,6 +242,7 @@ fn get_truncation(r: &mut ByteReader<'_>) -> Result<Option<TruncationReason>, St
             pc: r.u64("fault pc")?,
             message: r.string("fault message")?,
         }),
+        4 => Some(TruncationReason::Cancelled(r.u64("cancellation point")?)),
         other => return Err(r.error(format!("unknown truncation tag {other}"))),
     })
 }
@@ -258,7 +263,7 @@ fn get_module_names(r: &mut ByteReader<'_>) -> Result<Vec<String>, StoreError> {
     Ok(names)
 }
 
-fn encode_samples(p: &SampleProfile) -> Vec<u8> {
+pub(crate) fn encode_samples(p: &SampleProfile) -> Vec<u8> {
     let mut w = ByteWriter::new();
     put_module_names(&mut w, &p.module_names);
     w.u64(p.period);
@@ -278,7 +283,7 @@ fn encode_samples(p: &SampleProfile) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_samples(r: &mut ByteReader<'_>) -> Result<SampleProfile, StoreError> {
+pub(crate) fn decode_samples(r: &mut ByteReader<'_>) -> Result<SampleProfile, StoreError> {
     let module_names = get_module_names(r)?;
     let period = r.u64("period")?;
     let total_cycles = r.u64("total_cycles")?;
@@ -331,7 +336,7 @@ fn term_from_code(c: u8) -> Option<TermKind> {
     })
 }
 
-fn encode_counts(p: &CountsProfile) -> Vec<u8> {
+pub(crate) fn encode_counts(p: &CountsProfile) -> Vec<u8> {
     let mut w = ByteWriter::new();
     put_module_names(&mut w, &p.module_names);
     w.u8(p.stack_profiling as u8);
@@ -372,7 +377,7 @@ fn encode_counts(p: &CountsProfile) -> Vec<u8> {
     w.into_bytes()
 }
 
-fn decode_counts(r: &mut ByteReader<'_>) -> Result<CountsProfile, StoreError> {
+pub(crate) fn decode_counts(r: &mut ByteReader<'_>) -> Result<CountsProfile, StoreError> {
     let module_names = get_module_names(r)?;
     let stack_profiling = match r.u8("stack_profiling")? {
         0 => false,
@@ -655,6 +660,7 @@ mod tests {
                 pc: 0x40,
                 message: "bad jump".into(),
             },
+            TruncationReason::Cancelled(4096),
         ] {
             let mut p = stored();
             p.samples.as_mut().unwrap().truncated = Some(reason.clone());

@@ -34,6 +34,28 @@ pub enum InputSize {
     Ref,
 }
 
+impl InputSize {
+    /// Parses a size name as accepted by `optiwise --size` and stored in
+    /// run checkpoints.
+    pub fn parse(name: &str) -> Option<InputSize> {
+        match name {
+            "test" => Some(InputSize::Test),
+            "train" => Some(InputSize::Train),
+            "ref" => Some(InputSize::Ref),
+            _ => None,
+        }
+    }
+
+    /// The canonical name, inverse of [`InputSize::parse`].
+    pub fn name(self) -> &'static str {
+        match self {
+            InputSize::Test => "test",
+            InputSize::Train => "train",
+            InputSize::Ref => "ref",
+        }
+    }
+}
+
 /// Workload category.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Kind {
@@ -101,6 +123,14 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), names.len());
+    }
+
+    #[test]
+    fn input_size_names_roundtrip() {
+        for size in [InputSize::Test, InputSize::Train, InputSize::Ref] {
+            assert_eq!(InputSize::parse(size.name()), Some(size));
+        }
+        assert!(InputSize::parse("huge").is_none());
     }
 
     #[test]

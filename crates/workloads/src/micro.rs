@@ -65,6 +65,15 @@ pub(crate) fn all() -> Vec<Workload> {
             builder: recip_loop_opt,
         },
         Workload {
+            name: "long_haul",
+            description: "a deliberately long, cheap loop (~500M retired \
+                          instructions at ref): the target for deadline, \
+                          cancellation and checkpoint/resume tests, where a \
+                          full run must cost real wall-clock time",
+            kind: Kind::Micro,
+            builder: long_haul,
+        },
+        Workload {
             name: "stack_attr",
             description: "two loops in different functions calling a shared \
                           callee, plus a second caller chain; validates \
@@ -368,6 +377,38 @@ fn recip_loop_opt(size: InputSize) -> Result<Vec<Module>, IsaError> {
     Ok(vec![assemble("recip_loop", &recip_loop_src(iters, true))?])
 }
 
+/// The robustness-test workload: a flat loop of cheap, independent ALU work
+/// with no memory traffic, so retired-instruction count — not simulated
+/// stalls — dominates wall-clock cost. At `test` size it finishes in
+/// milliseconds; at `ref` it retires roughly half a billion instructions,
+/// long enough that a `--deadline` must fire and a mid-run kill leaves a
+/// genuinely partial checkpoint.
+fn long_haul(size: InputSize) -> Result<Vec<Module>, IsaError> {
+    let iters = scale(size, 4_000, 2_000_000, 100_000_000);
+    let src = format!(
+        r#"
+        .func _start global
+        .loc "haul.c" 1
+            li x8, {iters}
+            li x9, 0
+            li x10, 0x9E3779B9
+        loop:
+        .loc "haul.c" 3
+            add x1, x1, x10
+            xor x2, x2, x1
+            subi x8, x8, 1
+            bne x8, x9, loop
+        .loc "haul.c" 5
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#
+    );
+    Ok(vec![assemble("long_haul", &src)?])
+}
+
 /// Figures 4 and 5: `func3` is called from `loop1` (in `func1`, hot) and
 /// from `loop2` (in `func2`, cold) in a 3:1 ratio; `func1` is itself called
 /// from `loop0` (in `func0`) and from `func4`. Stack profiling must credit
@@ -507,6 +548,11 @@ mod tests {
     #[test]
     fn stack_attr_runs() {
         runs_clean("stack_attr");
+    }
+
+    #[test]
+    fn long_haul_runs() {
+        runs_clean("long_haul");
     }
 
     #[test]

@@ -1,16 +1,19 @@
 //! Deterministic fault-injection tests: every recovery path of the
 //! pipeline is driven by a seeded [`FaultPlan`] and asserted end to end —
 //! partial-profile recovery, degraded sampling-only analysis, corrupted
-//! profile text, and run-divergence detection on desynced seeds.
+//! profile text, run-divergence detection on desynced seeds, and
+//! crash-style kills at instruction and checkpoint-write boundaries.
 
 use optiwise::{
-    report, run_optiwise, AnalysisMode, OptiwiseConfig, OptiwiseError,
+    module_fingerprint, report, run_optiwise, run_optiwise_ctl, AnalysisMode, CancelToken,
+    OptiwiseConfig, OptiwiseError, PassEvent, RunControl,
     DEFAULT_DIVERGENCE_THRESHOLD,
 };
 use wiser_dbi::CountsProfile;
 use wiser_isa::Module;
 use wiser_sampler::SampleProfile;
 use wiser_sim::{FaultPlan, TruncationReason};
+use wiser_store::{Checkpoint, CheckpointSpec, CheckpointWriter};
 
 fn rand_walk() -> Vec<Module> {
     wiser_workloads::by_name("rand_walk")
@@ -164,6 +167,159 @@ fn injected_abort_at_budget_boundary_is_not_retried() {
         run.counts.truncated,
         Some(TruncationReason::Injected(10_000))
     );
+}
+
+/// A checkpoint spec matching `cfg` for `modules`, as the CLI would build.
+fn spec_for(modules: &[Module], cfg: &OptiwiseConfig, every: u64) -> CheckpointSpec {
+    CheckpointSpec {
+        module_hash: module_fingerprint(modules),
+        workload: "counted_loop".into(),
+        size: "test".into(),
+        arch: "xeon".into(),
+        rand_seed: cfg.rand_seed,
+        period: cfg.sampler.period,
+        jitter: cfg.sampler.jitter,
+        sampler_seed: cfg.sampler.seed,
+        attribution: cfg.sampler.attribution,
+        stacks: cfg.sampler.stacks,
+        stack_profiling: cfg.dbi.stack_profiling,
+        merge_threshold: cfg.analysis.merge_threshold,
+        max_insns: cfg.max_insns,
+        strict: cfg.strict,
+        allow_partial: cfg.allow_partial,
+        checkpoint_every: every,
+    }
+}
+
+fn scratch_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wiser-fault-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn expect_killed(result: Result<optiwise::OptiwiseRun, OptiwiseError>) -> u64 {
+    match result {
+        Err(e @ OptiwiseError::Killed { retired }) => {
+            assert_eq!(e.exit_code(), 9);
+            retired
+        }
+        Err(e) => panic!("expected injected kill, got: {e}"),
+        Ok(_) => panic!("expected injected kill, run completed"),
+    }
+}
+
+#[test]
+fn kill_at_instruction_zero_dies_before_any_work() {
+    let mut cfg = OptiwiseConfig::default();
+    cfg.fault.kill_after_insns = Some(0);
+    let retired = expect_killed(run_optiwise(&[counted_loop()], &cfg));
+    assert_eq!(retired, 0);
+}
+
+#[test]
+fn kill_mid_pass_exits_9_and_checkpoint_survives() {
+    let modules = [counted_loop()];
+    let mut cfg = OptiwiseConfig::default();
+    cfg.fault.kill_after_insns = Some(6_000);
+
+    let path = scratch_path("mid-pass.owp");
+    let token = CancelToken::new();
+    let writer = CheckpointWriter::new(
+        &path,
+        Checkpoint::fresh(spec_for(&modules, &cfg, 2_000)),
+        token.clone(),
+        None,
+    );
+    writer.persist_initial().unwrap();
+    let observe = |event: PassEvent<'_>| writer.observe(event);
+    let result = run_optiwise_ctl(
+        &modules,
+        &cfg,
+        RunControl {
+            cancel: token,
+            checkpoint_every: 2_000,
+            observer: Some(&observe),
+            resume: optiwise::ResumeState::default(),
+        },
+    );
+    let retired = expect_killed(result);
+    assert_eq!(retired, 6_000);
+
+    // The checkpoint that survived the crash decodes cleanly and records
+    // real (partial, cadence-aligned) progress for at least one pass.
+    let ckpt = Checkpoint::load(&path).unwrap();
+    assert!(!ckpt.sample_done() && !ckpt.counts_done());
+    let farthest = ckpt.sample_pos.max(ckpt.counts_pos);
+    assert!(
+        (2_000..=6_000).contains(&farthest),
+        "checkpoint progress {farthest} outside (cadence, kill-point]"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn kill_at_last_instruction_dies_but_one_later_completes() {
+    let clean = run_optiwise(&[counted_loop()], &OptiwiseConfig::default()).unwrap();
+    let total = clean.counts.total_insns();
+
+    // Kill scheduled on the program's final instruction: the run dies with
+    // that instruction still unretired.
+    let mut cfg = OptiwiseConfig::default();
+    cfg.fault.kill_after_insns = Some(total - 1);
+    let retired = expect_killed(run_optiwise(&[counted_loop()], &cfg));
+    assert_eq!(retired, total - 1);
+
+    // A kill point exactly at the retire count still dies: the boundary
+    // check after the final instruction observes it before the exit
+    // finalises — crash semantics, the kill wins every tie.
+    cfg.fault.kill_after_insns = Some(total);
+    let retired = expect_killed(run_optiwise(&[counted_loop()], &cfg));
+    assert_eq!(retired, total);
+
+    // One instruction further the boundary is never reached: clean run.
+    cfg.fault.kill_after_insns = Some(total + 1);
+    let run = run_optiwise(&[counted_loop()], &cfg).unwrap();
+    assert_eq!(run.counts.total_insns(), total);
+    assert_eq!(run.samples.truncated, None);
+    assert_eq!(run.counts.truncated, None);
+}
+
+#[test]
+fn kill_during_checkpoint_write_keeps_previous_checkpoint_readable() {
+    let modules = [counted_loop()];
+    let cfg = OptiwiseConfig::default();
+
+    let path = scratch_path("torn-write.owp");
+    let token = CancelToken::new();
+    // Crash inside the *second* persist: the initial (fresh) checkpoint
+    // has already been renamed into place and must survive the torn write.
+    let writer = CheckpointWriter::new(
+        &path,
+        Checkpoint::fresh(spec_for(&modules, &cfg, 2_000)),
+        token.clone(),
+        Some(2),
+    );
+    writer.persist_initial().unwrap();
+    let observe = |event: PassEvent<'_>| writer.observe(event);
+    let result = run_optiwise_ctl(
+        &modules,
+        &cfg,
+        RunControl {
+            cancel: token,
+            checkpoint_every: 2_000,
+            observer: Some(&observe),
+            resume: optiwise::ResumeState::default(),
+        },
+    );
+    expect_killed(result);
+
+    // The file on disk is the complete pre-crash checkpoint, not a torn
+    // mixture: it decodes cleanly to the fresh (no-progress) state.
+    let ckpt = Checkpoint::load(&path).unwrap();
+    assert_eq!(ckpt.sample_pos, 0);
+    assert_eq!(ckpt.counts_pos, 0);
+    assert!(ckpt.samples.is_none() && ckpt.counts.is_none());
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
