@@ -6,7 +6,7 @@
 //! and which are merely different control paths of one program loop
 //! (figure 6 / Table I).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::dom::Dominators;
 use crate::graph::{BlockId, Cfg};
@@ -94,6 +94,15 @@ pub struct LoopForest {
 
 impl LoopForest {
     /// Loops containing the given block, innermost first.
+    ///
+    /// The returned loops always form a nesting chain: each loop's body is a
+    /// superset of every earlier one. With merging enabled the forest is
+    /// laminar and the filter is a no-op; with merging disabled
+    /// (`t = None`), partially-overlapping same-header loops can *both*
+    /// contain a block on a shared path (e.g. the join after two `continue`
+    /// arms), and crediting all of them would double-attribute the block's
+    /// weight. In that case the block belongs to the smallest containing
+    /// loop and only its strict supersets.
     pub fn loops_containing(&self, block: BlockId) -> Vec<usize> {
         let mut ids: Vec<usize> = self
             .loops
@@ -102,14 +111,111 @@ impl LoopForest {
             .filter(|(_, l)| l.body.contains(&block))
             .map(|(i, _)| i)
             .collect();
-        // Innermost = smallest body.
+        // Innermost = smallest body. Stable sort keeps declaration order for
+        // equal sizes, so the winner among same-size overlapping bodies is
+        // deterministic.
         ids.sort_by_key(|&i| self.loops[i].body.len());
-        ids
+        // Keep only loops nesting everything already kept: each block is
+        // attributed to exactly one loop per nesting level.
+        let mut chain: Vec<usize> = Vec::with_capacity(ids.len());
+        for id in ids {
+            if chain
+                .iter()
+                .all(|&kept| self.loops[id].body.is_superset(&self.loops[kept].body))
+            {
+                chain.push(id);
+            }
+        }
+        chain
     }
 
     /// The innermost loop containing the block.
     pub fn innermost(&self, block: BlockId) -> Option<usize> {
         self.loops_containing(block).first().copied()
+    }
+
+    /// Verifies that the forest is a laminar family with consistent parent
+    /// links — the invariant the merged (algorithm 2) forest must satisfy
+    /// so every block is attributed to exactly one loop per nesting level:
+    ///
+    /// * any two loop bodies are disjoint or nested,
+    /// * a parent's body contains its child's and its depth is smaller,
+    /// * the per-level exclusive block sets of a header group partition the
+    ///   group's region (sum of per-loop exclusive block counts equals the
+    ///   region block count).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_laminar(&self) -> Result<(), String> {
+        for i in 0..self.loops.len() {
+            for j in i + 1..self.loops.len() {
+                let a = &self.loops[i].body;
+                let b = &self.loops[j].body;
+                let inter = a.intersection(b).count();
+                if inter != 0 && inter != a.len().min(b.len()) {
+                    return Err(format!(
+                        "loops {i} (header {}) and {j} (header {}) partially \
+                         overlap: {inter} shared blocks, bodies {} and {}",
+                        self.loops[i].header,
+                        self.loops[j].header,
+                        a.len(),
+                        b.len()
+                    ));
+                }
+            }
+        }
+        for (i, l) in self.loops.iter().enumerate() {
+            let Some(p) = l.parent else { continue };
+            if p == i {
+                return Err(format!("loop {i} is its own parent"));
+            }
+            let parent = &self.loops[p];
+            if !parent.body.is_superset(&l.body) {
+                return Err(format!(
+                    "parent {p} of loop {i} does not contain its body"
+                ));
+            }
+            if parent.depth >= l.depth {
+                return Err(format!(
+                    "parent {p} (depth {}) of loop {i} (depth {}) is not shallower",
+                    parent.depth, l.depth
+                ));
+            }
+        }
+        // Per-header partition: the levels a shared header was split into
+        // must form an inclusion chain whose per-level *exclusive* block
+        // sets partition the region, so each block of the region is
+        // attributed to exactly one split sibling (sum of per-loop exclusive
+        // block counts == region block count).
+        let mut by_header: BTreeMap<BlockId, Vec<usize>> = BTreeMap::new();
+        for (i, l) in self.loops.iter().enumerate() {
+            by_header.entry(l.header).or_default().push(i);
+        }
+        for (header, mut ids) in by_header {
+            ids.sort_by_key(|&i| (self.loops[i].body.len(), i));
+            let region = &self.loops[*ids.last().unwrap()].body;
+            let mut exclusive_total = 0usize;
+            let mut prev_len = 0usize;
+            for (k, &i) in ids.iter().enumerate() {
+                if k > 0 && !self.loops[i].body.is_superset(&self.loops[ids[k - 1]].body) {
+                    return Err(format!(
+                        "header {header}: split levels {} and {i} are not nested",
+                        ids[k - 1]
+                    ));
+                }
+                exclusive_total += self.loops[i].body.len() - prev_len;
+                prev_len = self.loops[i].body.len();
+            }
+            if exclusive_total != region.len() {
+                return Err(format!(
+                    "header {header}: per-level exclusive block counts sum to \
+                     {exclusive_total}, region has {} blocks",
+                    region.len()
+                ));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -469,6 +575,133 @@ mod tests {
         );
         let forests = find_all_loops(&cfg, None);
         assert_eq!(forests[0].loops.len(), 2);
+    }
+
+    /// Regression: with merging disabled the odd/even continue paths are two
+    /// partially-overlapping raw loops that both contain the shared header.
+    /// Attribution must credit each block along a single nesting chain, not
+    /// once per overlapping sibling (the double-attribution join bug).
+    #[test]
+    fn overlapping_raw_loops_attribute_each_block_to_one_chain() {
+        let cfg = cfg_of(
+            r#"
+            .func _start global
+                li x8, 30
+                li x9, 0
+            head:
+                subi x8, x8, 1
+                andi x1, x8, 1
+                beq x1, x9, even
+                bne x8, x9, head
+                jmp done
+            even:
+                addi x2, x2, 1
+                bne x8, x9, head
+            done:
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        );
+        let forests = find_all_loops(&cfg, None);
+        let f = &forests[0];
+        assert_eq!(f.loops.len(), 2);
+        // The raw pair genuinely overlaps without nesting (this is what the
+        // laminar check must reject)...
+        assert!(f.check_laminar().is_err());
+        // ...so the per-block attribution set must be filtered to a chain.
+        for b in 0..cfg.blocks.len() {
+            let containing = f.loops_containing(b);
+            for w in containing.windows(2) {
+                assert!(
+                    f.loops[w[1]].body.is_superset(&f.loops[w[0]].body),
+                    "block {b}: loops {containing:?} are not a nesting chain"
+                );
+            }
+        }
+        // The shared header lies in both raw bodies; exactly one may be
+        // credited at that nesting level.
+        let head = f.loops[0].header;
+        assert_eq!(f.loops_containing(head).len(), 1);
+    }
+
+    /// The merged forest of the same CFG is laminar and passes the
+    /// split/merge partition invariant.
+    #[test]
+    fn merged_forests_are_laminar() {
+        for src in [
+            r#"
+            .func _start global
+                li x8, 30
+                li x9, 0
+            head:
+                subi x8, x8, 1
+                andi x1, x8, 1
+                beq x1, x9, even
+                bne x8, x9, head
+                jmp done
+            even:
+                addi x2, x2, 1
+                bne x8, x9, head
+            done:
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+            r#"
+            .func _start global
+                li x8, 5
+                li x9, 0
+            outer:
+                li x7, 20
+            inner:
+                subi x7, x7, 1
+                bne x7, x9, inner
+                subi x8, x8, 1
+                bne x8, x9, outer
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        ] {
+            let cfg = cfg_of(src);
+            for f in find_all_loops(&cfg, Some(MERGE_THRESHOLD)) {
+                f.check_laminar().unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn check_laminar_rejects_partial_overlap_and_bad_parents() {
+        let mk = |body: &[BlockId], parent, depth| Loop {
+            header: body[0],
+            body: body.iter().copied().collect(),
+            back_edge_freq: 1,
+            function: 0,
+            parent,
+            depth,
+        };
+        // Partial overlap.
+        let f = LoopForest {
+            loops: vec![mk(&[0, 1, 2], None, 0), mk(&[2, 3], None, 0)],
+            merge_trace: vec![],
+        };
+        assert!(f.check_laminar().unwrap_err().contains("overlap"));
+        // Parent that does not contain the child.
+        let f = LoopForest {
+            loops: vec![mk(&[0, 1], Some(1), 1), mk(&[5, 6], None, 0)],
+            merge_trace: vec![],
+        };
+        assert!(f.check_laminar().is_err());
+        // Parent not shallower than the child.
+        let f = LoopForest {
+            loops: vec![mk(&[0, 1], Some(1), 0), mk(&[0, 1, 2], None, 0)],
+            merge_trace: vec![],
+        };
+        assert!(f.check_laminar().unwrap_err().contains("shallower"));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! optiwise report <profile.owp> [--format json]
 //! optiwise diff <old.owp> <new.owp>          # differential CPI analysis
 //! optiwise resume <checkpoint.owp>           # continue an interrupted run
+//! optiwise selfcheck [--seed-range A..B]     # pipeline vs oracle sweep
 //! ```
 //!
 //! Options: `--size test|train|ref`, `--arch xeon|neoverse`, `--period N`,
@@ -39,7 +40,8 @@
 //! disassembly failure, 3 execution fault, 4 instruction limit or disallowed
 //! truncation, 5 run divergence (strict mode), 6 profile parse error,
 //! 7 regressions found by `diff --fail-on-regression`, 8 deadline exceeded
-//! or cancelled, 9 injected crash, 1 usage/io/other.
+//! or cancelled, 9 injected crash, 10 join-bug discrepancies found by
+//! `selfcheck`, 1 usage/io/other.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -83,6 +85,7 @@ struct Options {
     deadline: Option<f64>,
     checkpoint: Option<String>,
     checkpoint_every: Option<u64>,
+    seed_range: Option<(u64, u64)>,
 }
 
 /// Checkpoint cadence (committed instructions) when `--checkpoint` is given
@@ -117,6 +120,7 @@ impl Default for Options {
             deadline: None,
             checkpoint: None,
             checkpoint_every: None,
+            seed_range: None,
         }
     }
 }
@@ -219,6 +223,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err("--deadline must be a positive number of seconds".into());
                 }
                 opts.deadline = Some(secs);
+            }
+            "--seed-range" => {
+                let v = value(&mut i)?;
+                let (lo, hi) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("bad seed range `{v}`: expected A..B"))?;
+                let lo: u64 = lo.parse().map_err(|e| format!("bad seed range: {e}"))?;
+                let hi: u64 = hi.parse().map_err(|e| format!("bad seed range: {e}"))?;
+                if lo >= hi {
+                    return Err(format!("bad seed range `{v}`: empty (A must be below B)"));
+                }
+                opts.seed_range = Some((lo, hi));
             }
             "--checkpoint" => opts.checkpoint = Some(value(&mut i)?),
             "--checkpoint-every" => {
@@ -973,6 +989,74 @@ fn cmd_diff(opts: &Options) -> Result<(), OptiwiseError> {
     Ok(())
 }
 
+/// `optiwise selfcheck [--seed-range A..B]`: differential self-check of the
+/// whole pipeline against the ground-truth oracle over generated programs.
+///
+/// Seeds are swept on a bounded worker pool (`--jobs N`); results are
+/// reported in ascending seed order regardless of completion order, so the
+/// report is byte-identical for every thread count. Any join-bug
+/// discrepancy — numbers exact ground truth contradicts — exits 10.
+fn cmd_selfcheck(opts: &Options) -> Result<(), OptiwiseError> {
+    if !opts.workloads.is_empty() {
+        return Err(OptiwiseError::Usage(
+            "`selfcheck` generates its own programs; it takes no workload".into(),
+        ));
+    }
+    let (lo, hi) = opts.seed_range.unwrap_or((0, 10));
+    let mut check_opts = optiwise::selfcheck::SelfCheckOptions::default();
+    check_opts.config.sampler = opts.sampler;
+    check_opts.config.core = opts.core;
+    check_opts.config.analysis.merge_threshold = opts.merge_threshold;
+
+    let seeds: Vec<u64> = (lo..hi).collect();
+    let results = wiser_par::par_map(opts.jobs, seeds, |_, seed| {
+        let modules = wiser_workloads::generated::generate(seed)
+            .map_err(|e| OptiwiseError::Load(format!("generating seed {seed}: {e}")))?;
+        optiwise::selfcheck::check_modules(&modules, &check_opts).map(|c| (seed, c))
+    })
+    .map_err(|e| OptiwiseError::Internal(format!("selfcheck worker: {e}")))?;
+
+    let mut out = String::new();
+    let mut bug_seeds: Vec<u64> = Vec::new();
+    let mut total_bugs = 0usize;
+    for result in results {
+        let (seed, check) = result?;
+        let bugs = check.join_bugs();
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!("seed {seed}: {}\n", check.summary()),
+        );
+        for d in check
+            .discrepancies
+            .iter()
+            .filter(|d| d.class == optiwise::selfcheck::DiscrepancyClass::JoinBug)
+            .take(opts.top)
+        {
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!("  {d}\n"));
+        }
+        if bugs > 0 {
+            bug_seeds.push(seed);
+            total_bugs += bugs;
+        }
+    }
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!(
+            "selfcheck: seeds {lo}..{hi}, {} clean, {} with join bugs\n",
+            (hi - lo) as usize - bug_seeds.len(),
+            bug_seeds.len(),
+        ),
+    );
+    emit(opts, &out)?;
+    if total_bugs > 0 {
+        return Err(OptiwiseError::SelfCheck {
+            join_bugs: total_bugs,
+            seeds: bug_seeds,
+        });
+    }
+    Ok(())
+}
+
 const USAGE: &str = "\
 usage: optiwise <command> [options] [workload]
 commands:
@@ -992,6 +1076,9 @@ commands:
   resume <checkpoint.owp>
                         continue an interrupted run from its checkpoint;
                         the report is byte-identical to an uninterrupted run
+  selfcheck             differential self-check: run the full pipeline and
+                        the exact oracle over generated programs and compare
+                        every table; join-bug discrepancies exit 10
 options:
   --size test|train|ref   --arch xeon|neoverse   --period N
   --attribution interrupt|precise|predecessor
@@ -1019,10 +1106,11 @@ options:
   --format text|json      (report) output format (default: text)
   --threshold PCT         (diff) significance threshold in percent (default: 5)
   --fail-on-regression    (diff) exit 7 when regressions are found
+  --seed-range A..B       (selfcheck) seeds to sweep, half-open (default: 0..10)
 exit codes:
   0 ok   2 load/disasm   3 exec fault   4 truncated   5 divergence
   6 parse error   7 regression   8 deadline/cancelled   9 injected crash
-  1 usage/other
+  10 selfcheck join bug   1 usage/other
 ";
 
 fn main() -> ExitCode {
@@ -1060,6 +1148,7 @@ fn main() -> ExitCode {
                 "report" => cmd_report(&opts),
                 "diff" => cmd_diff(&opts),
                 "resume" => cmd_resume(&opts),
+                "selfcheck" => cmd_selfcheck(&opts),
                 other => Err(OptiwiseError::Usage(format!(
                     "unknown command `{other}`\n{USAGE}"
                 ))),
@@ -1212,6 +1301,17 @@ mod tests {
         assert!(parse(&["--deadline", "0"]).is_err());
         assert!(parse(&["--deadline", "-1"]).is_err());
         assert!(parse(&["--deadline", "soon"]).is_err());
+    }
+
+    #[test]
+    fn seed_range_parses_half_open() {
+        let o = parse(&["--seed-range", "5..25"]).unwrap();
+        assert_eq!(o.seed_range, Some((5, 25)));
+        assert_eq!(parse(&["x"]).unwrap().seed_range, None);
+        assert!(parse(&["--seed-range", "5"]).is_err());
+        assert!(parse(&["--seed-range", "9..9"]).is_err());
+        assert!(parse(&["--seed-range", "9..3"]).is_err());
+        assert!(parse(&["--seed-range", "a..b"]).is_err());
     }
 
     #[test]

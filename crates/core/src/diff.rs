@@ -14,7 +14,9 @@
 //! `sqrt(1/n_old + 1/n_new)`. A row's change is only reported as real when
 //! it exceeds both the user threshold and `z` times that sampling error
 //! (`z = 1.96` ≈ a 95% confidence band). Rows with zero samples on either
-//! side have unbounded error and are always classified as noise.
+//! side have an unbounded *cycle* error, but the DBI execution counts are
+//! exact, so such rows fall back to comparing executions with a zero noise
+//! band instead of being silently classified as noise.
 
 use std::fmt;
 
@@ -82,6 +84,10 @@ impl fmt::Display for DiffClass {
 pub enum DiffMetric {
     /// Cycles per instruction-execution — used when both sides have one.
     Cpi,
+    /// Exact DBI execution counts — used when either side has zero samples
+    /// (its cycle estimate is unbounded) but both sides executed. Counts
+    /// carry no sampling error, so the noise band is zero.
+    Execs,
     /// Raw attributed cycles — the fallback when CPI is unavailable
     /// (degraded runs, rows that never executed).
     Cycles,
@@ -91,6 +97,7 @@ impl fmt::Display for DiffMetric {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
             DiffMetric::Cpi => "CPI",
+            DiffMetric::Execs => "execs",
             DiffMetric::Cycles => "cycles",
         })
     }
@@ -347,9 +354,19 @@ fn classify(
         (None, None) => unreachable!("row without either side"),
     };
 
-    // Prefer CPI (normalises away iteration-count changes); fall back to raw
-    // cycles when either side lacks execution counts.
+    // Prefer CPI (normalises away iteration-count changes). A row with zero
+    // samples on either side has an unbounded cycle estimate — its CPI is
+    // meaningless and the z-bound below would be infinite, silently burying
+    // real regressions in the noise bucket. The DBI execution counts are
+    // exact, so such rows compare executions with a zero noise band.
+    // Rows that also lack counts fall back to raw cycles (and stay noise).
+    let degraded = old_side.samples == 0 || new_side.samples == 0;
     let (metric, old_value, new_value) = match (old_side.cpi, new_side.cpi) {
+        _ if degraded && old_side.execs > 0 && new_side.execs > 0 => (
+            DiffMetric::Execs,
+            old_side.execs as f64,
+            new_side.execs as f64,
+        ),
         (Some(o), Some(n)) if o > 0.0 => (DiffMetric::Cpi, o, n),
         _ => (
             DiffMetric::Cycles,
@@ -364,7 +381,9 @@ fn classify(
     } else {
         0.0
     };
-    let noise_pct = if old_side.samples > 0 && new_side.samples > 0 {
+    let noise_pct = if metric == DiffMetric::Execs {
+        0.0
+    } else if old_side.samples > 0 && new_side.samples > 0 {
         options.confidence
             * (1.0 / old_side.samples as f64 + 1.0 / new_side.samples as f64).sqrt()
             * 100.0
@@ -483,13 +502,52 @@ mod tests {
         assert_eq!(row.class, DiffClass::Noise, "{row:?}");
         assert!(row.noise_pct > 100.0, "{row:?}");
 
-        // Zero samples: unbounded error, always noise.
+        // Zero samples with identical execution counts: the exact-count
+        // fallback sees no change, so the cycle disparity (pure sampling
+        // artifact) stays noise.
         let report = diff_tables(
             &tables(1000, 0, 1000),
             &tables(9000, 0, 1000),
             DiffOptions::default(),
         );
-        assert_eq!(report.functions[0].class, DiffClass::Noise);
+        let row = &report.functions[0];
+        assert_eq!(row.metric, DiffMetric::Execs, "{row:?}");
+        assert_eq!(row.class, DiffClass::Noise, "{row:?}");
+    }
+
+    #[test]
+    fn zero_sample_rows_compare_exact_execution_counts() {
+        // Neither run caught a sample on the row, but the DBI counts show a
+        // 9x execution blowup. The old INFINITY noise bound classified this
+        // as Noise; counts are exact, so it must surface as a regression.
+        let report = diff_tables(
+            &tables(1000, 0, 1000),
+            &tables(9000, 0, 9000),
+            DiffOptions::default(),
+        );
+        let row = &report.functions[0];
+        assert_eq!(row.metric, DiffMetric::Execs, "{row:?}");
+        assert_eq!(row.class, DiffClass::Regression, "{row:?}");
+        assert_eq!(row.noise_pct, 0.0, "{row:?}");
+        assert!((row.delta_pct - 800.0).abs() < 1e-9, "{row:?}");
+
+        // One-sided sample loss behaves the same way.
+        let report = diff_tables(
+            &tables(1000, 400, 1000),
+            &tables(9000, 0, 9000),
+            DiffOptions::default(),
+        );
+        let row = &report.functions[0];
+        assert_eq!(row.metric, DiffMetric::Execs, "{row:?}");
+        assert_eq!(row.class, DiffClass::Regression, "{row:?}");
+
+        // An execution-count *drop* is an improvement, symmetrically.
+        let report = diff_tables(
+            &tables(9000, 0, 9000),
+            &tables(1000, 0, 1000),
+            DiffOptions::default(),
+        );
+        assert_eq!(report.functions[0].class, DiffClass::Improvement);
     }
 
     #[test]

@@ -175,6 +175,15 @@ pub enum OptiwiseError {
         /// Instructions retired when the pass died.
         retired: u64,
     },
+    /// The oracle self-check found join-bug-class discrepancies: the fused
+    /// analysis disagrees with exact ground truth beyond anything sampling
+    /// noise or skid can explain (`optiwise selfcheck`).
+    SelfCheck {
+        /// Number of join-bug discrepancies across the sweep.
+        join_bugs: usize,
+        /// Seeds whose programs produced at least one join bug.
+        seeds: Vec<u64>,
+    },
     /// Bad invocation (CLI usage errors).
     Usage(String),
     /// Filesystem I/O failed.
@@ -189,8 +198,8 @@ impl OptiwiseError {
     /// disallowed truncation, 5 = run divergence, 6 = profile parse error
     /// (text or binary store), 7 = regressions detected by `diff` when
     /// failing on them was requested, 8 = deadline exceeded or run
-    /// cancelled, 9 = injected crash kill, 1 = everything else (usage,
-    /// I/O).
+    /// cancelled, 9 = injected crash kill, 10 = self-check join bug,
+    /// 1 = everything else (usage, I/O).
     pub fn exit_code(&self) -> u8 {
         match self {
             OptiwiseError::Load(_) | OptiwiseError::Disasm { .. } => 2,
@@ -201,6 +210,7 @@ impl OptiwiseError {
             OptiwiseError::Regression { .. } => 7,
             OptiwiseError::DeadlineExceeded { .. } => 8,
             OptiwiseError::Killed { .. } => 9,
+            OptiwiseError::SelfCheck { .. } => 10,
             OptiwiseError::Usage(_) | OptiwiseError::Io(_) | OptiwiseError::Internal(_) => 1,
         }
     }
@@ -250,6 +260,17 @@ impl fmt::Display for OptiwiseError {
             }
             OptiwiseError::Killed { retired } => {
                 write!(f, "injected crash killed the run after {retired} instructions")
+            }
+            OptiwiseError::SelfCheck { join_bugs, seeds } => {
+                write!(
+                    f,
+                    "self-check found {join_bugs} join-bug discrepancies (seeds: {})",
+                    seeds
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
             }
             OptiwiseError::Usage(msg) => write!(f, "{msg}"),
             OptiwiseError::Io(msg) => write!(f, "i/o error: {msg}"),
@@ -348,6 +369,13 @@ mod tests {
                 8,
             ),
             (OptiwiseError::Killed { retired: 9000 }, 9),
+            (
+                OptiwiseError::SelfCheck {
+                    join_bugs: 2,
+                    seeds: vec![3, 11],
+                },
+                10,
+            ),
             (OptiwiseError::Usage("u".into()), 1),
             (OptiwiseError::Io("io".into()), 1),
             (OptiwiseError::Internal("worker died".into()), 1),

@@ -26,6 +26,7 @@ mod error;
 pub mod export;
 pub mod report;
 mod runner;
+pub mod selfcheck;
 mod tables;
 mod types;
 

@@ -254,6 +254,7 @@ fn diff_table(rows: &[DiffRow], limit: usize) -> String {
         let (old_v, new_v) = match (r.old, r.new) {
             (Some(o), Some(n)) => match r.metric {
                 crate::diff::DiffMetric::Cpi => (fmt_opt(o.cpi), fmt_opt(n.cpi)),
+                crate::diff::DiffMetric::Execs => (o.execs.to_string(), n.execs.to_string()),
                 crate::diff::DiffMetric::Cycles => {
                     (o.cycles.to_string(), n.cycles.to_string())
                 }

@@ -10,6 +10,7 @@ mod fault;
 mod interp;
 mod loader;
 mod mem;
+mod oracle;
 mod syscall;
 mod timed;
 mod trace;
@@ -21,6 +22,7 @@ pub use fault::{FaultPlan, TruncationReason};
 pub use interp::{run_module, Cpu, Frame, Interp, Step};
 pub use loader::{CodeLoc, LoadConfig, LoadedModule, ModuleId, ProcessImage};
 pub use mem::{Memory, PAGE_SIZE};
+pub use oracle::{run_oracle, OracleProfile};
 pub use syscall::{SyscallEffect, SyscallNr, SyscallState};
 pub use timed::{run_timed, run_timed_partial, run_timed_partial_ctl, RunControl, TimedRun};
 // Re-exported so dependents reach the cancellation primitive without a

@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod generated;
 mod micro;
 mod spec;
 

@@ -79,6 +79,99 @@ fn analysis_tolerates_empty_counts() {
     }
 }
 
+/// Regression pin: degenerate profiles (no samples, no counts, or both
+/// empty) must keep the divergence score finite and every report cell
+/// numeric or `-`. A NaN score silently disables the `--strict` divergence
+/// gate (`NaN > threshold` is false) and a NaN report cell corrupts the
+/// byte-identical determinism contract.
+#[test]
+fn degenerate_profiles_keep_divergence_finite_and_reports_nan_free() {
+    let module = immediate_exit();
+    let image = ProcessImage::load_single(&module).unwrap();
+    let linked: Vec<Module> = image.modules.iter().map(|m| m.linked.clone()).collect();
+    let counts = instrument_run(&image, &DbiConfig::default()).unwrap();
+    let empty_counts = CountsProfile {
+        module_names: vec!["exit".into()],
+        ..CountsProfile::default()
+    };
+    let empty_samples = SampleProfile::default();
+    let (real_samples, _) = sample_run(
+        &image,
+        0,
+        CoreConfig::xeon_like(),
+        SamplerConfig::with_period(1),
+        1_000,
+    )
+    .unwrap();
+
+    let cases: Vec<(&str, Analysis)> = vec![
+        (
+            "no samples",
+            Analysis::new(&linked, &empty_samples, &counts, AnalysisOptions::default()),
+        ),
+        (
+            "no counts",
+            Analysis::new(
+                &linked,
+                &real_samples,
+                &empty_counts,
+                AnalysisOptions::default(),
+            ),
+        ),
+        (
+            "nothing at all",
+            Analysis::new(
+                &linked,
+                &empty_samples,
+                &empty_counts,
+                AnalysisOptions::default(),
+            ),
+        ),
+    ];
+    for (label, analysis) in &cases {
+        let d = &analysis.diagnostics;
+        assert!(
+            d.divergence_score.is_finite(),
+            "{label}: divergence score {}",
+            d.divergence_score
+        );
+        // A finite score keeps the strict gate decidable either way.
+        assert!(
+            !d.diverged(f64::INFINITY),
+            "{label}: infinite threshold must never trip"
+        );
+        for text in [
+            d.summary(),
+            optiwise::report::full_report(analysis, 10),
+            format!(
+                "{:?}",
+                analysis.functions().iter().map(|f| f.cpi()).collect::<Vec<_>>()
+            ),
+        ] {
+            assert!(!text.contains("NaN"), "{label}: NaN leaked into: {text}");
+            assert!(!text.contains("inf"), "{label}: inf leaked into: {text}");
+        }
+    }
+}
+
+/// A zero-sample sampled run fused with real counts is *not* divergent —
+/// there is no evidence of disagreement, only of undersampling — so it
+/// must pass the strict gate rather than score NaN or trip it.
+#[test]
+fn zero_sample_full_run_passes_strict_gate_with_finite_score() {
+    let run = run_optiwise(
+        &[immediate_exit()],
+        &OptiwiseConfig {
+            strict: true,
+            ..OptiwiseConfig::default()
+        },
+    )
+    .unwrap();
+    assert!(run.samples.samples.is_empty());
+    assert!(run.analysis.diagnostics.divergence_score.is_finite());
+    assert_eq!(run.analysis.diagnostics.divergence_score, 0.0);
+}
+
 #[test]
 fn undersampled_run_yields_no_samples_but_valid_profile() {
     let module = assemble(

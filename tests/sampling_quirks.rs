@@ -125,6 +125,168 @@ fn sampling_overhead_near_unity() {
     assert!(overhead < 1.05, "{overhead}");
 }
 
+/// Skid rewind respects module boundaries through the full sampler path:
+/// in a two-module process where the hot callee starts at its module's
+/// offset 0, every sample and every unwound stack frame stays inside the
+/// text of the module it belongs to, the callee's first instruction (which
+/// is also the module's first instruction) collects samples under its own
+/// module id, and samples inside the callee unwind to the exact call-site
+/// offset in the main module.
+#[test]
+fn two_module_samples_and_stacks_stay_within_module_text() {
+    let main = wiser_isa::assemble(
+        "main",
+        r#"
+        .import lib_spin
+        .func _start global
+            li x7, 0
+            li x8, 4000
+        outer:
+            call lib_spin
+            subi x8, x8, 1
+            bne x8, x7, outer
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#,
+    )
+    .unwrap();
+    let lib = wiser_isa::assemble(
+        "lib",
+        r#"
+        .func lib_spin global
+            li x2, 6
+        inner:
+            mul x3, x2, x2
+            subi x2, x2, 1
+            bne x2, x7, inner
+            ret
+        .endfunc
+        "#,
+    )
+    .unwrap();
+    let image = ProcessImage::load(&[main, lib], &wiser_sim::LoadConfig::default()).unwrap();
+    let (profile, _) = sample_run(
+        &image,
+        0,
+        CoreConfig::xeon_like(),
+        SamplerConfig::with_period(127),
+        100_000_000,
+    )
+    .unwrap();
+
+    let text_size = |id: ModuleId| image.modules[id.0 as usize].text_size;
+    for s in &profile.samples {
+        assert!(
+            s.loc.offset < text_size(s.loc.module),
+            "sample at {:?} outside its module's text",
+            s.loc
+        );
+        for f in &s.stack {
+            assert!(
+                f.offset < text_size(f.module),
+                "stack frame at {f:?} outside its module's text"
+            );
+        }
+    }
+
+    let lib_id = image.modules[1].id;
+    let in_lib: Vec<_> = profile
+        .samples
+        .iter()
+        .filter(|s| s.loc.module == lib_id)
+        .collect();
+    assert!(in_lib.len() > 50, "only {} samples in lib", in_lib.len());
+
+    // The callee entry is both a function-first and a module-first
+    // instruction; samples landing there must be kept at lib+0, not rewound
+    // into whatever module is mapped below in memory.
+    let entry_hits: u64 = in_lib
+        .iter()
+        .filter(|s| s.loc.offset < 16)
+        .map(|s| s.weight)
+        .sum();
+    assert!(entry_hits > 0, "no samples near lib_spin entry");
+
+    // Cross-module unwind: frames for lib samples rewind to the exact call
+    // site in main (`call lib_spin` is the 3rd instruction of `_start`).
+    let call_site = CodeLoc {
+        module: image.modules[0].id,
+        offset: 16,
+    };
+    let unwound = in_lib.iter().filter(|s| s.stack.contains(&call_site)).count();
+    assert!(unwound > 10, "only {unwound} lib samples unwound to call site");
+}
+
+/// The analysis-side skid excuse is bounded at module offset 0: a sample on
+/// a module's first instruction has no predecessor to excuse it, so when
+/// that instruction never executed the sample is phantom (and the
+/// `offset - INSN_BYTES` rewind must not underflow). One instruction later
+/// the same rule applies against the real predecessor: unexecuted
+/// predecessor keeps the sample phantom, an executed predecessor excuses a
+/// zero-count sample (the never-taken fall-through case).
+#[test]
+fn skid_excuse_is_bounded_at_module_offset_zero() {
+    let module = wiser_isa::assemble(
+        "skid",
+        r#"
+        .func cold
+            addi x1, x1, 1
+            ret
+        .endfunc
+        .func _start global
+            li x8, 1
+            li x9, 0
+            beq x8, x8, skip
+            addi x1, x1, 1
+        skip:
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#,
+    )
+    .unwrap();
+    let image = ProcessImage::load_single(&module).unwrap();
+    let counts = wiser_dbi::instrument_run(&image, &wiser_dbi::DbiConfig::default()).unwrap();
+    let linked: Vec<_> = image.modules.iter().map(|m| m.linked.clone()).collect();
+
+    let at = |offset: u64| wiser_sampler::Sample {
+        loc: CodeLoc {
+            module: ModuleId(0),
+            offset,
+        },
+        weight: 100,
+        stack: Vec::new(),
+    };
+    let samples = wiser_sampler::SampleProfile {
+        module_names: vec![module.name.clone()],
+        samples: vec![
+            at(0),  // cold module-first insn: phantom, rewind must not underflow
+            at(8),  // cold insn with cold predecessor: phantom
+            at(40), // never-taken fall-through after executed `beq`: excused
+            at(16), // executed `_start` entry: ordinary
+        ],
+        period: 100,
+        total_cycles: 400,
+        retired: counts.total_insns(),
+        ..Default::default()
+    };
+
+    let analysis = optiwise::Analysis::new(
+        &linked,
+        &samples,
+        &counts,
+        optiwise::AnalysisOptions::default(),
+    );
+    let d = &analysis.diagnostics;
+    assert_eq!(d.phantom_samples, 2, "{}", d.summary());
+    assert_eq!(d.phantom_cycles, 200);
+}
+
 /// Sample weights conserve cycles: the attributed total never exceeds the
 /// run's cycles and covers most of them.
 #[test]
