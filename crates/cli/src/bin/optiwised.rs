@@ -1,5 +1,5 @@
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    optiwise_cli::cli_main()
+    optiwise_cli::daemon::daemon_main()
 }

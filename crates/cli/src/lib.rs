@@ -1,0 +1,1710 @@
+//! `optiwise` — command-line interface mirroring the paper's artifact.
+//!
+//! ```text
+//! optiwise check
+//! optiwise list
+//! optiwise run [OPTIONS] <workload>...       # both passes + report
+//! optiwise sample [OPTIONS] <workload>       # sampling pass only
+//! optiwise instrument [OPTIONS] <workload>   # instrumentation pass only
+//! optiwise analyze [OPTIONS] <workload> --samples F --counts F
+//! optiwise annotate [OPTIONS] <workload> --function NAME
+//! optiwise show <profile.owp>                # report a saved profile
+//! optiwise report <profile.owp> [--format json]
+//! optiwise diff <old.owp> <new.owp>          # differential CPI analysis
+//! optiwise resume <checkpoint.owp|archive>   # continue an interrupted run
+//! optiwise selfcheck [--seed-range A..B]     # pipeline vs oracle sweep
+//! optiwise fsck <archive>                    # verify + repair a run archive
+//! optiwise query <archive> [--last N]        # diff the last N archived runs
+//! optiwise submit --socket S <workload>      # send a job to optiwised
+//! optiwise status --socket S                 # ask optiwised how it is doing
+//! optiwise shutdown --socket S               # ask optiwised to drain
+//! ```
+//!
+//! The companion binary `optiwised` (see [`daemon`]) serves profiling jobs
+//! over line-delimited JSON on a Unix socket and archives every completed
+//! run in a crash-safe multi-run archive (`wiser-archive`).
+//!
+//! Options: `--size test|train|ref`, `--arch xeon|neoverse`, `--period N`,
+//! `--attribution interrupt|precise|predecessor`, `--no-stack-profiling`,
+//! `--merge-threshold N|off`, `--seed N`, `--top N`, `--out FILE`,
+//! `--jobs N`, `--strict`, `--allow-partial`, `--inject SPEC`,
+//! `--save FILE`, `--threshold PCT`, `--fail-on-regression`,
+//! `--format text|json`, `--deadline SECS`, `--checkpoint FILE`,
+//! `--checkpoint-every N`.
+//!
+//! `run` accepts multiple workloads: they are profiled concurrently on a
+//! bounded worker pool (`--jobs N` threads) and the reports are merged in
+//! command-line order, so the output is byte-identical for every thread
+//! count.
+//!
+//! `run --checkpoint FILE` persists a crash-consistent checkpoint every
+//! `--checkpoint-every N` committed instructions; after a crash, deadline
+//! or Ctrl-C, `optiwise resume FILE` validates the checkpoint against the
+//! workload's current build and replays the interrupted passes, producing
+//! a report (and `--save` profile) byte-identical to an uninterrupted run.
+//! `--deadline SECS` stops the run at the next safe instruction boundary
+//! once the wall-clock budget is spent; so does Ctrl-C.
+//!
+//! Exit codes mirror [`OptiwiseError::exit_code`]: 0 success, 2 load or
+//! disassembly failure, 3 execution fault, 4 instruction limit or disallowed
+//! truncation, 5 run divergence (strict mode), 6 profile parse error,
+//! 7 regressions found by `diff --fail-on-regression`, 8 deadline exceeded
+//! or cancelled (SIGINT and SIGTERM both land here), 9 injected crash,
+//! 10 join-bug discrepancies found by `selfcheck`, 11 archive damage
+//! repaired by `fsck`, 12 archive unrepairable, 1 usage/io/other.
+
+pub mod daemon;
+pub mod jsonl;
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use optiwise::{
+    diff_tables, module_fingerprint, report, run_optiwise, run_optiwise_ctl, Analysis,
+    AnalysisMode, AnalysisOptions, CancelToken, DiffOptions, OptiwiseConfig, OptiwiseError,
+    OptiwiseRun, Pass, PassEvent, ProfileKind, RunControl, StoreError,
+    DEFAULT_DIVERGENCE_THRESHOLD,
+};
+use wiser_store::{Checkpoint, CheckpointSpec, CheckpointWriter, StoredProfile};
+use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
+use wiser_isa::Module;
+use wiser_sampler::{sample_run, Attribution, SampleProfile, SamplerConfig};
+use wiser_sim::{CoreConfig, FaultPlan, LoadConfig, ProcessImage};
+use wiser_workloads::InputSize;
+
+struct Options {
+    size: InputSize,
+    core: CoreConfig,
+    arch_name: &'static str,
+    sampler: SamplerConfig,
+    stack_profiling: bool,
+    merge_threshold: Option<u64>,
+    seed: u64,
+    top: usize,
+    out: Option<String>,
+    samples_path: Option<String>,
+    counts_path: Option<String>,
+    function: Option<String>,
+    csv_dir: Option<String>,
+    workloads: Vec<String>,
+    jobs: usize,
+    strict: bool,
+    allow_partial: bool,
+    fault: FaultPlan,
+    save: Option<String>,
+    threshold: f64,
+    fail_on_regression: bool,
+    json: bool,
+    deadline: Option<f64>,
+    checkpoint: Option<String>,
+    checkpoint_every: Option<u64>,
+    seed_range: Option<(u64, u64)>,
+    archive: Option<String>,
+    socket: Option<String>,
+    last: usize,
+    queue: usize,
+    job_deadline: Option<f64>,
+    max_runs: Option<usize>,
+    max_bytes: Option<u64>,
+}
+
+/// Checkpoint cadence (committed instructions) when `--checkpoint` is given
+/// without an explicit `--checkpoint-every`.
+const DEFAULT_CHECKPOINT_EVERY: u64 = 1_000_000;
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            size: InputSize::Train,
+            core: CoreConfig::xeon_like(),
+            arch_name: "xeon",
+            sampler: SamplerConfig::default(),
+            stack_profiling: true,
+            merge_threshold: Some(wiser_cfg::MERGE_THRESHOLD),
+            seed: 0,
+            top: 15,
+            out: None,
+            samples_path: None,
+            counts_path: None,
+            function: None,
+            csv_dir: None,
+            workloads: Vec::new(),
+            jobs: wiser_par::available_jobs(),
+            strict: false,
+            allow_partial: true,
+            fault: FaultPlan::default(),
+            save: None,
+            threshold: optiwise::DiffOptions::default().threshold_pct,
+            fail_on_regression: false,
+            json: false,
+            deadline: None,
+            checkpoint: None,
+            checkpoint_every: None,
+            seed_range: None,
+            archive: None,
+            socket: None,
+            last: 4,
+            queue: 8,
+            job_deadline: None,
+            max_runs: None,
+            max_bytes: None,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].clone();
+        let value = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("`{arg}` needs a value"))
+        };
+        match args[i].as_str() {
+            "--size" => {
+                opts.size = match value(&mut i)?.as_str() {
+                    "test" => InputSize::Test,
+                    "train" => InputSize::Train,
+                    "ref" => InputSize::Ref,
+                    other => return Err(format!("unknown size `{other}`")),
+                }
+            }
+            "--arch" => {
+                (opts.core, opts.arch_name) = match value(&mut i)?.as_str() {
+                    "xeon" => (CoreConfig::xeon_like(), "xeon"),
+                    "neoverse" => (CoreConfig::neoverse_like(), "neoverse"),
+                    other => return Err(format!("unknown arch `{other}`")),
+                }
+            }
+            "--period" => {
+                let p: u64 = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad period: {e}"))?;
+                opts.sampler = SamplerConfig::with_period(p);
+            }
+            "--attribution" => {
+                opts.sampler.attribution = match value(&mut i)?.as_str() {
+                    "interrupt" => Attribution::Interrupt,
+                    "precise" => Attribution::Precise,
+                    "predecessor" => Attribution::Predecessor,
+                    other => return Err(format!("unknown attribution `{other}`")),
+                }
+            }
+            "--no-stack-profiling" => opts.stack_profiling = false,
+            "--merge-threshold" => {
+                let v = value(&mut i)?;
+                opts.merge_threshold = if v == "off" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|e| format!("bad threshold: {e}"))?)
+                };
+            }
+            "--seed" => {
+                opts.seed = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad seed: {e}"))?
+            }
+            "--top" => {
+                opts.top = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad top: {e}"))?
+            }
+            "--out" => opts.out = Some(value(&mut i)?),
+            "--samples" => opts.samples_path = Some(value(&mut i)?),
+            "--counts" => opts.counts_path = Some(value(&mut i)?),
+            "--function" => opts.function = Some(value(&mut i)?),
+            "--csv-dir" => opts.csv_dir = Some(value(&mut i)?),
+            "--jobs" => {
+                opts.jobs = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad jobs: {e}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--strict" => opts.strict = true,
+            "--allow-partial" => opts.allow_partial = true,
+            "--no-partial" => opts.allow_partial = false,
+            "--inject" => {
+                opts.fault = FaultPlan::parse(&value(&mut i)?)
+                    .map_err(|e| format!("bad --inject spec: {e}"))?
+            }
+            "--save" => opts.save = Some(value(&mut i)?),
+            "--threshold" => {
+                opts.threshold = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad threshold: {e}"))?;
+                if !opts.threshold.is_finite() || opts.threshold < 0.0 {
+                    return Err("--threshold must be a non-negative percentage".into());
+                }
+            }
+            "--fail-on-regression" => opts.fail_on_regression = true,
+            "--deadline" => {
+                let secs: f64 = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad deadline: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--deadline must be a positive number of seconds".into());
+                }
+                opts.deadline = Some(secs);
+            }
+            "--seed-range" => {
+                let v = value(&mut i)?;
+                let (lo, hi) = v
+                    .split_once("..")
+                    .ok_or_else(|| format!("bad seed range `{v}`: expected A..B"))?;
+                let lo: u64 = lo.parse().map_err(|e| format!("bad seed range: {e}"))?;
+                let hi: u64 = hi.parse().map_err(|e| format!("bad seed range: {e}"))?;
+                if lo >= hi {
+                    return Err(format!("bad seed range `{v}`: empty (A must be below B)"));
+                }
+                opts.seed_range = Some((lo, hi));
+            }
+            "--archive" => opts.archive = Some(value(&mut i)?),
+            "--socket" => opts.socket = Some(value(&mut i)?),
+            "--last" => {
+                opts.last = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --last: {e}"))?;
+                if opts.last < 2 {
+                    return Err("--last must be at least 2 (a diff needs two runs)".into());
+                }
+            }
+            "--queue" => {
+                opts.queue = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --queue: {e}"))?;
+                if opts.queue == 0 {
+                    return Err("--queue must be at least 1".into());
+                }
+            }
+            "--job-deadline" => {
+                let secs: f64 = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad job deadline: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err("--job-deadline must be a positive number of seconds".into());
+                }
+                opts.job_deadline = Some(secs);
+            }
+            "--max-runs" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --max-runs: {e}"))?;
+                if n == 0 {
+                    return Err("--max-runs must be at least 1".into());
+                }
+                opts.max_runs = Some(n);
+            }
+            "--max-bytes" => {
+                opts.max_bytes = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("bad --max-bytes: {e}"))?,
+                )
+            }
+            "--checkpoint" => opts.checkpoint = Some(value(&mut i)?),
+            "--checkpoint-every" => {
+                let n: u64 = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad checkpoint cadence: {e}"))?;
+                if n == 0 {
+                    return Err("--checkpoint-every must be at least 1".into());
+                }
+                opts.checkpoint_every = Some(n);
+            }
+            "--format" => {
+                opts.json = match value(&mut i)?.as_str() {
+                    "text" => false,
+                    "json" => true,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--" => {}
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"))
+            }
+            _ => opts.workloads.push(args[i].clone()),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn build_named_workload(name: &str, size: InputSize) -> Result<Vec<Module>, OptiwiseError> {
+    let workload = wiser_workloads::by_name(name).ok_or_else(|| {
+        OptiwiseError::Usage(format!("unknown workload `{name}`; see `optiwise list`"))
+    })?;
+    workload
+        .build(size)
+        .map_err(|e| OptiwiseError::Load(format!("assembling `{name}`: {e}")))
+}
+
+fn build_workload(opts: &Options) -> Result<Vec<Module>, OptiwiseError> {
+    let name = opts
+        .workloads
+        .first()
+        .ok_or_else(|| OptiwiseError::Usage("no workload given; see `optiwise list`".into()))?;
+    build_named_workload(name, opts.size)
+}
+
+fn pipeline_config(opts: &Options) -> OptiwiseConfig {
+    OptiwiseConfig {
+        core: opts.core,
+        sampler: opts.sampler,
+        dbi: DbiConfig {
+            stack_profiling: opts.stack_profiling,
+            ..DbiConfig::default()
+        },
+        analysis: AnalysisOptions {
+            merge_threshold: opts.merge_threshold,
+            jobs: opts.jobs,
+        },
+        rand_seed: opts.seed,
+        strict: opts.strict,
+        allow_partial: opts.allow_partial,
+        fault: opts.fault,
+        // `--jobs 1` is the fully sequential reference mode; anything above
+        // overlaps the two profiling passes as well.
+        concurrent_passes: opts.jobs > 1,
+        ..OptiwiseConfig::default()
+    }
+}
+
+fn emit(opts: &Options, text: &str) -> Result<(), OptiwiseError> {
+    match &opts.out {
+        Some(path) => wiser_store::atomic_write(std::path::Path::new(path), text.as_bytes())
+            .map_err(|e| OptiwiseError::Io(format!("writing {path}: {e}"))),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+/// SIGINT (Ctrl-C) and SIGTERM → cooperative cancellation. The handler does
+/// two async-signal-safe things — bump an atomic delivery counter and latch
+/// the run's [`CancelToken`] — after which the pipeline stops at the next
+/// instruction boundary and the process exits 8 through the normal error
+/// path, flushing reports and checkpoints on the way out. Both signals take
+/// the identical path: a supervisor's `kill` and an operator's Ctrl-C must
+/// not behave differently.
+///
+/// The delivery counter is what lets `optiwised` escalate: the first signal
+/// is a graceful drain, repeated signals mean "stop now" (the daemon kills
+/// its in-flight job tokens). The one-shot CLI ignores the counter — its
+/// first cancellation already stops everything it owns.
+#[cfg(unix)]
+pub(crate) mod signals {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::OnceLock;
+
+    use optiwise::CancelToken;
+
+    static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+    static DELIVERIES: AtomicU32 = AtomicU32::new(0);
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        DELIVERIES.fetch_add(1, Ordering::AcqRel);
+        if let Some(token) = TOKEN.get() {
+            token.cancel();
+        }
+    }
+
+    /// Routes SIGINT and SIGTERM to `token`. Installed once per process;
+    /// later calls with a different token are ignored (one run per
+    /// process).
+    pub fn install(token: &CancelToken) {
+        if TOKEN.set(token.clone()).is_ok() {
+            const SIGINT: i32 = 2;
+            const SIGTERM: i32 = 15;
+            unsafe {
+                signal(SIGINT, on_signal as *const () as usize);
+                signal(SIGTERM, on_signal as *const () as usize);
+            }
+        }
+    }
+
+    /// How many cancellation signals have been delivered so far.
+    pub fn deliveries() -> u32 {
+        DELIVERIES.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(not(unix))]
+pub(crate) mod signals {
+    pub fn install(_token: &optiwise::CancelToken) {}
+
+    pub fn deliveries() -> u32 {
+        0
+    }
+}
+
+/// The run's cancellation token: armed with `--deadline` if given, and
+/// wired to Ctrl-C.
+fn make_token(opts: &Options) -> CancelToken {
+    let token = match opts.deadline {
+        Some(secs) => CancelToken::with_deadline(Duration::from_secs_f64(secs)),
+        None => CancelToken::new(),
+    };
+    signals::install(&token);
+    token
+}
+
+/// The checkpoint cadence in effect, or an error for a cadence without a
+/// file to write to.
+fn checkpoint_cadence(opts: &Options) -> Result<u64, OptiwiseError> {
+    match (&opts.checkpoint, opts.checkpoint_every) {
+        (None, Some(_)) => Err(OptiwiseError::Usage(
+            "--checkpoint-every needs --checkpoint FILE".into(),
+        )),
+        (None, None) => Ok(0),
+        (Some(_), every) => Ok(every.unwrap_or(DEFAULT_CHECKPOINT_EVERY)),
+    }
+}
+
+/// The identity-and-config spec stored in a fresh checkpoint, pinning it to
+/// this exact workload build and run configuration.
+fn checkpoint_spec(
+    opts: &Options,
+    name: &str,
+    modules: &[Module],
+    config: &OptiwiseConfig,
+    checkpoint_every: u64,
+) -> CheckpointSpec {
+    CheckpointSpec {
+        module_hash: module_fingerprint(modules),
+        workload: name.to_string(),
+        size: opts.size.name().to_string(),
+        arch: opts.arch_name.to_string(),
+        rand_seed: opts.seed,
+        period: opts.sampler.period,
+        jitter: opts.sampler.jitter,
+        sampler_seed: opts.sampler.seed,
+        attribution: opts.sampler.attribution,
+        stacks: opts.sampler.stacks,
+        stack_profiling: opts.stack_profiling,
+        merge_threshold: opts.merge_threshold,
+        max_insns: config.max_insns,
+        strict: opts.strict,
+        allow_partial: opts.allow_partial,
+        checkpoint_every,
+    }
+}
+
+/// Runs the pipeline under a cancellation token, checkpointing to `writer`
+/// (when given) on every pass event. Checkpoint-persist failures surface
+/// only after the run settles: a sick checkpoint disk must not kill a
+/// healthy profile run, but it must not go unreported either.
+fn run_with_control(
+    modules: &[Module],
+    config: &OptiwiseConfig,
+    token: &CancelToken,
+    checkpoint_every: u64,
+    writer: Option<&CheckpointWriter>,
+    resume: optiwise::ResumeState,
+) -> Result<OptiwiseRun, OptiwiseError> {
+    let observe = writer.map(|w| move |event: PassEvent<'_>| w.observe(event));
+    let run = run_optiwise_ctl(
+        modules,
+        config,
+        RunControl {
+            cancel: token.clone(),
+            checkpoint_every,
+            observer: observe
+                .as_ref()
+                .map(|f| f as &(dyn Fn(PassEvent<'_>) + Sync)),
+            resume,
+        },
+    )?;
+    if let Some(w) = writer {
+        w.finish()?;
+    }
+    Ok(run)
+}
+
+fn cmd_check() -> Result<(), OptiwiseError> {
+    // Assemble, run both passes, fuse. The artifact's `optiwise check`.
+    let module = wiser_isa::assemble(
+        "check",
+        r#"
+        .func _start global
+            li x8, 2000
+            li x9, 0
+        loop:
+            subi x8, x8, 1
+            bne x8, x9, loop
+            li x1, 0
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+        "#,
+    )
+    .map_err(|e| OptiwiseError::Load(e.to_string()))?;
+    // The self-check always runs strict: a diverging toolchain is broken.
+    let cfg = OptiwiseConfig {
+        strict: true,
+        ..OptiwiseConfig::default()
+    };
+    let run = run_optiwise(&[module], &cfg)?;
+    if run.analysis.loops().len() != 1 {
+        return Err(OptiwiseError::Usage(
+            "self-check failed: expected exactly one loop".into(),
+        ));
+    }
+    println!(
+        "optiwise check: ok (sampled {} cycles, counted {} instructions, divergence {:.4})",
+        run.analysis.wall_cycles,
+        run.analysis.total_insns,
+        run.analysis.diagnostics.divergence_score
+    );
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), OptiwiseError> {
+    println!("{:<22} {:<9} DESCRIPTION", "NAME", "KIND");
+    for w in wiser_workloads::all() {
+        let kind = match w.kind {
+            wiser_workloads::Kind::Micro => "micro",
+            wiser_workloads::Kind::SpecLike => "spec-like",
+        };
+        println!("{:<22} {:<9} {}", w.name, kind, w.description);
+    }
+    Ok(())
+}
+
+fn cmd_run(opts: Options) -> Result<(), OptiwiseError> {
+    if opts.workloads.len() > 1 {
+        return cmd_run_batch(opts);
+    }
+    let opts = &opts;
+    let checkpoint_every = checkpoint_cadence(opts)?;
+    let modules = build_workload(opts)?;
+    let config = pipeline_config(opts);
+    let token = make_token(opts);
+    let name = opts
+        .workloads
+        .first()
+        .map(String::as_str)
+        .unwrap_or("run")
+        .to_string();
+    let writer = match &opts.checkpoint {
+        Some(path) => {
+            let spec = checkpoint_spec(opts, &name, &modules, &config, checkpoint_every);
+            let writer = CheckpointWriter::new(
+                path,
+                Checkpoint::fresh(spec),
+                token.clone(),
+                opts.fault.kill_in_checkpoint_write,
+            );
+            // Fail before profiling if the checkpoint path is unwritable,
+            // and make even a kill-at-instruction-zero resumable.
+            writer.persist_initial()?;
+            Some(writer)
+        }
+        None => None,
+    };
+    let run = run_with_control(
+        &modules,
+        &config,
+        &token,
+        checkpoint_every,
+        writer.as_ref(),
+        optiwise::ResumeState::default(),
+    )?;
+    render_run(opts, &name, opts.seed, module_fingerprint(&modules), &run)
+}
+
+/// Everything that happens after a (fresh or resumed) run settles: retry
+/// and degradation notices, `--save`, the report, `--function` annotation
+/// and `--csv-dir` exports. Shared by `run` and `resume` so a resumed run
+/// is rendered through the exact same path — byte-identical output.
+fn render_run(
+    opts: &Options,
+    name: &str,
+    seed: u64,
+    fingerprint: u64,
+    run: &OptiwiseRun,
+) -> Result<(), OptiwiseError> {
+    if run.attempts.0 > 1 || run.attempts.1 > 1 {
+        eprintln!(
+            "optiwise: retried truncated passes (sampling x{}, instrumentation x{})",
+            run.attempts.0, run.attempts.1
+        );
+    }
+    if run.analysis.mode == AnalysisMode::SamplingOnly {
+        eprintln!("optiwise: DEGRADED sampling-only analysis (see report header)");
+    }
+    if let Some(path) = &opts.save {
+        let stored = StoredProfile::from_run(name, run, seed);
+        stored.save(std::path::Path::new(path))?;
+        eprintln!("saved profile to {path}");
+    }
+    if let Some(dir) = &opts.archive {
+        let stored = StoredProfile::from_run(name, run, seed);
+        let mut archive = wiser_archive::Archive::open_or_create(std::path::Path::new(dir))?;
+        archive.set_faults(&opts.fault);
+        let run_id = archive.add_run(&stored.to_bytes(), fingerprint)?;
+        archive.retain(wiser_archive::RetentionPolicy {
+            max_runs: opts.max_runs,
+            max_bytes: opts.max_bytes,
+        })?;
+        eprintln!("archived run {run_id} in {dir}");
+    }
+    let mut text = report::full_report(&run.analysis, opts.top);
+    if let Some(func) = &opts.function {
+        let rows = run
+            .analysis
+            .annotate_function(module_of(&run.analysis, func), func);
+        text.push_str(&format!("\n-- {func} --\n"));
+        text.push_str(&report::annotate(&rows, run.analysis.total_cycles));
+    }
+    if let Some(dir) = &opts.csv_dir {
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| OptiwiseError::Io(format!("creating {}: {e}", dir.display())))?;
+        let write = |name: &str, contents: String| -> Result<(), OptiwiseError> {
+            let path = dir.join(name);
+            wiser_store::atomic_write(&path, contents.as_bytes())
+                .map_err(|e| OptiwiseError::Io(format!("{}: {e}", path.display())))
+        };
+        write("functions.csv", optiwise::export::functions_csv(&run.analysis))?;
+        write("loops.csv", optiwise::export::loops_csv(&run.analysis))?;
+        write("blocks.csv", optiwise::export::blocks_csv(&run.analysis))?;
+        if let Some(func) = &opts.function {
+            write(
+                "annotate.csv",
+                optiwise::export::annotate_csv(
+                    &run.analysis,
+                    module_of(&run.analysis, func),
+                    func,
+                ),
+            )?;
+        }
+        eprintln!("wrote CSV tables to {}", dir.display());
+    }
+    emit(opts, &text)
+}
+
+/// One batch-mode shard: the full report for a single workload. The shared
+/// token lets a deadline or Ctrl-C stop every in-flight shard at its next
+/// instruction boundary.
+fn run_one(name: &str, opts: &Options, token: &CancelToken) -> Result<String, OptiwiseError> {
+    let modules = build_named_workload(name, opts.size)?;
+    let run = run_optiwise_ctl(
+        &modules,
+        &pipeline_config(opts),
+        RunControl {
+            cancel: token.clone(),
+            ..RunControl::default()
+        },
+    )?;
+    Ok(report::full_report(&run.analysis, opts.top))
+}
+
+/// Batch mode: profile every named workload on a bounded worker pool and
+/// merge the reports in command-line order. The merge key is the shard
+/// index, never completion order, so `--jobs 8` output is byte-identical
+/// to `--jobs 1`.
+fn cmd_run_batch(opts: Options) -> Result<(), OptiwiseError> {
+    if opts.function.is_some() || opts.csv_dir.is_some() || opts.save.is_some() {
+        return Err(OptiwiseError::Usage(
+            "--function/--csv-dir/--save work with a single workload, not batch mode".into(),
+        ));
+    }
+    if opts.checkpoint.is_some() || opts.checkpoint_every.is_some() {
+        return Err(OptiwiseError::Usage(
+            "--checkpoint works with a single workload, not batch mode".into(),
+        ));
+    }
+    let token = make_token(&opts);
+    let opts = std::sync::Arc::new(opts);
+    // The pool shares the run's token: a deadline or Ctrl-C stops shards
+    // already executing at their next instruction boundary and discards
+    // shards still queued, then joins every worker.
+    let pool = wiser_par::WorkerPool::with_cancel(
+        opts.jobs.min(opts.workloads.len()),
+        token.clone(),
+    );
+    let (tx, rx) = std::sync::mpsc::channel();
+    for (index, name) in opts.workloads.iter().cloned().enumerate() {
+        let tx = tx.clone();
+        let opts = std::sync::Arc::clone(&opts);
+        let token = token.clone();
+        pool.execute(move || {
+            let _ = tx.send((index, run_one(&name, &opts, &token)));
+        });
+    }
+    drop(tx);
+    pool.finish()
+        .map_err(|e| OptiwiseError::Internal(format!("batch worker: {e}")))?;
+    let mut shards: Vec<(usize, Result<String, OptiwiseError>)> = rx.iter().collect();
+    shards.sort_by_key(|&(index, _)| index);
+
+    let mut out = String::new();
+    let mut first_error: Option<OptiwiseError> = None;
+    for (index, shard) in shards {
+        let name = &opts.workloads[index];
+        match shard {
+            Ok(text) => {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut out,
+                    format_args!("== workload: {name} ==\n{text}\n"),
+                );
+            }
+            Err(e) => {
+                eprintln!("optiwise: workload `{name}` failed: {e}");
+                // The reported error is the first by command-line order,
+                // not by completion order: deterministic exit codes.
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    emit(&opts, &out)?;
+    if first_error.is_none() {
+        if let Some(cause) = token.cause() {
+            // Every completed shard succeeded but queued shards were
+            // discarded by the cancellation: the batch did not finish.
+            first_error = Some(OptiwiseError::DeadlineExceeded {
+                retired: 0,
+                deadline: cause == optiwise::CancelCause::Deadline,
+            });
+        }
+    }
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
+
+/// `optiwise resume CHECKPOINT.owp`: continue an interrupted run.
+///
+/// The checkpoint pins the run's whole configuration, so the command takes
+/// no workload and no profiling options — only execution-environment flags
+/// (`--jobs`, `--deadline`, `--out`, `--save`, `--top`, `--function`,
+/// `--csv-dir`, and `--inject` for tests). Completed passes are restored
+/// verbatim from the checkpoint; interrupted passes are replayed
+/// deterministically from instruction zero, so the report and any `--save`
+/// profile are byte-identical to an uninterrupted run. The resumed run
+/// keeps checkpointing into the same file and may itself be interrupted
+/// and resumed again.
+fn cmd_resume(opts: &Options) -> Result<(), OptiwiseError> {
+    let arg = profile_arg(opts, "resume")?;
+    // An archive directory stands for "whatever was interrupted there":
+    // resume the newest incomplete checkpoint left behind by a crashed or
+    // drained daemon job (or a `run --checkpoint` pointed at the archive's
+    // checkpoints directory).
+    let path = if std::path::Path::new(arg).is_dir() {
+        newest_checkpoint(std::path::Path::new(arg))?
+    } else {
+        arg.to_string()
+    };
+    let path = path.as_str();
+    let ckpt = Checkpoint::load(std::path::Path::new(path))?;
+    let spec = ckpt.spec.clone();
+    let size = InputSize::parse(&spec.size).ok_or_else(|| {
+        OptiwiseError::Store(StoreError::in_section(
+            0,
+            "CKPT",
+            format!("unknown input size `{}` in checkpoint", spec.size),
+        ))
+    })?;
+    let modules = build_named_workload(&spec.workload, size)?;
+    let fingerprint = module_fingerprint(&modules);
+    if fingerprint != spec.module_hash {
+        return Err(OptiwiseError::Store(StoreError::in_section(
+            0,
+            "CKPT",
+            format!(
+                "checkpoint was taken against a different build of `{}` \
+                 (module hash {:016x}, current build {:016x}); \
+                 rerun `optiwise run` instead",
+                spec.workload, spec.module_hash, fingerprint
+            ),
+        )));
+    }
+    let mut config = spec.to_config(opts.jobs)?;
+    // Fault injection is never stored in a checkpoint; a resumed leg only
+    // gets faults the tests pass explicitly on this command line.
+    config.fault = opts.fault;
+    let token = make_token(opts);
+    let writer = CheckpointWriter::new(
+        path,
+        ckpt.clone(),
+        token.clone(),
+        opts.fault.kill_in_checkpoint_write,
+    );
+    let run = run_with_control(
+        &modules,
+        &config,
+        &token,
+        spec.checkpoint_every,
+        Some(&writer),
+        ckpt.resume_state(),
+    )?;
+    render_run(opts, &spec.workload, spec.rand_seed, fingerprint, &run)?;
+    // The run completed: the checkpoint has served its purpose. Only
+    // daemon-style archive checkpoints are reclaimed; an explicit
+    // `resume FILE` leaves the caller's file alone (tests re-resume them).
+    if std::path::Path::new(arg).is_dir() {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(())
+}
+
+/// The newest incomplete checkpoint under an archive's `checkpoints/`
+/// directory, by modification time with the file name as a deterministic
+/// tie-break.
+fn newest_checkpoint(archive_root: &std::path::Path) -> Result<String, OptiwiseError> {
+    let dir = archive_root.join(wiser_archive::CHECKPOINTS_DIR);
+    let entries = std::fs::read_dir(&dir)
+        .map_err(|e| OptiwiseError::Io(format!("{}: {e}", dir.display())))?;
+    let mut candidates: Vec<(std::time::SystemTime, String, std::path::PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| OptiwiseError::Io(format!("{}: {e}", dir.display())))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.ends_with(".owp") || wiser_store::is_temp_debris(&name) {
+            continue;
+        }
+        let mtime = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        candidates.push((mtime, name, entry.path()));
+    }
+    candidates.sort();
+    match candidates.pop() {
+        Some((_, _, path)) => Ok(path.display().to_string()),
+        None => Err(OptiwiseError::Usage(format!(
+            "no incomplete checkpoint found in {}",
+            dir.display()
+        ))),
+    }
+}
+
+fn module_of(analysis: &Analysis, func: &str) -> u32 {
+    analysis
+        .functions()
+        .iter()
+        .find(|f| f.name == func)
+        .map(|f| f.module)
+        .unwrap_or(0)
+}
+
+fn cmd_sample(opts: &Options) -> Result<(), OptiwiseError> {
+    let modules = build_workload(opts)?;
+    let load = LoadConfig {
+        aslr_seed: Some(0x5a5a),
+        ..LoadConfig::default()
+    };
+    let image = ProcessImage::load(&modules, &load)?;
+    let mut sampler_cfg = opts.sampler;
+    sampler_cfg.fault = opts.fault;
+    let (profile, run) =
+        sample_run(&image, opts.seed, opts.core, sampler_cfg, 200_000_000)?;
+    if let Some(reason) = &profile.truncated {
+        if opts.strict || !opts.allow_partial {
+            return Err(OptiwiseError::Truncated {
+                pass: Pass::Sampling,
+                reason: reason.clone(),
+            });
+        }
+        eprintln!("optiwise: sampling run truncated ({reason}); emitting partial profile");
+    }
+    eprintln!(
+        "sampled {} cycles, {} samples, overhead estimate {:.3}x",
+        run.stats.cycles,
+        profile.samples.len(),
+        wiser_sampler::sampling_overhead(&profile)
+    );
+    emit(opts, &opts.fault.corrupt(&profile.to_text()))
+}
+
+fn cmd_instrument(opts: &Options) -> Result<(), OptiwiseError> {
+    let modules = build_workload(opts)?;
+    let load = LoadConfig {
+        aslr_seed: Some(0xa5a5),
+        ..LoadConfig::default()
+    };
+    let image = ProcessImage::load(&modules, &load)?;
+    let counts = instrument_run(
+        &image,
+        &DbiConfig {
+            stack_profiling: opts.stack_profiling,
+            rand_seed: opts.seed,
+            fault: opts.fault,
+            ..DbiConfig::default()
+        },
+    )?;
+    if let Some(reason) = &counts.truncated {
+        if opts.strict || !opts.allow_partial {
+            return Err(OptiwiseError::Truncated {
+                pass: Pass::Instrumentation,
+                reason: reason.clone(),
+            });
+        }
+        eprintln!("optiwise: instrumentation run truncated ({reason}); emitting partial profile");
+    }
+    eprintln!(
+        "counted {} instructions in {} blocks, overhead estimate {:.1}x",
+        counts.cost.native_insns,
+        counts.cost.unique_blocks,
+        counts.cost.overhead()
+    );
+    emit(opts, &opts.fault.corrupt(&counts.to_text()))
+}
+
+fn read_file(path: &str) -> Result<String, OptiwiseError> {
+    std::fs::read_to_string(path).map_err(|e| OptiwiseError::Io(format!("{path}: {e}")))
+}
+
+fn cmd_analyze(opts: &Options) -> Result<(), OptiwiseError> {
+    let modules = build_workload(opts)?;
+    let samples_path = opts
+        .samples_path
+        .as_deref()
+        .ok_or_else(|| OptiwiseError::Usage("analyze needs --samples FILE".into()))?;
+    let counts_path = opts
+        .counts_path
+        .as_deref()
+        .ok_or_else(|| OptiwiseError::Usage("analyze needs --counts FILE".into()))?;
+    let samples_text = read_file(samples_path)?;
+    let counts_text = read_file(counts_path)?;
+    let samples = SampleProfile::from_text(&samples_text).map_err(|error| {
+        OptiwiseError::Parse {
+            kind: ProfileKind::Samples,
+            error,
+        }
+    })?;
+    let counts = CountsProfile::from_text(&counts_text).map_err(|error| {
+        OptiwiseError::Parse {
+            kind: ProfileKind::Counts,
+            error,
+        }
+    })?;
+    // Rebuild the linked view for disassembly/line info.
+    let load = LoadConfig {
+        aslr_seed: Some(0xa5a5),
+        ..LoadConfig::default()
+    };
+    let image = ProcessImage::load(&modules, &load)?;
+    let linked: Vec<Module> = image.modules.iter().map(|m| m.linked.clone()).collect();
+    let analysis_opts = AnalysisOptions {
+        merge_threshold: opts.merge_threshold,
+        jobs: opts.jobs,
+    };
+    // Same recovery ladder as the live pipeline: truncated counts are
+    // discarded and the analysis degrades, unless partials are disallowed.
+    let analysis = match &counts.truncated {
+        Some(reason) if opts.strict || !opts.allow_partial => {
+            return Err(OptiwiseError::Truncated {
+                pass: Pass::Instrumentation,
+                reason: reason.clone(),
+            });
+        }
+        Some(reason) => {
+            eprintln!(
+                "optiwise: counts profile truncated ({reason}); \
+                 degrading to sampling-only analysis"
+            );
+            let mut analysis = Analysis::sampling_only(&linked, &samples, analysis_opts)?;
+            analysis.diagnostics.counts_truncated = Some(reason.clone());
+            analysis
+        }
+        None => {
+            match &samples.truncated {
+                Some(reason) if opts.strict || !opts.allow_partial => {
+                    return Err(OptiwiseError::Truncated {
+                        pass: Pass::Sampling,
+                        reason: reason.clone(),
+                    });
+                }
+                _ => {}
+            }
+            Analysis::try_new(&linked, &samples, &counts, analysis_opts)?
+        }
+    };
+    if opts.strict && analysis.diagnostics.diverged(DEFAULT_DIVERGENCE_THRESHOLD) {
+        return Err(OptiwiseError::Divergence {
+            score: analysis.diagnostics.divergence_score,
+            threshold: DEFAULT_DIVERGENCE_THRESHOLD,
+            summary: analysis.diagnostics.summary(),
+        });
+    }
+    emit(opts, &report::full_report(&analysis, opts.top))
+}
+
+fn cmd_annotate(opts: &Options) -> Result<(), OptiwiseError> {
+    let func = opts
+        .function
+        .as_deref()
+        .ok_or_else(|| OptiwiseError::Usage("annotate needs --function NAME".into()))?
+        .to_string();
+    let modules = build_workload(opts)?;
+    let run = run_optiwise(&modules, &pipeline_config(opts))?;
+    let rows = run
+        .analysis
+        .annotate_function(module_of(&run.analysis, &func), &func);
+    if rows.is_empty() {
+        return Err(OptiwiseError::Usage(format!(
+            "function `{func}` not found or never executed"
+        )));
+    }
+    emit(opts, &report::annotate(&rows, run.analysis.total_cycles))
+}
+
+/// The single positional argument of `show`/`report`: a stored-profile path.
+fn profile_arg<'a>(opts: &'a Options, cmd: &str) -> Result<&'a str, OptiwiseError> {
+    match opts.workloads.as_slice() {
+        [path] => Ok(path),
+        _ => Err(OptiwiseError::Usage(format!(
+            "`{cmd}` takes exactly one stored profile (.owp) path"
+        ))),
+    }
+}
+
+fn load_profile(path: &str) -> Result<StoredProfile, OptiwiseError> {
+    StoredProfile::load(std::path::Path::new(path))
+}
+
+fn cmd_show(opts: &Options) -> Result<(), OptiwiseError> {
+    let path = profile_arg(opts, "show")?;
+    let stored = load_profile(path)?;
+    let meta = &stored.meta;
+    let mut text = format!(
+        "== stored profile: {} ==\nfile: {}   format v{}   tool {}   arch {}   seed {}\n\
+         sections: meta{}{} tables\n\n",
+        meta.label,
+        path,
+        wiser_store::FORMAT_VERSION,
+        meta.tool_version,
+        meta.arch,
+        meta.rand_seed,
+        if stored.samples.is_some() { " samples" } else { "" },
+        if stored.counts.is_some() { " counts" } else { "" },
+    );
+    text.push_str(&report::tables_report(&stored.tables, opts.top));
+    emit(opts, &text)
+}
+
+fn cmd_report(opts: &Options) -> Result<(), OptiwiseError> {
+    let path = profile_arg(opts, "report")?;
+    let stored = load_profile(path)?;
+    let text = if opts.json {
+        optiwise::export::tables_json(&stored.tables)
+    } else {
+        report::tables_report(&stored.tables, opts.top)
+    };
+    emit(opts, &text)
+}
+
+fn cmd_diff(opts: &Options) -> Result<(), OptiwiseError> {
+    let (old_path, new_path) = match opts.workloads.as_slice() {
+        [old, new] => (old, new),
+        _ => {
+            return Err(OptiwiseError::Usage(
+                "`diff` takes exactly two stored profile (.owp) paths: old then new".into(),
+            ))
+        }
+    };
+    let old = load_profile(old_path)?;
+    let new = load_profile(new_path)?;
+    let options = DiffOptions {
+        threshold_pct: opts.threshold,
+        ..DiffOptions::default()
+    };
+    let diff = diff_tables(&old.tables, &new.tables, options);
+    let mut text = format!(
+        "old: {} ({old_path})\nnew: {} ({new_path})\n",
+        old.meta.label, new.meta.label
+    );
+    text.push_str(&report::diff_report(&diff, opts.top));
+    emit(opts, &text)?;
+    if opts.fail_on_regression && diff.has_regressions() {
+        let (regressions, _, _) = diff.summary();
+        return Err(OptiwiseError::Regression {
+            count: regressions,
+            threshold_pct: opts.threshold,
+        });
+    }
+    Ok(())
+}
+
+/// `optiwise selfcheck [--seed-range A..B]`: differential self-check of the
+/// whole pipeline against the ground-truth oracle over generated programs.
+///
+/// Seeds are swept on a bounded worker pool (`--jobs N`); results are
+/// reported in ascending seed order regardless of completion order, so the
+/// report is byte-identical for every thread count. Any join-bug
+/// discrepancy — numbers exact ground truth contradicts — exits 10.
+fn cmd_selfcheck(opts: &Options) -> Result<(), OptiwiseError> {
+    if !opts.workloads.is_empty() {
+        return Err(OptiwiseError::Usage(
+            "`selfcheck` generates its own programs; it takes no workload".into(),
+        ));
+    }
+    let (lo, hi) = opts.seed_range.unwrap_or((0, 10));
+    let mut check_opts = optiwise::selfcheck::SelfCheckOptions::default();
+    check_opts.config.sampler = opts.sampler;
+    check_opts.config.core = opts.core;
+    check_opts.config.analysis.merge_threshold = opts.merge_threshold;
+
+    let seeds: Vec<u64> = (lo..hi).collect();
+    let results = wiser_par::par_map(opts.jobs, seeds, |_, seed| {
+        let modules = wiser_workloads::generated::generate(seed)
+            .map_err(|e| OptiwiseError::Load(format!("generating seed {seed}: {e}")))?;
+        optiwise::selfcheck::check_modules(&modules, &check_opts).map(|c| (seed, c))
+    })
+    .map_err(|e| OptiwiseError::Internal(format!("selfcheck worker: {e}")))?;
+
+    let mut out = String::new();
+    let mut bug_seeds: Vec<u64> = Vec::new();
+    let mut total_bugs = 0usize;
+    for result in results {
+        let (seed, check) = result?;
+        let bugs = check.join_bugs();
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!("seed {seed}: {}\n", check.summary()),
+        );
+        for d in check
+            .discrepancies
+            .iter()
+            .filter(|d| d.class == optiwise::selfcheck::DiscrepancyClass::JoinBug)
+            .take(opts.top)
+        {
+            let _ = std::fmt::Write::write_fmt(&mut out, format_args!("  {d}\n"));
+        }
+        if bugs > 0 {
+            bug_seeds.push(seed);
+            total_bugs += bugs;
+        }
+    }
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!(
+            "selfcheck: seeds {lo}..{hi}, {} clean, {} with join bugs\n",
+            (hi - lo) as usize - bug_seeds.len(),
+            bug_seeds.len(),
+        ),
+    );
+    emit(opts, &out)?;
+    if total_bugs > 0 {
+        return Err(OptiwiseError::SelfCheck {
+            join_bugs: total_bugs,
+            seeds: bug_seeds,
+        });
+    }
+    Ok(())
+}
+
+/// `optiwise fsck <archive>`: verify every run and the manifest, repair
+/// what can be repaired, quarantine what cannot. Exit 0 when the archive
+/// was already clean, 11 when damage was found and repaired, 12 when the
+/// archive cannot be made servable.
+fn cmd_fsck(opts: &Options) -> Result<(), OptiwiseError> {
+    let root = profile_arg(opts, "fsck")?;
+    let report = wiser_archive::fsck(std::path::Path::new(root))?;
+    emit(opts, &format!("{report}\n"))?;
+    match report.verdict() {
+        Some(err) => Err(err),
+        None => Ok(()),
+    }
+}
+
+/// `optiwise query <archive> [--last N]`: run the differential CPI engine
+/// across the last N committed runs in the archive, newest against its
+/// predecessor, in parallel. The diffs are keyed by archive position, not
+/// completion order, so the output is byte-identical for every `--jobs`.
+fn cmd_query(opts: &Options) -> Result<(), OptiwiseError> {
+    let root = profile_arg(opts, "query")?;
+    let archive = wiser_archive::Archive::open(std::path::Path::new(root))?;
+    let committed: Vec<(u64, String)> = archive
+        .manifest()
+        .committed()
+        .map(|e| (e.run_id, e.workload.clone()))
+        .collect();
+    if committed.len() < 2 {
+        return Err(OptiwiseError::Usage(format!(
+            "`query` diffs consecutive runs; {root} has {} committed run(s), needs at least 2",
+            committed.len()
+        )));
+    }
+    let tail = &committed[committed.len().saturating_sub(opts.last)..];
+    let loaded = wiser_par::par_map(opts.jobs, tail.to_vec(), |_, (id, _)| {
+        archive.load_run(id).map(|p| (id, p))
+    })
+    .map_err(|e| OptiwiseError::Internal(format!("query worker: {e}")))?;
+    let mut runs = Vec::with_capacity(loaded.len());
+    for r in loaded {
+        runs.push(r?);
+    }
+    let pairs: Vec<(usize, usize)> = (1..runs.len()).map(|i| (i - 1, i)).collect();
+    let options = DiffOptions {
+        threshold_pct: opts.threshold,
+        ..DiffOptions::default()
+    };
+    let diffs = wiser_par::par_map(opts.jobs, pairs, |_, (a, b)| {
+        diff_tables(&runs[a].1.tables, &runs[b].1.tables, options)
+    })
+    .map_err(|e| OptiwiseError::Internal(format!("query worker: {e}")))?;
+
+    let mut out = String::new();
+    let mut regressions = 0usize;
+    for (i, diff) in diffs.iter().enumerate() {
+        let (old_id, old) = &runs[i];
+        let (new_id, new) = &runs[i + 1];
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "== diff: run {old_id} ({}) -> run {new_id} ({}) ==\n",
+                old.meta.label, new.meta.label
+            ),
+        );
+        out.push_str(&report::diff_report(diff, opts.top));
+        out.push('\n');
+        if diff.has_regressions() {
+            regressions += diff.summary().0;
+        }
+    }
+    emit(opts, &out)?;
+    if opts.fail_on_regression && regressions > 0 {
+        return Err(OptiwiseError::Regression {
+            count: regressions,
+            threshold_pct: opts.threshold,
+        });
+    }
+    Ok(())
+}
+
+/// Sends one JSONL request to a running `optiwised` and returns the decoded
+/// response object. One line out, one line back — the whole client.
+#[cfg(unix)]
+fn daemon_request(
+    opts: &Options,
+    line: &str,
+) -> Result<std::collections::BTreeMap<String, jsonl::Value>, OptiwiseError> {
+    use std::io::{BufRead, BufReader, Write};
+
+    let socket = opts.socket.as_deref().ok_or_else(|| {
+        OptiwiseError::Usage("this command talks to optiwised; pass --socket PATH".into())
+    })?;
+    let stream = std::os::unix::net::UnixStream::connect(socket)
+        .map_err(|e| OptiwiseError::Io(format!("connecting to {socket}: {e}")))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| OptiwiseError::Io(format!("{socket}: {e}")))?;
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| OptiwiseError::Io(format!("writing to {socket}: {e}")))?;
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .map_err(|e| OptiwiseError::Io(format!("reading from {socket}: {e}")))?;
+    if response.trim().is_empty() {
+        return Err(OptiwiseError::Io(format!(
+            "{socket}: daemon closed the connection without a response"
+        )));
+    }
+    jsonl::parse_object(&response)
+        .map_err(|e| OptiwiseError::Io(format!("bad response from {socket}: {e}")))
+}
+
+#[cfg(not(unix))]
+fn daemon_request(
+    _opts: &Options,
+    _line: &str,
+) -> Result<std::collections::BTreeMap<String, jsonl::Value>, OptiwiseError> {
+    Err(OptiwiseError::Usage(
+        "optiwised uses Unix sockets; this platform has none".into(),
+    ))
+}
+
+/// Prints a daemon response and turns `{"ok":false}` into the error the
+/// daemon reported, so the client's exit code mirrors the job's.
+fn render_response(
+    opts: &Options,
+    response: &std::collections::BTreeMap<String, jsonl::Value>,
+) -> Result<(), OptiwiseError> {
+    emit(opts, &format!("{}\n", jsonl::to_line(response)))?;
+    if response.get("ok") == Some(&jsonl::Value::Bool(true)) {
+        return Ok(());
+    }
+    let error = match response.get("error") {
+        Some(jsonl::Value::Str(s)) => s.clone(),
+        _ => "daemon reported failure".into(),
+    };
+    match response.get("exit") {
+        // The daemon forwards the job's own exit code; reproduce it so
+        // `submit` behaves like running the job locally.
+        Some(&jsonl::Value::Int(code)) => Err(OptiwiseError::Daemon {
+            message: error,
+            exit: code.min(u8::MAX as u64) as u8,
+        }),
+        _ => Err(OptiwiseError::Io(error)),
+    }
+}
+
+/// `optiwise submit --socket S <workload>`: run one profiling job on the
+/// daemon and wait for the result line.
+fn cmd_submit(opts: &Options) -> Result<(), OptiwiseError> {
+    let workload = match opts.workloads.as_slice() {
+        [name] => name,
+        _ => {
+            return Err(OptiwiseError::Usage(
+                "`submit` takes exactly one workload name".into(),
+            ))
+        }
+    };
+    let request = jsonl::to_line(&std::collections::BTreeMap::from([
+        ("cmd".to_string(), jsonl::Value::Str("submit".into())),
+        ("workload".to_string(), jsonl::Value::Str(workload.clone())),
+        (
+            "size".to_string(),
+            jsonl::Value::Str(opts.size.name().to_string()),
+        ),
+        ("seed".to_string(), jsonl::Value::Int(opts.seed)),
+    ]));
+    render_response(opts, &daemon_request(opts, &request)?)
+}
+
+/// `optiwise status --socket S`: one-line daemon health check.
+fn cmd_status(opts: &Options) -> Result<(), OptiwiseError> {
+    let request = jsonl::to_line(&std::collections::BTreeMap::from([(
+        "cmd".to_string(),
+        jsonl::Value::Str("status".into()),
+    )]));
+    render_response(opts, &daemon_request(opts, &request)?)
+}
+
+/// `optiwise shutdown --socket S`: ask the daemon to drain and exit.
+fn cmd_shutdown(opts: &Options) -> Result<(), OptiwiseError> {
+    let request = jsonl::to_line(&std::collections::BTreeMap::from([(
+        "cmd".to_string(),
+        jsonl::Value::Str("shutdown".into()),
+    )]));
+    render_response(opts, &daemon_request(opts, &request)?)
+}
+
+const USAGE: &str = "\
+usage: optiwise <command> [options] [workload]
+commands:
+  check                 end-to-end self test
+  list                  list registered workloads
+  run <workload>...     sample + instrument + fused report; several
+                        workloads run concurrently (see --jobs) and their
+                        reports merge in command-line order
+  sample <workload>     sampling pass; write profile text
+  instrument <workload> instrumentation pass; write counts text
+  analyze <workload> --samples F --counts F
+  annotate <workload> --function NAME
+  show <profile.owp>    report a saved binary profile
+  report <profile.owp>  tables from a saved profile (--format text|json)
+  diff <old.owp> <new.owp>
+                        differential CPI analysis between two saved runs
+  resume <checkpoint.owp|archive>
+                        continue an interrupted run from its checkpoint;
+                        given an archive directory, the newest incomplete
+                        checkpoint under its checkpoints/ is resumed;
+                        the report is byte-identical to an uninterrupted run
+  selfcheck             differential self-check: run the full pipeline and
+                        the exact oracle over generated programs and compare
+                        every table; join-bug discrepancies exit 10
+  fsck <archive>        verify every run and the manifest of a run archive,
+                        repair what can be repaired, quarantine what cannot;
+                        exits 0 clean, 11 repaired, 12 unrepairable
+  query <archive>       diff the last N committed runs (--last N, default 4)
+                        pairwise in parallel; output is byte-identical for
+                        every --jobs value
+  submit --socket S <workload>
+                        run one job on a running optiwised and wait; the
+                        exit code mirrors the job's own
+  status --socket S     one-line daemon health check
+  shutdown --socket S   ask the daemon to drain and exit
+options:
+  --size test|train|ref   --arch xeon|neoverse   --period N
+  --attribution interrupt|precise|predecessor
+  --no-stack-profiling    --merge-threshold N|off
+  --seed N  --top N  --out FILE  --csv-dir DIR
+  --jobs N                worker threads (default: available cores); 1 runs
+                          every stage sequentially, >1 also overlaps the
+                          two profiling passes; reports are identical
+                          for every N
+  --strict                fail on truncation or run divergence
+  --allow-partial / --no-partial
+                          accept or reject truncated profiles (default: accept)
+  --deadline SECS         wall-clock budget; the run stops at the next safe
+                          instruction boundary and exits 8 (Ctrl-C does the
+                          same without a budget)
+  --checkpoint FILE       (run) persist a crash-consistent checkpoint of both
+                          passes, resumable with `optiwise resume FILE`
+  --checkpoint-every N    checkpoint cadence in committed instructions
+                          (default: 1000000; needs --checkpoint)
+  --inject SPEC           deterministic fault injection, SPEC is a comma list:
+                          seed=N, drop-samples=PCT, abort-sample=N,
+                          truncate-counts=N, desync-seed=N, corrupt,
+                          kill-after=N, kill-in-write=N
+  --save FILE             (run) also save the profile as a binary .owp store
+  --format text|json      (report) output format (default: text)
+  --threshold PCT         (diff) significance threshold in percent (default: 5)
+  --fail-on-regression    (diff) exit 7 when regressions are found
+  --seed-range A..B       (selfcheck) seeds to sweep, half-open (default: 0..10)
+  --archive DIR           (run/resume) also commit the profile to a crash-safe
+                          multi-run archive; --max-runs/--max-bytes prune it
+  --last N                (query) how many trailing runs to diff (default: 4)
+  --socket PATH           (submit/status/shutdown) optiwised Unix socket
+  --max-runs N / --max-bytes N
+                          archive retention: evict oldest committed runs
+                          beyond these limits (quarantine is never touched)
+exit codes:
+  0 ok   2 load/disasm   3 exec fault   4 truncated   5 divergence
+  6 parse error   7 regression   8 deadline/cancelled (SIGINT or SIGTERM)
+  9 injected crash   10 selfcheck join bug   11 archive repaired by fsck
+  12 archive unrepairable   1 usage/other
+";
+
+/// The `optiwise` binary's entry point (`src/main.rs` is a one-liner into
+/// here so the daemon binary can share every command implementation).
+pub fn cli_main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "check" => cmd_check(),
+        "list" => cmd_list(),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        cmd => match parse_options(rest) {
+            Err(e) => Err(OptiwiseError::Usage(e)),
+            // `run` fans out over several workloads and `diff` takes two file
+            // paths; every other command takes exactly one positional.
+            Ok(opts)
+                if !matches!(cmd, "run" | "diff") && opts.workloads.len() > 1 =>
+            {
+                Err(OptiwiseError::Usage(format!(
+                    "`{cmd}` takes one workload; only `run` accepts several"
+                )))
+            }
+            Ok(opts) => match cmd {
+                "run" => cmd_run(opts),
+                "sample" => cmd_sample(&opts),
+                "instrument" => cmd_instrument(&opts),
+                "analyze" => cmd_analyze(&opts),
+                "annotate" => cmd_annotate(&opts),
+                "show" => cmd_show(&opts),
+                "report" => cmd_report(&opts),
+                "diff" => cmd_diff(&opts),
+                "resume" => cmd_resume(&opts),
+                "selfcheck" => cmd_selfcheck(&opts),
+                "fsck" => cmd_fsck(&opts),
+                "query" => cmd_query(&opts),
+                "submit" => cmd_submit(&opts),
+                "status" => cmd_status(&opts),
+                "shutdown" => cmd_shutdown(&opts),
+                other => Err(OptiwiseError::Usage(format!(
+                    "unknown command `{other}`\n{USAGE}"
+                ))),
+            },
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("optiwise: {error}");
+            ExitCode::from(error.exit_code())
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_options(&owned)
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&["mcf_like"]).unwrap();
+        assert_eq!(o.workloads, vec!["mcf_like".to_string()]);
+        assert_eq!(o.size, InputSize::Train);
+        assert!(o.stack_profiling);
+        assert_eq!(o.merge_threshold, Some(wiser_cfg::MERGE_THRESHOLD));
+        assert_eq!(o.jobs, wiser_par::available_jobs());
+        assert!(o.jobs >= 1);
+    }
+
+    #[test]
+    fn all_options_parse() {
+        let o = parse(&[
+            "--size", "ref",
+            "--arch", "neoverse",
+            "--period", "4096",
+            "--attribution", "precise",
+            "--no-stack-profiling",
+            "--merge-threshold", "off",
+            "--seed", "42",
+            "--top", "5",
+            "--out", "/tmp/x.txt",
+            "--function", "main",
+            "--jobs", "3",
+            "udiv_chain",
+        ])
+        .unwrap();
+        assert_eq!(o.size, InputSize::Ref);
+        assert_eq!(o.sampler.period, 4096);
+        assert_eq!(o.sampler.attribution, Attribution::Precise);
+        assert!(!o.stack_profiling);
+        assert_eq!(o.merge_threshold, None);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.top, 5);
+        assert_eq!(o.out.as_deref(), Some("/tmp/x.txt"));
+        assert_eq!(o.function.as_deref(), Some("main"));
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.workloads, vec!["udiv_chain".to_string()]);
+    }
+
+    #[test]
+    fn rejects_unknown_option_and_bad_values() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--size"]).is_err());
+        assert!(parse(&["--size", "gigantic"]).is_err());
+        assert!(parse(&["--attribution", "psychic"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+    }
+
+    #[test]
+    fn multiple_workloads_collect_in_order() {
+        let o = parse(&["rand_walk", "loop_merge", "udiv_chain"]).unwrap();
+        assert_eq!(
+            o.workloads,
+            vec![
+                "rand_walk".to_string(),
+                "loop_merge".to_string(),
+                "udiv_chain".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn merge_threshold_numeric() {
+        let o = parse(&["--merge-threshold", "7"]).unwrap();
+        assert_eq!(o.merge_threshold, Some(7));
+        assert!(parse(&["--merge-threshold", "many"]).is_err());
+    }
+
+    #[test]
+    fn store_and_diff_flags_parse() {
+        let o = parse(&["--save", "p.owp", "recip_loop"]).unwrap();
+        assert_eq!(o.save.as_deref(), Some("p.owp"));
+        assert!(!o.fail_on_regression);
+        assert!(!o.json);
+        assert!((o.threshold - 5.0).abs() < 1e-9);
+
+        let o = parse(&[
+            "--threshold",
+            "12.5",
+            "--fail-on-regression",
+            "old.owp",
+            "new.owp",
+        ])
+        .unwrap();
+        assert!((o.threshold - 12.5).abs() < 1e-9);
+        assert!(o.fail_on_regression);
+        assert_eq!(o.workloads, vec!["old.owp".to_string(), "new.owp".to_string()]);
+
+        let o = parse(&["--format", "json", "p.owp"]).unwrap();
+        assert!(o.json);
+        assert!(parse(&["--format", "xml"]).is_err());
+        assert!(parse(&["--threshold", "-3"]).is_err());
+        assert!(parse(&["--threshold", "nope"]).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_deadline_flags_parse() {
+        let o = parse(&[
+            "--deadline", "2.5",
+            "--checkpoint", "ck.owp",
+            "--checkpoint-every", "5000",
+            "long_haul",
+        ])
+        .unwrap();
+        assert_eq!(o.deadline, Some(2.5));
+        assert_eq!(o.checkpoint.as_deref(), Some("ck.owp"));
+        assert_eq!(o.checkpoint_every, Some(5000));
+        assert_eq!(checkpoint_cadence(&o).unwrap(), 5000);
+
+        // Defaults: no checkpointing; with a file but no cadence, the
+        // default cadence applies.
+        let o = parse(&["long_haul"]).unwrap();
+        assert_eq!(o.deadline, None);
+        assert_eq!(checkpoint_cadence(&o).unwrap(), 0);
+        let o = parse(&["--checkpoint", "ck.owp", "long_haul"]).unwrap();
+        assert_eq!(checkpoint_cadence(&o).unwrap(), DEFAULT_CHECKPOINT_EVERY);
+
+        // A cadence without a file is a usage error; bad values reject.
+        let o = parse(&["--checkpoint-every", "9", "long_haul"]).unwrap();
+        assert!(checkpoint_cadence(&o).is_err());
+        assert!(parse(&["--checkpoint-every", "0"]).is_err());
+        assert!(parse(&["--deadline", "0"]).is_err());
+        assert!(parse(&["--deadline", "-1"]).is_err());
+        assert!(parse(&["--deadline", "soon"]).is_err());
+    }
+
+    #[test]
+    fn seed_range_parses_half_open() {
+        let o = parse(&["--seed-range", "5..25"]).unwrap();
+        assert_eq!(o.seed_range, Some((5, 25)));
+        assert_eq!(parse(&["x"]).unwrap().seed_range, None);
+        assert!(parse(&["--seed-range", "5"]).is_err());
+        assert!(parse(&["--seed-range", "9..9"]).is_err());
+        assert!(parse(&["--seed-range", "9..3"]).is_err());
+        assert!(parse(&["--seed-range", "a..b"]).is_err());
+    }
+
+    #[test]
+    fn arch_flag_tracks_spec_name() {
+        assert_eq!(parse(&["x"]).unwrap().arch_name, "xeon");
+        let o = parse(&["--arch", "neoverse", "x"]).unwrap();
+        assert_eq!(o.arch_name, "neoverse");
+    }
+
+    #[test]
+    fn robustness_flags_parse() {
+        let o = parse(&["--strict", "mcf_like"]).unwrap();
+        assert!(o.strict);
+        assert!(o.allow_partial);
+        let o = parse(&["--no-partial", "mcf_like"]).unwrap();
+        assert!(!o.allow_partial);
+        let o = parse(&[
+            "--inject",
+            "seed=7,drop-samples=25,truncate-counts=5000,corrupt",
+            "mcf_like",
+        ])
+        .unwrap();
+        assert_eq!(o.fault.seed, 7);
+        assert_eq!(o.fault.drop_sample_pct, 25);
+        assert_eq!(o.fault.truncate_counts_at, Some(5000));
+        assert!(o.fault.corrupt_text);
+        assert!(parse(&["--inject", "explode=now"]).is_err());
+    }
+}

@@ -184,6 +184,38 @@ pub enum OptiwiseError {
         /// Seeds whose programs produced at least one join bug.
         seeds: Vec<u64>,
     },
+    /// `optiwise fsck` found archive damage and repaired it: the manifest
+    /// was rebuilt from surviving runs, orphans adopted, corrupt runs
+    /// quarantined. The archive is servable again, but the damage (and any
+    /// run fsck could not restore) deserves a distinct signal so operators
+    /// and scripts notice.
+    ArchiveRepaired {
+        /// Orphaned run files (valid, but missing from the manifest)
+        /// re-adopted into it.
+        adopted: usize,
+        /// Runs moved to `quarantine/` because they failed CRC or
+        /// plausibility checks. Quarantined runs are never served and never
+        /// deleted.
+        quarantined: usize,
+        /// Manifest entries dropped because their run file no longer
+        /// exists — nothing left to restore.
+        lost: usize,
+    },
+    /// `optiwise fsck` could not restore the archive to a servable state
+    /// (missing directory, unwritable manifest, ...).
+    ArchiveUnrepairable {
+        /// What made repair impossible.
+        reason: String,
+    },
+    /// A daemon (`optiwised`) job failed remotely. The daemon reports the
+    /// failing job's own exit code over the wire; the client reproduces it
+    /// so `optiwise submit` exits exactly as running the job locally would.
+    Daemon {
+        /// The daemon's error line for the job.
+        message: String,
+        /// The exit code the job would have produced locally.
+        exit: u8,
+    },
     /// Bad invocation (CLI usage errors).
     Usage(String),
     /// Filesystem I/O failed.
@@ -199,7 +231,8 @@ impl OptiwiseError {
     /// (text or binary store), 7 = regressions detected by `diff` when
     /// failing on them was requested, 8 = deadline exceeded or run
     /// cancelled, 9 = injected crash kill, 10 = self-check join bug,
-    /// 1 = everything else (usage, I/O).
+    /// 11 = archive damaged but repaired by `fsck`, 12 = archive
+    /// unrepairable, 1 = everything else (usage, I/O).
     pub fn exit_code(&self) -> u8 {
         match self {
             OptiwiseError::Load(_) | OptiwiseError::Disasm { .. } => 2,
@@ -211,6 +244,10 @@ impl OptiwiseError {
             OptiwiseError::DeadlineExceeded { .. } => 8,
             OptiwiseError::Killed { .. } => 9,
             OptiwiseError::SelfCheck { .. } => 10,
+            OptiwiseError::ArchiveRepaired { .. } => 11,
+            OptiwiseError::ArchiveUnrepairable { .. } => 12,
+            // Forwarded verbatim: the remote job already classified itself.
+            OptiwiseError::Daemon { exit, .. } => *exit,
             OptiwiseError::Usage(_) | OptiwiseError::Io(_) | OptiwiseError::Internal(_) => 1,
         }
     }
@@ -271,6 +308,22 @@ impl fmt::Display for OptiwiseError {
                         .collect::<Vec<_>>()
                         .join(", ")
                 )
+            }
+            OptiwiseError::ArchiveRepaired {
+                adopted,
+                quarantined,
+                lost,
+            } => write!(
+                f,
+                "archive was damaged and has been repaired \
+                 ({adopted} orphan(s) adopted, {quarantined} run(s) quarantined, \
+                 {lost} manifest entr(ies) dropped); the archive is servable"
+            ),
+            OptiwiseError::ArchiveUnrepairable { reason } => {
+                write!(f, "archive is unrepairable: {reason}")
+            }
+            OptiwiseError::Daemon { message, exit } => {
+                write!(f, "daemon job failed (exit {exit}): {message}")
             }
             OptiwiseError::Usage(msg) => write!(f, "{msg}"),
             OptiwiseError::Io(msg) => write!(f, "i/o error: {msg}"),
@@ -375,6 +428,27 @@ mod tests {
                     seeds: vec![3, 11],
                 },
                 10,
+            ),
+            (
+                OptiwiseError::ArchiveRepaired {
+                    adopted: 1,
+                    quarantined: 2,
+                    lost: 0,
+                },
+                11,
+            ),
+            (
+                OptiwiseError::ArchiveUnrepairable {
+                    reason: "manifest unwritable".into(),
+                },
+                12,
+            ),
+            (
+                OptiwiseError::Daemon {
+                    message: "run divergence".into(),
+                    exit: 5,
+                },
+                5,
             ),
             (OptiwiseError::Usage("u".into()), 1),
             (OptiwiseError::Io("io".into()), 1),

@@ -159,6 +159,14 @@ pub struct FaultPlan {
     /// the run — exercising the crash-consistency protocol's guarantee
     /// that the previous checkpoint stays intact.
     pub kill_in_checkpoint_write: Option<u64>,
+    /// Crash at the Nth archive write boundary (1-based): the multi-run
+    /// archive writer dies mid-protocol — torn temp file at a write
+    /// boundary, stopped cold at a rename/delete boundary — exercising the
+    /// manifest commit protocol's guarantee that every already-committed
+    /// run survives and `optiwise fsck` restores a servable archive.
+    /// Boundaries are counted across run-file writes, manifest rewrites,
+    /// quarantine renames and compaction deletes, in protocol order.
+    pub kill_in_archive_write: Option<u64>,
 }
 
 impl FaultPlan {
@@ -223,8 +231,8 @@ impl FaultPlan {
 
     /// Parses a CLI fault spec: comma-separated `key=value` entries
     /// (`seed=N`, `drop-samples=PCT`, `abort-sample=N`, `truncate-counts=N`,
-    /// `desync-seed=N`, `kill-after=N`, `kill-in-write=N`) plus the bare
-    /// flag `corrupt`.
+    /// `desync-seed=N`, `kill-after=N`, `kill-in-write=N`,
+    /// `kill-in-archive=N`) plus the bare flag `corrupt`.
     ///
     /// # Errors
     ///
@@ -260,6 +268,13 @@ impl FaultPlan {
                                 return Err("kill-in-write is 1-based".to_string());
                             }
                             plan.kill_in_checkpoint_write = Some(n);
+                        }
+                        "kill-in-archive" => {
+                            let n = num()?;
+                            if n == 0 {
+                                return Err("kill-in-archive is 1-based".to_string());
+                            }
+                            plan.kill_in_archive_write = Some(n);
                         }
                         other => return Err(format!("unknown fault key `{other}`")),
                     }
@@ -384,6 +399,11 @@ mod tests {
         assert_eq!(plan.kill_after_insns, Some(7000));
         assert_eq!(plan.kill_in_checkpoint_write, Some(2));
         assert!(FaultPlan::parse("kill-in-write=0").is_err());
+
+        let plan = FaultPlan::parse("kill-in-archive=3").unwrap();
+        assert_eq!(plan.kill_in_archive_write, Some(3));
+        assert_eq!(plan.kill_in_checkpoint_write, None);
+        assert!(FaultPlan::parse("kill-in-archive=0").is_err());
 
         assert!(FaultPlan::parse("bogus").is_err());
         assert!(FaultPlan::parse("drop-samples=150").is_err());

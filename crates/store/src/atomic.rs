@@ -11,18 +11,40 @@
 use std::fs::{self, File};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process sequence number appended to staged temp names, so two
+/// threads of the same process writing the *same* target never share a
+/// temp file (the pid alone cannot tell them apart). Monotonic, never
+/// reused within a process lifetime.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 /// The temporary-file path [`atomic_write`] stages `path`'s new contents
 /// in: a dot-prefixed sibling tagged with the writing process id, so
 /// concurrent writers of *different* runs never collide and a leftover is
-/// recognizable as debris.
+/// recognizable as debris. Every call returns a fresh name (a per-process
+/// sequence number follows the pid), so concurrent writers of the *same*
+/// target each stage privately and the last `rename` wins whole — never a
+/// torn mixture. Crash debris is recognizable by the `.tmp.` infix
+/// whatever the sequence number was.
 pub fn temp_path(path: &Path) -> PathBuf {
     let name = path
         .file_name()
         .map(|n| n.to_string_lossy().into_owned())
         .unwrap_or_else(|| "owp".to_string());
     let dir = parent_dir(path);
-    dir.join(format!(".{name}.tmp.{}", std::process::id()))
+    dir.join(format!(
+        ".{name}.tmp.{}.{}",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Whether `name` looks like debris staged by [`temp_path`]: dot-prefixed
+/// with a `.tmp.` infix. Used by archive fsck to tell a crashed write's
+/// leftovers from real payload files.
+pub fn is_temp_debris(name: &str) -> bool {
+    name.starts_with('.') && name.contains(".tmp.")
 }
 
 fn parent_dir(path: &Path) -> &Path {
@@ -111,5 +133,90 @@ mod tests {
         assert_eq!(tmp.parent(), Some(Path::new(".")));
         let name = tmp.file_name().unwrap().to_string_lossy().into_owned();
         assert!(name.starts_with(".bare-name.owp.tmp."), "{name}");
+        assert!(is_temp_debris(&name));
+        assert!(!is_temp_debris("bare-name.owp"));
+        assert!(!is_temp_debris("run-000001.owp"));
+    }
+
+    #[test]
+    fn temp_paths_are_unique_per_call() {
+        // Two writers of the same target must never share a staging file —
+        // the pid alone cannot distinguish threads of one process.
+        let a = temp_path(Path::new("same.owp"));
+        let b = temp_path(Path::new("same.owp"));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn concurrent_writers_to_same_path_last_committed_wins_never_torn() {
+        let path = scratch("contended.bin");
+        let _ = fs::remove_file(&path);
+        // Each writer repeatedly commits a payload that is self-describing
+        // (one repeated byte), so any torn mixture is detectable by a
+        // reader observing two distinct bytes in one file.
+        const WRITERS: usize = 4;
+        const ROUNDS: usize = 25;
+        const LEN: usize = 64 * 1024;
+        std::thread::scope(|s| {
+            for w in 0..WRITERS {
+                let path = path.clone();
+                s.spawn(move || {
+                    for _ in 0..ROUNDS {
+                        atomic_write(&path, &vec![b'a' + w as u8; LEN]).unwrap();
+                    }
+                });
+            }
+            // A racing reader: every observed state is a complete payload
+            // from exactly one writer.
+            let path = path.clone();
+            s.spawn(move || {
+                for _ in 0..100 {
+                    if let Ok(bytes) = fs::read(&path) {
+                        assert_eq!(bytes.len(), LEN, "torn length");
+                        let first = bytes[0];
+                        assert!(bytes.iter().all(|&b| b == first), "torn mixture");
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        });
+        // Last committed wins: the final file is one writer's payload,
+        // whole.
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), LEN);
+        let first = bytes[0];
+        assert!((b'a'..b'a' + WRITERS as u8).contains(&first));
+        assert!(bytes.iter().all(|&b| b == first));
+        // No staging debris survives a clean run.
+        let dir = path.parent().unwrap();
+        let debris: Vec<String> = fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains("contended") && is_temp_debris(n))
+            .collect();
+        assert!(debris.is_empty(), "{debris:?}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn kill_in_write_debris_does_not_confuse_later_writes() {
+        // The kill-in-write fault leaves a half-written temp file and no
+        // rename (see CheckpointWriter::persist). The committed target —
+        // made durable by the write+fsync+rename+dir-fsync sequence — must
+        // survive that, and a later successful write of the same target
+        // must neither read nor resurrect the debris.
+        let path = scratch("durable.bin");
+        atomic_write(&path, b"committed v1").unwrap();
+        // Simulate the crash: torn bytes in a staging name, never renamed.
+        let torn = temp_path(&path);
+        fs::write(&torn, b"half-writ").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"committed v1");
+        atomic_write(&path, b"committed v2").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"committed v2");
+        // The debris is still recognizable as debris, not payload.
+        assert!(is_temp_debris(&torn.file_name().unwrap().to_string_lossy()));
+        let _ = fs::remove_file(&torn);
+        let _ = fs::remove_file(&path);
     }
 }

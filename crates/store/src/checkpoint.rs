@@ -477,7 +477,7 @@ impl CheckpointWriter {
         let bytes = state.ckpt.to_bytes();
         if self.kill_in_write == Some(state.writes) {
             state.crashed = true;
-            // Injected crash mid-write: half the image lands in the temp
+            // Injected crash mid-write: half the image lands in a torn temp
             // file, the rename never happens, and the run dies through the
             // token. The previously-renamed checkpoint (if any) survives
             // untouched — exactly the guarantee atomic_write exists for.
@@ -661,8 +661,19 @@ mod tests {
         // The real checkpoint is untouched and still decodes.
         assert_eq!(std::fs::read(&path).unwrap(), good);
         Checkpoint::from_bytes(&good).unwrap();
-        // The torn temp file exists and fails closed.
-        let torn = std::fs::read(temp_path(&path)).unwrap();
+        // The torn temp file exists (every temp name is unique, so find it
+        // by the debris pattern) and fails closed.
+        let torn_path = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| {
+                p.file_name()
+                    .map(|n| crate::atomic::is_temp_debris(&n.to_string_lossy()))
+                    .unwrap_or(false)
+            })
+            .expect("torn temp file left behind");
+        let torn = std::fs::read(torn_path).unwrap();
         assert!(Checkpoint::from_bytes(&torn).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
