@@ -424,6 +424,93 @@ pub fn fig07(size: InputSize) -> Fig7 {
 }
 
 // ---------------------------------------------------------------------------
+// DBI overhead — exhaustive vs minimal counter placement
+// ---------------------------------------------------------------------------
+
+/// One workload's exhaustive-vs-placed instrumentation comparison.
+pub struct DbiOverheadRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Native dynamic instructions.
+    pub native_insns: u64,
+    /// Instrumented-run instructions with a counter on every block/edge.
+    pub exhaustive_insns: u64,
+    /// Instrumented-run instructions under minimal counter placement.
+    pub placed_insns: u64,
+    /// Dynamic counter charges paid by the exhaustive run.
+    pub exhaustive_counters: u64,
+    /// Dynamic counter charges still paid under placement.
+    pub placed_counters: u64,
+    /// Dynamic counter charges the placement avoided.
+    pub suppressed_counters: u64,
+    /// Whether flow-conservation recovery reproduced the exhaustive
+    /// per-block counts bit for bit.
+    pub recovered_identical: bool,
+    /// Exhaustive-run slowdown estimate.
+    pub exhaustive_overhead: f64,
+    /// Placed-run slowdown estimate.
+    pub placed_overhead: f64,
+}
+
+impl DbiOverheadRow {
+    /// Instrumented-instruction reduction from placement, in percent.
+    pub fn insn_reduction_pct(&self) -> f64 {
+        if self.exhaustive_insns == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.placed_insns as f64 / self.exhaustive_insns as f64)
+    }
+
+    /// Dynamic counter-charge reduction from placement, in percent.
+    pub fn counter_reduction_pct(&self) -> f64 {
+        if self.exhaustive_counters == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.placed_counters as f64 / self.exhaustive_counters as f64)
+    }
+}
+
+/// Measures the instrumentation cost of exhaustive edge counting against
+/// minimal counter placement, workload by workload, and verifies that the
+/// placed profile recovers the exhaustive counts exactly.
+pub fn dbi_overhead(size: InputSize) -> Vec<DbiOverheadRow> {
+    let mut names: Vec<&'static str> = vec!["recip_loop"];
+    names.extend(wiser_workloads::spec_suite().iter().map(|w| w.name));
+    names
+        .iter()
+        .map(|&name| {
+            let modules = build(name, size);
+            let load = LoadConfig {
+                aslr_seed: Some(0xa5a5),
+                ..LoadConfig::default()
+            };
+            let image = ProcessImage::load(&modules, &load).expect("load");
+            let linked: Vec<Module> =
+                image.modules.iter().map(|m| m.linked.clone()).collect();
+            let config = DbiConfig::default();
+            let exhaustive = instrument_run(&image, &config).expect("instrument");
+            let mut placed = exhaustive.clone();
+            wiser_cfg::optimize_placement(&mut placed, &linked, &config.cost);
+            let recovered = wiser_cfg::recover(&placed).expect("recovery solvable");
+            let recovered_identical = recovered.blocks == exhaustive.blocks
+                && recovered.total_insns() == exhaustive.total_insns();
+            DbiOverheadRow {
+                name,
+                native_insns: exhaustive.cost.native_insns,
+                exhaustive_insns: exhaustive.cost.instrumented_insns,
+                placed_insns: placed.cost.instrumented_insns,
+                exhaustive_counters: exhaustive.cost.counters_placed,
+                placed_counters: placed.cost.counters_placed,
+                suppressed_counters: placed.cost.counters_suppressed,
+                recovered_identical,
+                exhaustive_overhead: exhaustive.cost.overhead(),
+                placed_overhead: placed.cost.overhead(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // Figure 8 — x86 sample attribution around a slow store
 // ---------------------------------------------------------------------------
 

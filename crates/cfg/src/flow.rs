@@ -1,0 +1,562 @@
+//! Counter-placement optimization and flow-conservation recovery.
+//!
+//! The DBI engine naively pays one vertex counter per block execution plus
+//! an edge counter at most terminators. Most of those probes are redundant:
+//! block and edge counts obey Kirchhoff-style flow conservation, so a
+//! subset of counters determines the rest. This module
+//!
+//! 1. models the runtime block graph as a linear system — one equation per
+//!    block stating `executions = entry + Σ inflows`,
+//! 2. greedily suppresses counters (guided by the dominator tree: counters
+//!    belong on dominator-tree leaves, interior nodes are derivable),
+//!    accepting a suppression only if re-solving the system reproduces the
+//!    ground-truth value **exactly**, and
+//! 3. recovers the suppressed values at analysis time by running the same
+//!    deterministic solve, so the recovered [`CountsProfile`] is
+//!    bit-identical to exhaustive counting.
+//!
+//! The truth-validated greedy makes correctness independent of how faithful
+//! the flow model is: any un-modeled control transfer (the final exit
+//! syscall, blocks running off text) merely causes candidate rejection,
+//! never a wrong recovery, because planner and recovery solve the *same*
+//! system and the planner only suppresses what that system provably
+//! reproduces.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use wiser_dbi::{BlockCount, CostModel, CounterPlacement, CountsProfile, TermKind};
+use wiser_isa::Module;
+use wiser_sim::{CodeLoc, ModuleId};
+
+use crate::dom::Dominators;
+use crate::graph::build_cfg;
+
+/// Keeps planning cost bounded on huge profiles: only the top candidates by
+/// dynamic savings are tried.
+const MAX_CANDIDATES: usize = 2_000;
+
+/// One unknown of the flow system: a block's vertex counter, or a
+/// conditional block's fall-through counter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum Var {
+    Count(usize),
+    Fallthrough(usize),
+}
+
+/// `Σ coeff · var + constant = 0`. Flow coefficients accumulate to ±1 (a
+/// conditional self-loop cancels its own vertex term to 0, which is dropped
+/// — a self-loop's vertex counter is invisible to pure edge flow and only
+/// the global instruction-conservation equation can pin it down).
+struct Equation {
+    terms: Vec<(Var, i64)>,
+    constant: i128,
+}
+
+struct FlowSystem {
+    equations: Vec<Equation>,
+}
+
+impl FlowSystem {
+    /// Builds one flow-conservation equation per block: the block's
+    /// execution count equals the program-entry indicator (block 0 is the
+    /// first block ever dispatched) plus the traversal counts of every
+    /// inbound edge. Indirect-branch targets are hash counters that are
+    /// never suppressed, so they enter as constants.
+    /// Builds the per-block flow equations plus one global
+    /// instruction-conservation equation `Σ len·count = total`: the profile's
+    /// exact dynamic instruction total determines one more unknown than pure
+    /// edge flow can — in particular the vertex counter of a self-loop,
+    /// whose own flow equation cancels to nothing.
+    fn with_total(blocks: &[BlockCount], total: u64) -> FlowSystem {
+        let mut system = FlowSystem::new(blocks);
+        let mut terms: Vec<(Var, i64)> = blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.len > 0)
+            .map(|(i, b)| (Var::Count(i), b.len as i64))
+            .collect();
+        terms.sort_unstable();
+        system.equations.push(Equation {
+            terms,
+            constant: -(total as i128),
+        });
+        system
+    }
+
+    fn new(blocks: &[BlockCount]) -> FlowSystem {
+        let index: HashMap<CodeLoc, usize> = blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.entry, i))
+            .collect();
+        let mut terms: Vec<HashMap<Var, i64>> = (0..blocks.len()).map(|_| HashMap::new()).collect();
+        let mut constants: Vec<i128> = vec![0; blocks.len()];
+        for (i, t) in terms.iter_mut().enumerate() {
+            *t.entry(Var::Count(i)).or_insert(0) -= 1;
+        }
+        if !blocks.is_empty() {
+            constants[0] += 1;
+        }
+        for (a, b) in blocks.iter().enumerate() {
+            match b.term {
+                TermKind::DirectJump | TermKind::DirectCall => {
+                    if let Some(&j) = b.direct_target.as_ref().and_then(|t| index.get(t)) {
+                        *terms[j].entry(Var::Count(a)).or_insert(0) += 1;
+                    }
+                }
+                TermKind::Syscall => {
+                    if let Some(&j) = index.get(&b.fallthrough_loc()) {
+                        *terms[j].entry(Var::Count(a)).or_insert(0) += 1;
+                    }
+                }
+                TermKind::CondBranch => {
+                    // Taken edge traverses `count - fallthrough` times.
+                    if let Some(&j) = b.direct_target.as_ref().and_then(|t| index.get(t)) {
+                        *terms[j].entry(Var::Count(a)).or_insert(0) += 1;
+                        *terms[j].entry(Var::Fallthrough(a)).or_insert(0) -= 1;
+                    }
+                    if let Some(&j) = index.get(&b.fallthrough_loc()) {
+                        *terms[j].entry(Var::Fallthrough(a)).or_insert(0) += 1;
+                    }
+                }
+                TermKind::Indirect => {
+                    for (t, c) in &b.targets {
+                        if let Some(&j) = index.get(t) {
+                            constants[j] += *c as i128;
+                        }
+                    }
+                }
+                TermKind::Fallthrough => {}
+            }
+        }
+        let equations = terms
+            .into_iter()
+            .zip(constants)
+            .map(|(map, constant)| {
+                let mut terms: Vec<(Var, i64)> =
+                    map.into_iter().filter(|&(_, c)| c != 0).collect();
+                terms.sort_unstable();
+                Equation { terms, constant }
+            })
+            .collect();
+        FlowSystem { equations }
+    }
+
+    /// Repeated substitution sweeps: any equation with exactly one unknown
+    /// of unit coefficient yields that unknown. Deterministic (fixed
+    /// equation order, exact integer arithmetic) so the planner and the
+    /// analysis-time recovery always agree.
+    fn solve(&self, knowns: &mut HashMap<Var, u64>) {
+        loop {
+            let mut progress = false;
+            for eq in &self.equations {
+                let mut unknown: Option<(Var, i64)> = None;
+                let mut total = eq.constant;
+                let mut solvable = true;
+                for &(v, c) in &eq.terms {
+                    match knowns.get(&v) {
+                        Some(&val) => total += c as i128 * val as i128,
+                        None if unknown.is_none() => unknown = Some((v, c)),
+                        None => {
+                            solvable = false;
+                            break;
+                        }
+                    }
+                }
+                if !solvable {
+                    continue;
+                }
+                if let Some((v, c)) = unknown {
+                    let c = c as i128;
+                    if total % c != 0 {
+                        continue;
+                    }
+                    let val = -total / c;
+                    if (0..=u64::MAX as i128).contains(&val) {
+                        knowns.insert(v, val as u64);
+                        progress = true;
+                    }
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+    }
+
+    /// Whether solving with `suppressed` removed from the knowns reproduces
+    /// every suppressed value exactly.
+    fn recovers_exactly(&self, truth: &HashMap<Var, u64>, suppressed: &BTreeSet<Var>) -> bool {
+        let mut knowns: HashMap<Var, u64> = truth
+            .iter()
+            .filter(|(v, _)| !suppressed.contains(v))
+            .map(|(&v, &x)| (v, x))
+            .collect();
+        self.solve(&mut knowns);
+        suppressed.iter().all(|v| knowns.get(v) == truth.get(v))
+    }
+}
+
+/// Every counter value of the profile: vertex counters for all blocks,
+/// fall-through counters for conditional blocks.
+fn truth_of(blocks: &[BlockCount]) -> HashMap<Var, u64> {
+    let mut truth = HashMap::new();
+    for (i, b) in blocks.iter().enumerate() {
+        truth.insert(Var::Count(i), b.count);
+        if b.term == TermKind::CondBranch {
+            truth.insert(Var::Fallthrough(i), b.fallthrough);
+        }
+    }
+    truth
+}
+
+/// Plans a minimal counter placement for `counts` and applies it in place:
+/// suppressed counter values are erased to zero, the cost tallies move the
+/// saved charges from `counters_placed` to `counters_suppressed`, the
+/// estimated `instrumented_insns` shed the avoided meta-instructions, and
+/// `placement` records what must be recovered.
+///
+/// The redundant per-terminator edge counter of direct jumps, calls and
+/// syscalls (whose traversal count always equals the block count) is
+/// dropped unconditionally — it has no stored value, so nothing needs
+/// recovery.
+///
+/// `modules` must be the linked modules in [`ModuleId`] order; they feed
+/// the dominator-tree heuristic that orders candidates. No-op on truncated
+/// or already-placed profiles (a truncated profile's counters do not obey
+/// flow conservation at the cut).
+pub fn optimize_placement(counts: &mut CountsProfile, modules: &[Module], model: &CostModel) {
+    if counts.placement.is_some() || counts.truncated.is_some() {
+        return;
+    }
+
+    // Dominator-tree interior nodes (those that strictly dominate another
+    // block) are the classically derivable ones; prefer suppressing them.
+    let mut interior: HashSet<CodeLoc> = HashSet::new();
+    for (m, module) in modules.iter().enumerate() {
+        let module_id = ModuleId(m as u32);
+        let cfg = build_cfg(module_id, module, counts);
+        for f in &cfg.functions {
+            let Some(entry) = f.entry else { continue };
+            let dom = Dominators::compute(&cfg, entry);
+            for &b in &f.blocks {
+                if let Some(id) = dom.idom(b) {
+                    interior.insert(CodeLoc {
+                        module: module_id,
+                        offset: cfg.blocks[id].start,
+                    });
+                }
+            }
+        }
+    }
+
+    struct Candidate {
+        var: Var,
+        savings: u64,
+        interior: bool,
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for (i, b) in counts.blocks.iter().enumerate() {
+        if b.count == 0 {
+            continue;
+        }
+        let is_interior = interior.contains(&b.entry);
+        candidates.push(Candidate {
+            var: Var::Count(i),
+            savings: b.count.saturating_mul(model.vertex_counter),
+            interior: is_interior,
+        });
+        if b.term == TermKind::CondBranch {
+            candidates.push(Candidate {
+                var: Var::Fallthrough(i),
+                savings: b.count.saturating_mul(model.cond_edge),
+                interior: is_interior,
+            });
+        }
+    }
+    candidates.sort_by(|a, b| {
+        b.savings
+            .cmp(&a.savings)
+            .then(b.interior.cmp(&a.interior))
+            .then(a.var.cmp(&b.var))
+    });
+    candidates.truncate(MAX_CANDIDATES);
+
+    let total_insns = counts.total_insns();
+    let truth = truth_of(&counts.blocks);
+    let system = FlowSystem::with_total(&counts.blocks, total_insns);
+    let mut suppressed: BTreeSet<Var> = BTreeSet::new();
+    for c in candidates {
+        suppressed.insert(c.var);
+        if !system.recovers_exactly(&truth, &suppressed) {
+            suppressed.remove(&c.var);
+        }
+    }
+
+    // Apply: account the saved charges against the original counts, then
+    // erase the suppressed values.
+    let mut vertex_suppressed: Vec<u32> = Vec::new();
+    let mut fallthrough_suppressed: Vec<u32> = Vec::new();
+    let mut saved_insns: u64 = 0;
+    let mut saved_charges: u64 = 0;
+    for v in &suppressed {
+        match *v {
+            Var::Count(i) => {
+                vertex_suppressed.push(i as u32);
+                saved_insns += counts.blocks[i].count.saturating_mul(model.vertex_counter);
+                saved_charges += counts.blocks[i].count;
+            }
+            Var::Fallthrough(i) => {
+                fallthrough_suppressed.push(i as u32);
+                saved_insns += counts.blocks[i].count.saturating_mul(model.cond_edge);
+                saved_charges += counts.blocks[i].count;
+            }
+        }
+    }
+    for b in &counts.blocks {
+        if matches!(
+            b.term,
+            TermKind::DirectJump | TermKind::DirectCall | TermKind::Syscall
+        ) {
+            saved_insns += b.count.saturating_mul(model.vertex_counter);
+            saved_charges += b.count;
+        }
+    }
+    for &i in &vertex_suppressed {
+        counts.blocks[i as usize].count = 0;
+    }
+    for &i in &fallthrough_suppressed {
+        counts.blocks[i as usize].fallthrough = 0;
+    }
+    counts.cost.instrumented_insns = counts.cost.instrumented_insns.saturating_sub(saved_insns);
+    counts.cost.counters_placed = counts.cost.counters_placed.saturating_sub(saved_charges);
+    counts.cost.counters_suppressed += saved_charges;
+    counts.placement = Some(CounterPlacement {
+        vertex_suppressed,
+        fallthrough_suppressed,
+        total_insns,
+        recovered: false,
+    });
+}
+
+/// Recovers the suppressed counters of a placed profile by flow
+/// conservation, returning a profile whose block and edge counts are
+/// bit-identical to what exhaustive counting would have produced (the
+/// planner only suppressed values this very solve provably reproduces).
+///
+/// Profiles without placement (or already recovered) come back unchanged.
+///
+/// # Errors
+///
+/// Returns a description when a suppressed counter cannot be derived —
+/// possible only for a profile whose placement was not produced by
+/// [`optimize_placement`] on the same block table (corruption or a
+/// version-skewed encoder).
+pub fn recover(counts: &CountsProfile) -> Result<CountsProfile, String> {
+    let Some(placement) = &counts.placement else {
+        return Ok(counts.clone());
+    };
+    if placement.recovered {
+        return Ok(counts.clone());
+    }
+    let n = counts.blocks.len();
+    for &i in placement
+        .vertex_suppressed
+        .iter()
+        .chain(&placement.fallthrough_suppressed)
+    {
+        if i as usize >= n {
+            return Err(format!("placement references block {i} of {n}"));
+        }
+    }
+    let vset: HashSet<usize> = placement
+        .vertex_suppressed
+        .iter()
+        .map(|&i| i as usize)
+        .collect();
+    let fset: HashSet<usize> = placement
+        .fallthrough_suppressed
+        .iter()
+        .map(|&i| i as usize)
+        .collect();
+    let mut knowns: HashMap<Var, u64> = HashMap::new();
+    for (i, b) in counts.blocks.iter().enumerate() {
+        if !vset.contains(&i) {
+            knowns.insert(Var::Count(i), b.count);
+        }
+        if b.term == TermKind::CondBranch && !fset.contains(&i) {
+            knowns.insert(Var::Fallthrough(i), b.fallthrough);
+        }
+    }
+    FlowSystem::with_total(&counts.blocks, placement.total_insns).solve(&mut knowns);
+
+    let mut out = counts.clone();
+    for &i in &placement.vertex_suppressed {
+        out.blocks[i as usize].count = *knowns
+            .get(&Var::Count(i as usize))
+            .ok_or_else(|| format!("vertex counter of block {i} is not recoverable"))?;
+    }
+    for &i in &placement.fallthrough_suppressed {
+        out.blocks[i as usize].fallthrough = *knowns
+            .get(&Var::Fallthrough(i as usize))
+            .ok_or_else(|| format!("fall-through counter of block {i} is not recoverable"))?;
+    }
+    // The stored total participates in the solve; cross-check the written
+    // result against it so a corrupted or version-skewed placement fails
+    // loudly instead of mis-recovering.
+    let recovered_total = out.total_insns();
+    if recovered_total != placement.total_insns {
+        return Err(format!(
+            "recovered total {recovered_total} contradicts the placement's \
+             recorded total {}",
+            placement.total_insns
+        ));
+    }
+    if let Some(pl) = out.placement.as_mut() {
+        pl.recovered = true;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wiser_dbi::{instrument_run, DbiConfig};
+    use wiser_isa::assemble;
+    use wiser_sim::ProcessImage;
+
+    fn placed_and_exhaustive(src: &str) -> (CountsProfile, CountsProfile, Vec<Module>) {
+        let module = assemble("t", src).unwrap();
+        let image = ProcessImage::load_single(&module).unwrap();
+        let exhaustive = instrument_run(&image, &DbiConfig::default()).unwrap();
+        let linked: Vec<Module> = image.modules.iter().map(|m| m.linked.clone()).collect();
+        let mut placed = exhaustive.clone();
+        optimize_placement(&mut placed, &linked, &CostModel::default());
+        (placed, exhaustive, linked)
+    }
+
+    const LOOP_SRC: &str = r#"
+        .func _start global
+            li x8, 1000
+            li x9, 0
+        loop:
+            addi x1, x1, 1
+            subi x8, x8, 1
+            bne x8, x9, loop
+            li x0, 0
+            syscall
+        .endfunc
+        .entry _start
+    "#;
+
+    #[test]
+    fn recovery_is_bit_identical_on_a_loop() {
+        let (placed, exhaustive, _) = placed_and_exhaustive(LOOP_SRC);
+        let placement = placed.placement.as_ref().unwrap();
+        assert!(
+            !placement.vertex_suppressed.is_empty()
+                || !placement.fallthrough_suppressed.is_empty(),
+            "a counted loop must offer at least one suppressible counter"
+        );
+        // The hot self-loop fall-through counter is the big win.
+        assert!(placed.cost.counters_suppressed > exhaustive.cost.counters_placed / 3);
+        assert!(placed.cost.instrumented_insns < exhaustive.cost.instrumented_insns);
+
+        let recovered = recover(&placed).unwrap();
+        assert_eq!(recovered.blocks, exhaustive.blocks);
+        assert_eq!(recovered.total_insns(), exhaustive.total_insns());
+        assert!(recovered.placement.as_ref().unwrap().recovered);
+    }
+
+    #[test]
+    fn recovery_handles_calls_and_indirect_dispatch() {
+        let (placed, exhaustive, _) = placed_and_exhaustive(
+            r#"
+            .func fa
+                addi x0, x1, 1
+                ret
+            .endfunc
+            .func fb
+                addi x0, x1, 2
+                ret
+            .endfunc
+            .func _start global
+                la x4, fa
+                la x5, fb
+                li x8, 30
+                li x9, 0
+            loop:
+                andi x1, x8, 1
+                beq x1, x9, even
+                mov x6, x4
+                jmp docall
+            even:
+                mov x6, x5
+            docall:
+                callr x6
+                call fa
+                subi x8, x8, 1
+                bne x8, x9, loop
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        );
+        let recovered = recover(&placed).unwrap();
+        assert_eq!(recovered.blocks, exhaustive.blocks);
+    }
+
+    #[test]
+    fn truncated_profiles_are_left_exhaustive() {
+        let module = assemble("t", LOOP_SRC).unwrap();
+        let image = ProcessImage::load_single(&module).unwrap();
+        let mut p = instrument_run(
+            &image,
+            &DbiConfig {
+                max_insns: 500,
+                ..DbiConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(p.truncated.is_some());
+        let linked: Vec<Module> = image.modules.iter().map(|m| m.linked.clone()).collect();
+        let before = p.clone();
+        optimize_placement(&mut p, &linked, &CostModel::default());
+        assert_eq!(p, before, "truncated counters do not obey conservation");
+    }
+
+    #[test]
+    fn corrupt_placement_is_rejected_not_misrecovered() {
+        let (placed, _, _) = placed_and_exhaustive(LOOP_SRC);
+        // The global conservation equation is load-bearing: with the hot
+        // self-loop vertex counter suppressed, a zeroed recorded total makes
+        // its only determining equation demand a negative count, which the
+        // solver rejects — the recovery must fail, not fabricate numbers.
+        let pl = placed.placement.as_ref().unwrap();
+        assert!(
+            !pl.vertex_suppressed.is_empty(),
+            "the planner should suppress at least one vertex counter here"
+        );
+        let mut zero_total = placed.clone();
+        zero_total.placement.as_mut().unwrap().total_insns = 0;
+        assert!(recover(&zero_total).is_err());
+
+        let mut out_of_range = placed.clone();
+        out_of_range
+            .placement
+            .as_mut()
+            .unwrap()
+            .vertex_suppressed
+            .push(999);
+        assert!(recover(&out_of_range).is_err());
+    }
+
+    #[test]
+    fn placement_and_recovery_are_deterministic() {
+        let (a, _, _) = placed_and_exhaustive(LOOP_SRC);
+        let (b, _, _) = placed_and_exhaustive(LOOP_SRC);
+        assert_eq!(a, b);
+        assert_eq!(recover(&a).unwrap(), recover(&b).unwrap());
+    }
+}

@@ -90,6 +90,9 @@ struct Options {
     jobs: usize,
     strict: bool,
     allow_partial: bool,
+    selective: bool,
+    hot_threshold: f64,
+    exhaustive_counters: bool,
     fault: FaultPlan,
     save: Option<String>,
     threshold: f64,
@@ -132,6 +135,9 @@ impl Default for Options {
             jobs: wiser_par::available_jobs(),
             strict: false,
             allow_partial: true,
+            selective: false,
+            hot_threshold: optiwise::DEFAULT_HOT_THRESHOLD,
+            exhaustive_counters: false,
             fault: FaultPlan::default(),
             save: None,
             threshold: optiwise::DiffOptions::default().threshold_pct,
@@ -228,6 +234,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--strict" => opts.strict = true,
             "--allow-partial" => opts.allow_partial = true,
             "--no-partial" => opts.allow_partial = false,
+            "--selective" => opts.selective = true,
+            "--hot-threshold" => {
+                opts.hot_threshold = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad hot threshold: {e}"))?;
+                if !opts.hot_threshold.is_finite()
+                    || !(0.0..=1.0).contains(&opts.hot_threshold)
+                {
+                    return Err("--hot-threshold must be a fraction in 0..=1".into());
+                }
+            }
+            "--exhaustive-counters" => opts.exhaustive_counters = true,
             "--inject" => {
                 opts.fault = FaultPlan::parse(&value(&mut i)?)
                     .map_err(|e| format!("bad --inject spec: {e}"))?
@@ -366,6 +384,9 @@ fn pipeline_config(opts: &Options) -> OptiwiseConfig {
         rand_seed: opts.seed,
         strict: opts.strict,
         allow_partial: opts.allow_partial,
+        selective: opts.selective,
+        hot_threshold: opts.hot_threshold,
+        exhaustive_counters: opts.exhaustive_counters,
         fault: opts.fault,
         // `--jobs 1` is the fully sequential reference mode; anything above
         // overlaps the two profiling passes as well.
@@ -1158,6 +1179,9 @@ fn cmd_selfcheck(opts: &Options) -> Result<(), OptiwiseError> {
     check_opts.config.sampler = opts.sampler;
     check_opts.config.core = opts.core;
     check_opts.config.analysis.merge_threshold = opts.merge_threshold;
+    check_opts.config.selective = opts.selective;
+    check_opts.config.hot_threshold = opts.hot_threshold;
+    check_opts.config.exhaustive_counters = opts.exhaustive_counters;
 
     let seeds: Vec<u64> = (lo..hi).collect();
     let results = wiser_par::par_map(opts.jobs, seeds, |_, seed| {
@@ -1443,6 +1467,14 @@ options:
   --strict                fail on truncation or run divergence
   --allow-partial / --no-partial
                           accept or reject truncated profiles (default: accept)
+  --selective             two-phase pipeline: the sampling pass runs first and
+                          only functions above --hot-threshold of its samples
+                          are fully instrumented; cold code is attributed from
+                          samples only and marked `sampling-only` in the report
+  --hot-threshold F       (run/selfcheck, with --selective) hotness cutoff as a
+                          fraction of total samples, 0..=1 (default: 0.01)
+  --exhaustive-counters   disable minimal counter placement: charge one counter
+                          per executed block/edge as in the naive DBI engine
   --deadline SECS         wall-clock budget; the run stops at the next safe
                           instruction boundary and exits 8 (Ctrl-C does the
                           same without a budget)
@@ -1679,6 +1711,30 @@ mod tests {
         assert!(parse(&["--seed-range", "9..9"]).is_err());
         assert!(parse(&["--seed-range", "9..3"]).is_err());
         assert!(parse(&["--seed-range", "a..b"]).is_err());
+    }
+
+    #[test]
+    fn selective_flags_parse() {
+        let o = parse(&["mcf_like"]).unwrap();
+        assert!(!o.selective);
+        assert!(!o.exhaustive_counters);
+        assert!((o.hot_threshold - optiwise::DEFAULT_HOT_THRESHOLD).abs() < 1e-12);
+
+        let o = parse(&["--selective", "--hot-threshold", "0.05", "mcf_like"]).unwrap();
+        assert!(o.selective);
+        assert!((o.hot_threshold - 0.05).abs() < 1e-12);
+        let cfg = pipeline_config(&o);
+        assert!(cfg.selective);
+        assert!((cfg.hot_threshold - 0.05).abs() < 1e-12);
+
+        let o = parse(&["--exhaustive-counters", "mcf_like"]).unwrap();
+        assert!(o.exhaustive_counters);
+        assert!(pipeline_config(&o).exhaustive_counters);
+
+        assert!(parse(&["--hot-threshold", "1.5"]).is_err());
+        assert!(parse(&["--hot-threshold", "-0.1"]).is_err());
+        assert!(parse(&["--hot-threshold", "warm"]).is_err());
+        assert!(parse(&["--hot-threshold"]).is_err());
     }
 
     #[test]

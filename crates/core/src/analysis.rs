@@ -15,7 +15,7 @@ use wiser_sampler::SampleProfile;
 use wiser_sim::{CodeLoc, ModuleId, TruncationReason};
 
 use crate::error::OptiwiseError;
-use crate::types::{FuncStats, InsnRow, LineStats, LoopStats};
+use crate::types::{Coverage, FuncStats, InsnRow, LineStats, LoopStats};
 
 /// Default tolerance for the divergence score above which the two profiling
 /// runs are considered to have observed different executions. Healthy runs
@@ -176,7 +176,29 @@ impl Analysis {
         counts: &CountsProfile,
         opts: AnalysisOptions,
     ) -> Result<Analysis, OptiwiseError> {
-        Analysis::build(modules, samples, counts, opts, AnalysisMode::Full)
+        Analysis::build(modules, samples, counts, opts, AnalysisMode::Full, None)
+    }
+
+    /// Runs the combined analysis of a selectively-instrumented run.
+    ///
+    /// `hot` is the set of `(module, function)` keys that were fully
+    /// instrumented; every other function is marked
+    /// [`Coverage::SamplingOnly`] and excluded from the cross-profile
+    /// reconciliation checks (its counts are absent by construction, not by
+    /// divergence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptiwiseError::Disasm`] if a module's text fails to
+    /// disassemble.
+    pub fn try_new_selective(
+        modules: &[Module],
+        samples: &SampleProfile,
+        counts: &CountsProfile,
+        opts: AnalysisOptions,
+        hot: &HashSet<(u32, String)>,
+    ) -> Result<Analysis, OptiwiseError> {
+        Analysis::build(modules, samples, counts, opts, AnalysisMode::Full, Some(hot))
     }
 
     /// Degraded-mode analysis from the sampling profile alone, for when the
@@ -197,7 +219,7 @@ impl Analysis {
             module_names: modules.iter().map(|m| m.name.clone()).collect(),
             ..CountsProfile::default()
         };
-        Analysis::build(modules, samples, &empty, opts, AnalysisMode::SamplingOnly)
+        Analysis::build(modules, samples, &empty, opts, AnalysisMode::SamplingOnly, None)
     }
 
     fn build(
@@ -206,7 +228,22 @@ impl Analysis {
         counts: &CountsProfile,
         opts: AnalysisOptions,
         mode: AnalysisMode,
+        hot: Option<&HashSet<(u32, String)>>,
     ) -> Result<Analysis, OptiwiseError> {
+        // A profile carrying a minimal counter placement has some block and
+        // fall-through counters suppressed; reconstruct the exact values by
+        // flow conservation before anything downstream reads them. The
+        // planner only accepts suppressions it proved recoverable, so a
+        // failure here means the profile was corrupted in transit.
+        let recovered_storage;
+        let counts = if counts.placement.as_ref().is_some_and(|p| !p.recovered) {
+            recovered_storage = wiser_cfg::recover(counts).map_err(|e| {
+                OptiwiseError::Internal(format!("counter-placement recovery failed: {e}"))
+            })?;
+            &recovered_storage
+        } else {
+            counts
+        };
         // Per-module structure. Modules are independent here (disassembly,
         // CFG recovery, loop forests only need the module and the counts),
         // so the stage fans out over `opts.jobs` workers; shards come back
@@ -267,7 +304,16 @@ impl Analysis {
                 .map(|s| s.name.clone())
                 .unwrap_or_else(|| format!("<anon@{:#x}>", loc.offset));
             let key = (loc.module.0, name.clone());
-            Some(*func_ids.entry(key).or_insert_with(|| {
+            Some(*func_ids.entry(key).or_insert_with_key(|key| {
+                // Coverage is decided by the pre-run instrumentation plan,
+                // never by observed counts: a hot function that happens to
+                // execute zero instructions is still Counted.
+                let coverage = match (mode, hot) {
+                    (AnalysisMode::SamplingOnly, _) => Coverage::SamplingOnly,
+                    (AnalysisMode::Full, None) => Coverage::Counted,
+                    (AnalysisMode::Full, Some(set)) if set.contains(key) => Coverage::Counted,
+                    (AnalysisMode::Full, Some(_)) => Coverage::SamplingOnly,
+                };
                 funcs.push(FuncStats {
                     module: loc.module.0,
                     name,
@@ -276,6 +322,7 @@ impl Analysis {
                     self_samples: 0,
                     self_insns: 0,
                     incl_insns: 0,
+                    coverage,
                 });
                 funcs.len() - 1
             }))
@@ -484,7 +531,7 @@ impl Analysis {
         }
         let loops = sorted;
 
-        let diagnostics = reconcile(&mods, samples, counts, &insn_counts, mode);
+        let diagnostics = reconcile(&mods, samples, counts, &insn_counts, mode, hot);
 
         Ok(Analysis {
             modules: mods,
@@ -604,12 +651,18 @@ impl Analysis {
 ///   deterministic executions these agree exactly; this term is skipped
 ///   when either run was truncated (the totals are then incomparable by
 ///   construction) or when the sample profile predates the `retired` field.
+///
+/// Under selective instrumentation (`hot` present), cold functions have no
+/// counts *by construction*: their samples cannot be phantom-checked and the
+/// counted instruction total deliberately undercounts the execution, so both
+/// signals are restricted to the instrumented subset.
 fn reconcile(
     mods: &[ModuleAnalysis],
     samples: &SampleProfile,
     counts: &CountsProfile,
     insn_counts: &HashMap<CodeLoc, u64>,
     mode: AnalysisMode,
+    hot: Option<&HashSet<(u32, String)>>,
 ) -> JoinDiagnostics {
     let mut d = JoinDiagnostics {
         sampled_retired: samples.retired,
@@ -632,12 +685,27 @@ fn reconcile(
         return d;
     }
 
+    if hot.is_some() {
+        d.warnings.push(
+            "selective instrumentation: reconciliation restricted to hot functions".into(),
+        );
+    }
+
     let mut total_weight = 0u64;
     for s in &samples.samples {
         total_weight += s.weight;
         if (s.loc.module.0 as usize) >= mods.len() {
             d.unknown_module_samples += 1;
             continue;
+        }
+        if let Some(set) = hot {
+            let in_hot = mods[s.loc.module.0 as usize]
+                .module
+                .function_at(s.loc.offset)
+                .is_some_and(|sym| set.contains(&(s.loc.module.0, sym.name.clone())));
+            if !in_hot {
+                continue;
+            }
         }
         let executed = |offset: u64| {
             insn_counts
@@ -671,8 +739,10 @@ fn reconcile(
     } else {
         d.unknown_module_samples as f64 / samples.samples.len() as f64
     };
-    let totals_comparable =
-        d.sampled_retired > 0 && d.samples_truncated.is_none() && d.counts_truncated.is_none();
+    let totals_comparable = d.sampled_retired > 0
+        && d.samples_truncated.is_none()
+        && d.counts_truncated.is_none()
+        && hot.is_none();
     if totals_comparable {
         d.insn_total_rel_error = (d.sampled_retired as f64 - d.counted_insns as f64).abs()
             / d.sampled_retired as f64;

@@ -413,7 +413,7 @@ fn classify(
 mod tests {
     use super::*;
     use crate::analysis::AnalysisMode;
-    use crate::types::{FuncStats, LineStats, LoopStats};
+    use crate::types::{Coverage, FuncStats, LineStats, LoopStats};
 
     fn tables(cycles: u64, samples: u64, insns: u64) -> ProfileTables {
         ProfileTables {
@@ -430,6 +430,7 @@ mod tests {
                 self_samples: samples,
                 self_insns: insns,
                 incl_insns: insns,
+                coverage: Coverage::Counted,
             }],
             loops: vec![LoopStats {
                 module: 0,
@@ -600,6 +601,7 @@ mod tests {
             self_samples: 400,
             self_insns: 1000,
             incl_insns: 1000,
+            coverage: Coverage::Counted,
         });
         new.functions.push(FuncStats {
             module: 0,
@@ -609,6 +611,7 @@ mod tests {
             self_samples: 400,
             self_insns: 1000,
             incl_insns: 1000,
+            coverage: Coverage::Counted,
         });
         let a = diff_tables(&old, &new, DiffOptions::default());
         let b = diff_tables(&old, &new, DiffOptions::default());

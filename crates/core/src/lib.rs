@@ -39,8 +39,8 @@ pub use diff::{diff_tables, DiffClass, DiffMetric, DiffOptions, DiffReport, Diff
 pub use error::{OptiwiseError, Pass, ProfileKind, StoreError};
 pub use runner::{
     module_fingerprint, run_optiwise, run_optiwise_ctl, OptiwiseConfig, OptiwiseRun, PassEvent,
-    ResumeState, RetryPolicy, RunControl,
+    ResumeState, RetryPolicy, RunControl, DEFAULT_HOT_THRESHOLD,
 };
 pub use wiser_sim::{CancelCause, CancelToken};
 pub use tables::ProfileTables;
-pub use types::{FuncStats, InsnRow, LineStats, LoopStats};
+pub use types::{Coverage, FuncStats, InsnRow, LineStats, LoopStats};

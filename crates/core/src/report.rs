@@ -38,16 +38,30 @@ fn functions_table_rows(functions: &[FuncStats], total_cycles: u64, limit: usize
         "{:<28} {:>7} {:>7} {:>14} {:>7} {:>7}",
         "FUNCTION", "SELF%", "INCL%", "INSNS", "IPC", "CPI"
     );
+    let mut any_sampling_only = false;
     for f in functions.iter().take(limit) {
+        let marker = match f.coverage {
+            crate::Coverage::Counted => "",
+            crate::Coverage::SamplingOnly => {
+                any_sampling_only = true;
+                " *"
+            }
+        };
         let _ = writeln!(
             out,
-            "{:<28} {} {} {:>14} {:>7} {:>7}",
+            "{:<28} {} {} {:>14} {:>7} {:>7}{marker}",
             truncate(&f.name, 28),
             pct_cell(f.self_cycles, total_cycles),
             pct_cell(f.incl_cycles, total_cycles),
             f.self_insns,
             fmt_opt(f.ipc()),
             fmt_opt(f.cpi()),
+        );
+    }
+    if any_sampling_only {
+        let _ = writeln!(
+            out,
+            "(* sampling-only: cold under --selective, counts not instrumented)"
         );
     }
     out
@@ -383,7 +397,7 @@ mod tests {
     fn tables_and_diff_reports_render() {
         use crate::diff::{diff_tables, DiffOptions};
         use crate::tables::ProfileTables;
-        use crate::types::FuncStats;
+        use crate::types::{Coverage, FuncStats};
 
         let mk = |cycles| ProfileTables {
             mode: AnalysisMode::Full,
@@ -399,6 +413,7 @@ mod tests {
                 self_samples: 400,
                 self_insns: 1000,
                 incl_insns: 1000,
+                coverage: Coverage::Counted,
             }],
             loops: vec![],
             lines: vec![],

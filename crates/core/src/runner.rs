@@ -18,12 +18,14 @@
 //! analysis is built from the joined results exactly as in the sequential
 //! order — output is bit-identical either way.
 
+use std::collections::{HashMap, HashSet};
+
 use wiser_dbi::{instrument_run_ctl, CountsPassControl, CountsProfile, DbiConfig};
 use wiser_isa::Module;
 use wiser_sampler::{sample_run_ctl, SamplePassControl, SampleProfile, SamplerConfig};
 use wiser_sim::{
-    CancelCause, CancelToken, CoreConfig, CoreStats, FaultPlan, LoadConfig, ProcessImage,
-    TimedRun, TruncationReason,
+    CancelCause, CancelToken, CoreConfig, CoreStats, FaultPlan, LoadConfig, ModuleId,
+    ProcessImage, TimedRun, TruncationReason,
 };
 
 use crate::analysis::{Analysis, AnalysisOptions, DEFAULT_DIVERGENCE_THRESHOLD};
@@ -206,6 +208,22 @@ pub struct OptiwiseConfig {
     /// bit-identical either way; disable only to measure the sequential
     /// baseline or to cap the pipeline at one thread.
     pub concurrent_passes: bool,
+    /// Two-phase selective instrumentation: run the sampling pass first,
+    /// rank functions by sample weight, and fully instrument only those at
+    /// or above [`OptiwiseConfig::hot_threshold`]. Cold functions keep
+    /// their sampling attribution and are marked
+    /// [`crate::Coverage::SamplingOnly`]. Forces sequential passes (the
+    /// instrumentation plan needs the sampling profile).
+    pub selective: bool,
+    /// Minimum fraction of total sample weight a function must carry to be
+    /// fully instrumented under [`OptiwiseConfig::selective`].
+    pub hot_threshold: f64,
+    /// Charge one counter per executed block/edge as the seed engine did,
+    /// instead of computing a minimal counter placement and recovering the
+    /// suppressed values by flow conservation at analysis time. The
+    /// recovered profile is bit-identical either way; this switch exists to
+    /// measure the overhead delta and as an escape hatch.
+    pub exhaustive_counters: bool,
 }
 
 impl Default for OptiwiseConfig {
@@ -224,8 +242,66 @@ impl Default for OptiwiseConfig {
             retry: RetryPolicy::default(),
             fault: FaultPlan::default(),
             concurrent_passes: true,
+            selective: false,
+            hot_threshold: DEFAULT_HOT_THRESHOLD,
+            exhaustive_counters: false,
         }
     }
+}
+
+/// Default [`OptiwiseConfig::hot_threshold`]: 1% of total sample weight.
+pub const DEFAULT_HOT_THRESHOLD: f64 = 0.01;
+
+/// Ranks functions by self sample weight and splits them at `hot_threshold`.
+///
+/// Returns the instrumentation ranges (module-relative text spans) of the
+/// hot functions plus their `(module, name)` keys for the analysis'
+/// coverage marking, or `None` when the profile carries no weight at all —
+/// with nothing to rank, full instrumentation is the only safe plan.
+///
+/// Everything here is a deterministic function of the sampling profile and
+/// the module list, so selective runs inherit the pipeline's bit-identical
+/// reproducibility.
+/// Module-relative text spans to fully instrument under `--selective`.
+type SelectiveRanges = Vec<(ModuleId, u64, u64)>;
+/// `(module index, function name)` keys of the fully-counted hot set.
+type HotSet = HashSet<(u32, String)>;
+
+fn plan_selective(
+    modules: &[Module],
+    samples: &SampleProfile,
+    hot_threshold: f64,
+) -> Option<(SelectiveRanges, HotSet)> {
+    let mut weight_by_func: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut total: u64 = 0;
+    for s in &samples.samples {
+        total += s.weight;
+        let m = s.loc.module.0;
+        if let Some(sym) = modules
+            .get(m as usize)
+            .and_then(|md| md.function_at(s.loc.offset))
+        {
+            *weight_by_func.entry((m, sym.offset)).or_insert(0) += s.weight;
+        }
+    }
+    if total == 0 {
+        return None;
+    }
+    let mut ranges = Vec::new();
+    let mut hot = HashSet::new();
+    for (mi, md) in modules.iter().enumerate() {
+        for sym in md.functions() {
+            let w = weight_by_func
+                .get(&(mi as u32, sym.offset))
+                .copied()
+                .unwrap_or(0);
+            if w > 0 && w as f64 >= hot_threshold * total as f64 {
+                ranges.push((ModuleId(mi as u32), sym.offset, sym.offset + sym.size));
+                hot.insert((mi as u32, sym.name.clone()));
+            }
+        }
+    }
+    Some((ranges, hot))
 }
 
 /// Everything OptiWISE produced for one program.
@@ -398,7 +474,10 @@ pub fn run_optiwise_ctl(
     // Pass 2: instrumentation, under a different layout. The fault plan's
     // desync seed (if any) deliberately runs this pass on different input.
     // Also returns the linked (module-relative) view the analysis keys on.
-    let counts_pass = move || -> Result<(CountsProfile, Vec<Module>, u32), OptiwiseError> {
+    // `selective_ranges` (from `plan_selective`) restricts full counting to
+    // the listed text spans; `None` counts everything.
+    let counts_pass = move |selective_ranges: Option<Vec<(ModuleId, u64, u64)>>|
+          -> Result<(CountsProfile, Vec<Module>, u32), OptiwiseError> {
         let load_b = LoadConfig {
             aslr_seed: Some(config.aslr_seeds.1),
             ..LoadConfig::default()
@@ -421,7 +500,8 @@ pub fn run_optiwise_ctl(
                 rand_seed: dbi_rand_seed,
                 max_insns: budget,
                 fault: config.fault,
-                ..config.dbi
+                selective: selective_ranges.clone().or_else(|| config.dbi.selective.clone()),
+                ..config.dbi.clone()
             };
             let mut sink = |retired: u64, profile: CountsProfile| {
                 if let Some(obs) = observer {
@@ -453,20 +533,35 @@ pub fn run_optiwise_ctl(
     // their own process images and retry loops, so they can overlap. Errors
     // are reported in the fixed pass order (sampling first) regardless of
     // which thread failed first, keeping failures deterministic too.
-    let (sampling_result, counts_result) = if config.concurrent_passes {
-        std::thread::scope(|scope| {
-            let dbi_thread = scope.spawn(counts_pass);
+    //
+    // Selective mode breaks the independence on purpose: the sampling
+    // profile decides which functions the instrumentation pass counts, so
+    // the passes run sequentially and the hot set flows into both the DBI
+    // config and the analysis' coverage marking.
+    let (sampling_result, counts_result, hot_set) = if config.selective {
+        let sampled = sampling_pass()?;
+        let (ranges, hot) = match plan_selective(modules, &sampled.0, config.hot_threshold) {
+            Some((ranges, hot)) => (Some(ranges), Some(hot)),
+            // No sample weight to rank by: instrument everything.
+            None => (None, None),
+        };
+        let counts_result = counts_pass(ranges);
+        (Ok(sampled), counts_result, hot)
+    } else if config.concurrent_passes {
+        let (s, c) = std::thread::scope(|scope| {
+            let dbi_thread = scope.spawn(move || counts_pass(None));
             let sampling_result = sampling_pass();
             let counts_result = dbi_thread
                 .join()
                 .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
             (sampling_result, counts_result)
-        })
+        });
+        (s, c, None)
     } else {
-        (sampling_pass(), counts_pass())
+        (sampling_pass(), counts_pass(None), None)
     };
     let (samples, timed, sample_attempts) = sampling_result?;
-    let (counts, linked, count_attempts) = counts_result?;
+    let (mut counts, linked, count_attempts) = counts_result?;
 
     // Cooperative cancellation in either pass stops the pipeline here, with
     // a dedicated error class (exit code 8) instead of the truncation
@@ -512,7 +607,22 @@ pub fn run_optiwise_ctl(
             ));
             analysis
         }
-        None => Analysis::try_new(&linked, &samples, &counts, config.analysis)?,
+        None => {
+            // Minimal counter placement: drop every counter whose value
+            // flow conservation provably recovers, then hand the analysis
+            // the placed profile (it recovers internally, bit-identically).
+            // Restored profiles already carry their placement, so resumed
+            // runs stay byte-identical to uninterrupted ones.
+            if !config.exhaustive_counters && counts.placement.is_none() {
+                wiser_cfg::optimize_placement(&mut counts, &linked, &config.dbi.cost);
+            }
+            match &hot_set {
+                Some(hot) => {
+                    Analysis::try_new_selective(&linked, &samples, &counts, config.analysis, hot)?
+                }
+                None => Analysis::try_new(&linked, &samples, &counts, config.analysis)?,
+            }
+        }
     };
 
     if config.strict && analysis.diagnostics.diverged(config.divergence_threshold) {
@@ -802,8 +912,109 @@ mod tests {
         assert_eq!(run.analysis.loops().len(), 1);
         assert_eq!(run.analysis.loops()[0].iterations, 4999);
         assert!(run.analysis.total_cycles > 0);
-        // Same program, both runs: instruction totals agree exactly.
-        assert_eq!(run.counts.total_insns(), run.timed.stats.retired);
+        // Same program, both runs: instruction totals agree exactly. The
+        // raw profile carries a minimal counter placement (some counters
+        // suppressed), so the exact total lives in the recovered view the
+        // analysis built.
+        assert_eq!(run.analysis.total_insns, run.timed.stats.retired);
+        let placement = run.counts.placement.as_ref().expect("placement applied");
+        assert!(!placement.recovered);
+        assert!(run.counts.cost.counters_suppressed > 0);
+        let recovered = wiser_cfg::recover(&run.counts).unwrap();
+        assert_eq!(recovered.total_insns(), run.timed.stats.retired);
+    }
+
+    #[test]
+    fn placement_recovers_bit_identically_to_exhaustive_counting() {
+        let placed = run_optiwise(&[counted_loop()], &OptiwiseConfig::default()).unwrap();
+        let exhaustive = run_optiwise(
+            &[counted_loop()],
+            &OptiwiseConfig {
+                exhaustive_counters: true,
+                ..OptiwiseConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(exhaustive.counts.placement.is_none());
+        // The placed run drops real instrumentation work...
+        assert!(
+            placed.counts.cost.instrumented_insns < exhaustive.counts.cost.instrumented_insns
+        );
+        assert!(
+            placed.counts.cost.counters_placed < exhaustive.counts.cost.counters_placed
+        );
+        // ...and recovery reproduces the exhaustive profile's counts
+        // exactly, so the analyses agree verbatim.
+        let recovered = wiser_cfg::recover(&placed.counts).unwrap();
+        assert_eq!(recovered.blocks, exhaustive.counts.blocks);
+        assert_eq!(
+            crate::report::full_report(&placed.analysis, 20),
+            crate::report::full_report(&exhaustive.analysis, 20),
+        );
+    }
+
+    #[test]
+    fn selective_mode_counts_hot_functions_and_marks_cold_ones() {
+        use crate::types::Coverage;
+        let main = assemble(
+            "sel",
+            r#"
+            .func cold_setup
+                li x5, 3000
+                li x6, 0
+            tiny:
+                subi x5, x5, 1
+                bne x5, x6, tiny
+                ret
+            .endfunc
+            .func hot_spin global
+                li x1, 40000
+                li x2, 0
+            spin:
+                udiv x3, x1, x1
+                subi x1, x1, 1
+                bne x1, x2, spin
+                ret
+            .endfunc
+            .func _start global
+                call cold_setup
+                call hot_spin
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+            "#,
+        )
+        .unwrap();
+        let cfg = OptiwiseConfig {
+            selective: true,
+            // cold_setup runs ~6k cycles — enough to catch several samples
+            // at the default 2048-cycle period, far below 10% of the
+            // udiv-dominated total.
+            hot_threshold: 0.10,
+            ..OptiwiseConfig::default()
+        };
+        let run = run_optiwise(std::slice::from_ref(&main), &cfg).unwrap();
+        assert_eq!(run.analysis.mode, AnalysisMode::Full);
+        let hot = run.analysis.function("hot_spin").expect("hot function");
+        assert_eq!(hot.coverage, Coverage::Counted);
+        assert_eq!(hot.self_insns, 2 + 3 * 40_000 + 1);
+        // The setup function ran for a handful of instructions: far below
+        // the hotness threshold, so it keeps cycles but has no counts.
+        let cold = run.analysis.function("cold_setup").expect("cold function");
+        assert_eq!(cold.coverage, Coverage::SamplingOnly);
+        assert_eq!(cold.self_insns, 0);
+        // Stack profiling stays exact for cold code: the callee table still
+        // attributes hot_spin's instructions to _start's call site.
+        let start = run.analysis.function("_start").unwrap();
+        assert!(start.incl_insns > 3 * 40_000);
+        // Selective runs are deterministic like everything else.
+        let again = run_optiwise(&[main], &cfg).unwrap();
+        assert_eq!(again.counts, run.counts);
+        assert_eq!(
+            crate::report::full_report(&again.analysis, 20),
+            crate::report::full_report(&run.analysis, 20),
+        );
     }
 
     #[test]

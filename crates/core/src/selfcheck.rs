@@ -33,7 +33,7 @@
 //! ([`wiser_workloads::generated`]) through [`check_modules`] and fails
 //! with exit code 10 if any seed reports a join bug.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::fmt;
 
 use wiser_isa::{Module, INSN_BYTES};
@@ -44,7 +44,7 @@ use crate::analysis::AnalysisMode;
 use crate::error::OptiwiseError;
 use crate::runner::{run_optiwise, OptiwiseConfig};
 use crate::tables::ProfileTables;
-use crate::types::{FuncStats, LineStats};
+use crate::types::{Coverage, FuncStats, LineStats};
 
 /// Tuning of one self-check run.
 #[derive(Clone, Debug)]
@@ -274,6 +274,28 @@ pub fn check_modules(
         });
     }
 
+    // Selective instrumentation counts only hot functions; every
+    // exact-count comparison below is restricted to the counted subset by
+    // building the oracle-side bins through `loc_counted`. Cycle checks
+    // stay unrestricted — sampling attribution covers cold code too.
+    let hot: Option<HashSet<(u32, String)>> = config.selective.then(|| {
+        tables
+            .functions
+            .iter()
+            .filter(|f| f.coverage == Coverage::Counted)
+            .map(|f| (f.module, f.name.clone()))
+            .collect()
+    });
+    let loc_counted = |loc: CodeLoc| -> bool {
+        match &hot {
+            None => true,
+            Some(set) => run.analysis.modules[loc.module.0 as usize]
+                .module()
+                .function_at(loc.offset)
+                .is_some_and(|s| set.contains(&(loc.module.0, s.name.clone()))),
+        }
+    };
+
     // -- exact execution counts (any mismatch is a join bug) --------------
     let exact = |check: &'static str, entity: String, got: u64, want: u64| Discrepancy {
         class: DiscrepancyClass::JoinBug,
@@ -285,12 +307,22 @@ pub fn check_modules(
         note: String::new(),
     };
 
-    if tables.total_insns != oracle.total_retired {
+    let want_total: u64 = if hot.is_some() {
+        oracle
+            .retired
+            .iter()
+            .filter(|(&loc, _)| loc_counted(loc))
+            .map(|(_, &n)| n)
+            .sum()
+    } else {
+        oracle.total_retired
+    };
+    if tables.total_insns != want_total {
         out.push(exact(
             "total-insns",
             "<all>".into(),
             tables.total_insns,
-            oracle.total_retired,
+            want_total,
         ));
     }
 
@@ -321,6 +353,9 @@ pub fn check_modules(
         }
     }
     for (&loc, &n) in &oracle.retired {
+        if !loc_counted(loc) {
+            continue;
+        }
         let ma = &run.analysis.modules[loc.module.0 as usize];
         if n > 0 && !covered.contains(&loc) {
             out.push(exact(
@@ -349,6 +384,9 @@ pub fn check_modules(
     let nmod = run.analysis.modules.len();
     let mut mod_oracle_cycles = vec![0u64; nmod];
     for (&loc, &n) in &oracle.retired {
+        if !loc_counted(loc) {
+            continue;
+        }
         let m = run.analysis.modules[loc.module.0 as usize].module();
         if let Some(sym) = m.function_at(loc.offset) {
             *fn_insns.entry((loc.module.0, sym.name.clone())).or_insert(0) += n;
@@ -613,6 +651,7 @@ pub fn oracle_tables(modules: &[Module], oracle: &OracleProfile) -> ProfileTable
                     self_samples: 0,
                     self_insns: 0,
                     incl_insns: 0,
+                    coverage: Coverage::Counted,
                 });
             e.self_insns += n;
             e.incl_insns += n;

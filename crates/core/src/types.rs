@@ -21,6 +21,22 @@ pub struct InsnRow {
     pub cpi: Option<f64>,
 }
 
+/// Instrumentation coverage of one function in the joined analysis.
+///
+/// Under selective instrumentation (`--selective`) only functions above the
+/// hotness threshold are fully instrumented; the rest keep their sampling
+/// attribution but have no execution counts, exactly like a global
+/// sampling-only degradation scoped to one function.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Coverage {
+    /// Fully instrumented: execution counts and CPI are exact.
+    #[default]
+    Counted,
+    /// Skipped by selective instrumentation (or the whole analysis is
+    /// degraded): cycles are attributed, counts and CPI are absent.
+    SamplingOnly,
+}
+
 /// Per-function aggregate.
 #[derive(Clone, Debug, PartialEq)]
 pub struct FuncStats {
@@ -40,6 +56,8 @@ pub struct FuncStats {
     /// Instructions including all callees (via the stack-profiling callee
     /// table).
     pub incl_insns: u64,
+    /// Whether the instrumentation run counted this function.
+    pub coverage: Coverage,
 }
 
 impl FuncStats {
@@ -154,6 +172,7 @@ mod tests {
             self_samples: 10,
             self_insns: 50,
             incl_insns: 80,
+            coverage: Coverage::Counted,
         };
         assert_eq!(f.ipc(), Some(0.5));
         assert_eq!(f.cpi(), Some(2.0));
@@ -201,6 +220,7 @@ mod tests {
             self_samples: 0,
             self_insns: 0,
             incl_insns: 0,
+            coverage: Coverage::SamplingOnly,
         };
         assert!(f.ipc().is_none());
         assert!(f.cpi().is_none());

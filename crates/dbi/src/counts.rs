@@ -115,18 +115,56 @@ pub struct InstrumentationCost {
     pub block_execs: u64,
     /// Indirect-branch executions (each a clean call).
     pub indirect_execs: u64,
+    /// Dynamic counter charges the run actually paid (vertex, fall-through,
+    /// direct-edge and indirect hash-counter updates).
+    pub counters_placed: u64,
+    /// Dynamic counter charges avoided by placement optimization or
+    /// selective instrumentation.
+    pub counters_suppressed: u64,
 }
 
 impl InstrumentationCost {
     /// Estimated slowdown of the instrumented run (figure 7's
     /// "instrumentation" series), as an executed-instruction ratio.
+    ///
+    /// A translation-only run (aborted before any block completed) has
+    /// `native_insns == 0` but a nonzero instrumented total; its overhead
+    /// is unbounded, not 1.0.
     pub fn overhead(&self) -> f64 {
         if self.native_insns == 0 {
-            1.0
+            if self.instrumented_insns == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             self.instrumented_insns as f64 / self.native_insns as f64
         }
     }
+}
+
+/// Counters removed from the profile by the placement optimizer, as indices
+/// into [`CountsProfile::blocks`].
+///
+/// A *placed* profile (`recovered == false`) stores zero for every
+/// suppressed counter; the exact values are reconstructed at analysis time
+/// by flow conservation over the remaining counters. A *recovered* profile
+/// has the reconstructed values written back and is indistinguishable from
+/// exhaustive counting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterPlacement {
+    /// Blocks whose vertex counter was suppressed (`count` erased to 0).
+    pub vertex_suppressed: Vec<u32>,
+    /// Conditional blocks whose fall-through counter was suppressed
+    /// (`fallthrough` erased to 0).
+    pub fallthrough_suppressed: Vec<u32>,
+    /// Exact dynamic instruction total (Σ block count × len) of the profile
+    /// before erasure. Adds one global conservation equation to the flow
+    /// system, which is what makes a hot self-loop's vertex counter — the
+    /// single biggest charge in tight kernels — recoverable.
+    pub total_insns: u64,
+    /// Whether the suppressed values have been recovered in this copy.
+    pub recovered: bool,
 }
 
 /// The complete output of the instrumentation run (component 2 of figure 3).
@@ -144,6 +182,9 @@ pub struct CountsProfile {
     pub stack_profiling: bool,
     /// Cost accounting for the overhead estimate.
     pub cost: InstrumentationCost,
+    /// Counter-placement optimization applied to this profile, if any.
+    /// `None` means exhaustive counting.
+    pub placement: Option<CounterPlacement>,
     /// Why the run stopped early, if it did not run to completion. A
     /// truncated counts profile undercounts every block executed after the
     /// cut; downstream analysis must not treat its totals as exact.
@@ -179,13 +220,29 @@ impl CountsProfile {
         let _ = writeln!(out, "stack_profiling {}", self.stack_profiling as u8);
         let _ = writeln!(
             out,
-            "cost {} {} {} {} {}",
+            "cost {} {} {} {} {} {} {}",
             self.cost.native_insns,
             self.cost.instrumented_insns,
             self.cost.unique_blocks,
             self.cost.block_execs,
-            self.cost.indirect_execs
+            self.cost.indirect_execs,
+            self.cost.counters_placed,
+            self.cost.counters_suppressed
         );
+        if let Some(pl) = &self.placement {
+            let _ = write!(
+                out,
+                "placement {} {} {} {}",
+                pl.recovered as u8,
+                pl.total_insns,
+                pl.vertex_suppressed.len(),
+                pl.fallthrough_suppressed.len()
+            );
+            for i in pl.vertex_suppressed.iter().chain(&pl.fallthrough_suppressed) {
+                let _ = write!(out, " {i}");
+            }
+            out.push('\n');
+        }
         if let Some(reason) = &self.truncated {
             out.push_str(&reason.to_profile_line());
         }
@@ -249,6 +306,23 @@ impl CountsProfile {
                 Ok(())
             }
         };
+        // A placed (not yet recovered) profile stores 0 for suppressed
+        // vertex counters, so a kept fall-through counter may legitimately
+        // exceed the erased block count.
+        let vertex_erased: std::collections::HashSet<u32> = match &self.placement {
+            Some(pl) if !pl.recovered => pl.vertex_suppressed.iter().copied().collect(),
+            _ => std::collections::HashSet::new(),
+        };
+        if let Some(pl) = &self.placement {
+            for &i in pl.vertex_suppressed.iter().chain(&pl.fallthrough_suppressed) {
+                if i as usize >= self.blocks.len() {
+                    return Err(format!(
+                        "placement references block {i} but the profile has {}",
+                        self.blocks.len()
+                    ));
+                }
+            }
+        }
         for (i, b) in self.blocks.iter().enumerate() {
             check(b.entry, &format!("block {i}"))?;
             if b.entry
@@ -261,7 +335,7 @@ impl CountsProfile {
                     b.entry.offset, b.len
                 ));
             }
-            if b.fallthrough > b.count {
+            if b.fallthrough > b.count && !vertex_erased.contains(&(i as u32)) {
                 return Err(format!(
                     "block {i} fallthrough {} exceeds count {}",
                     b.fallthrough, b.count
@@ -322,6 +396,39 @@ impl CountsProfile {
                     p.cost.unique_blocks = take()?;
                     p.cost.block_execs = take()?;
                     p.cost.indirect_execs = take()?;
+                    // Counter tallies are absent in pre-placement profiles.
+                    let mut opt = || -> Result<u64, ProfileParseError> {
+                        match parts.next() {
+                            None => Ok(0),
+                            Some(s) => parse_num(Some(s), "cost field", lineno),
+                        }
+                    };
+                    p.cost.counters_placed = opt()?;
+                    p.cost.counters_suppressed = opt()?;
+                }
+                Some("placement") => {
+                    let recovered = parse_num::<u8>(parts.next(), "recovered flag", lineno)? != 0;
+                    let total_insns: u64 = parse_num(parts.next(), "placement total", lineno)?;
+                    let nv: usize = parse_num(parts.next(), "vertex count", lineno)?;
+                    let nf: usize = parse_num(parts.next(), "fallthrough count", lineno)?;
+                    let mut idx = |what: &str| -> Result<u32, ProfileParseError> {
+                        parse_num(parts.next(), what, lineno)
+                    };
+                    let mut pl = CounterPlacement {
+                        recovered,
+                        total_insns,
+                        ..CounterPlacement::default()
+                    };
+                    for _ in 0..nv {
+                        pl.vertex_suppressed.push(idx("vertex index")?);
+                    }
+                    for _ in 0..nf {
+                        pl.fallthrough_suppressed.push(idx("fallthrough index")?);
+                    }
+                    if parts.next().is_some() {
+                        return Err(err("trailing fields after placement".into()));
+                    }
+                    p.placement = Some(pl);
                 }
                 Some("truncated") => {
                     p.truncated = Some(TruncationReason::from_profile_parts(&mut parts, lineno)?);
@@ -381,7 +488,14 @@ impl CountsProfile {
                         Some(parse_loc(dt, &p.module_names, lineno)?)
                     };
                     let fallthrough: u64 = parse_num(parts.next(), "fallthrough", lineno)?;
-                    if fallthrough > count {
+                    // Placed profiles erase suppressed vertex counters to 0,
+                    // so this block's kept fall-through counter may exceed
+                    // its count; the placement line precedes the blocks.
+                    let vertex_erased = p.placement.as_ref().is_some_and(|pl| {
+                        !pl.recovered
+                            && pl.vertex_suppressed.contains(&(p.blocks.len() as u32))
+                    });
+                    if fallthrough > count && !vertex_erased {
                         return Err(err(format!(
                             "fallthrough {fallthrough} exceeds block count {count}"
                         )));
@@ -528,7 +642,10 @@ mod tests {
                 unique_blocks: 2,
                 block_execs: 175,
                 indirect_execs: 75,
+                counters_placed: 250,
+                counters_suppressed: 0,
             },
+            placement: None,
             truncated: None,
         }
     }
@@ -570,6 +687,54 @@ mod tests {
     fn overhead_ratio() {
         let p = sample();
         assert!((p.cost.overhead() - 4000.0 / 550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_of_translation_only_run_is_unbounded() {
+        // A run aborted before any block completed paid translation costs
+        // but retired nothing native; reporting 1.0 hid the overhead.
+        let cost = InstrumentationCost {
+            instrumented_insns: 3000,
+            ..InstrumentationCost::default()
+        };
+        assert_eq!(cost.overhead(), f64::INFINITY);
+        // Nothing translated, nothing run: genuinely 1.0.
+        assert_eq!(InstrumentationCost::default().overhead(), 1.0);
+    }
+
+    #[test]
+    fn placement_roundtrips_and_relaxes_fallthrough_check() {
+        let mut p = sample();
+        // Suppress block 0's vertex counter: count erased, fall-through 25
+        // kept — which now exceeds the stored count.
+        p.blocks[0].count = 0;
+        p.placement = Some(CounterPlacement {
+            vertex_suppressed: vec![0],
+            fallthrough_suppressed: vec![],
+            total_insns: 4321,
+            recovered: false,
+        });
+        p.cost.counters_placed = 150;
+        p.cost.counters_suppressed = 100;
+        p.validate().unwrap();
+        let back = CountsProfile::from_text(&p.to_text()).unwrap();
+        assert_eq!(back, p);
+
+        // The relaxation is precise: a recovered profile is held to the
+        // exhaustive invariant again.
+        let mut recovered = p.clone();
+        recovered.placement.as_mut().unwrap().recovered = true;
+        assert!(recovered.validate().unwrap_err().contains("fallthrough"));
+
+        // Placement indices must reference existing blocks.
+        let mut bad = sample();
+        bad.placement = Some(CounterPlacement {
+            vertex_suppressed: vec![9],
+            fallthrough_suppressed: vec![],
+            total_insns: 0,
+            recovered: false,
+        });
+        assert!(bad.validate().unwrap_err().contains("placement"));
     }
 
     #[test]

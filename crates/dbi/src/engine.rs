@@ -12,7 +12,7 @@ use std::collections::HashMap;
 
 use wiser_isa::INSN_BYTES;
 use wiser_sim::{
-    CancelCause, CancelToken, CodeLoc, FaultPlan, Interp, ProcessImage, SimError, Step,
+    CancelCause, CancelToken, CodeLoc, FaultPlan, Interp, ModuleId, ProcessImage, SimError, Step,
     TruncationReason,
 };
 
@@ -24,7 +24,7 @@ use crate::counts::{BlockCount, CountsProfile, InstrumentationCost, TermKind};
 const CANCEL_POLL_INSNS: u64 = 1024;
 
 /// Engine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct DbiConfig {
     /// Enable stack profiling (§IV-D). Off, the callee table stays empty and
     /// per-call overhead disappears — the paper notes users profiling only
@@ -39,6 +39,12 @@ pub struct DbiConfig {
     pub rand_seed: u64,
     /// Deterministic fault injection (testing only; defaults to no-op).
     pub fault: FaultPlan,
+    /// Selective instrumentation: when set, only blocks whose entry lies in
+    /// one of these `(module, start, end)` module-relative text ranges carry
+    /// counters. Cold blocks still execute (their instructions count toward
+    /// `native_insns` and stack profiling stays exact) but pay no counter
+    /// charges and are omitted from the profile.
+    pub selective: Option<Vec<(ModuleId, u64, u64)>>,
 }
 
 impl Default for DbiConfig {
@@ -49,6 +55,7 @@ impl Default for DbiConfig {
             max_insns: 500_000_000,
             rand_seed: 0,
             fault: FaultPlan::default(),
+            selective: None,
         }
     }
 }
@@ -64,6 +71,37 @@ struct RtBlock {
     /// Last observed indirect target (models DynamoRIO's inlined
     /// last-target comparison).
     last_target: Option<CodeLoc>,
+    /// Whether this block carries counter instrumentation (always true
+    /// outside selective mode).
+    counted: bool,
+}
+
+/// Charges one execution of an indirect terminator and maintains the inlined
+/// last-target cache. `event` is `Some(resolved)` when the interpreter
+/// reported a branch with `resolved` as its (possibly unmapped) target, and
+/// `None` when no branch event was recorded — in that case the inlined
+/// comparison cannot have hit, so the cached target must not survive to
+/// discount the *next* indirect as a same-target hit.
+fn indirect_charge(
+    last_target: &mut Option<CodeLoc>,
+    event: Option<Option<CodeLoc>>,
+    model: &CostModel,
+) -> u64 {
+    match event {
+        Some(target) => {
+            let charge = if target.is_some() && target == *last_target {
+                model.indirect_same_target
+            } else {
+                model.indirect_new_target
+            };
+            *last_target = target;
+            charge
+        }
+        None => {
+            *last_target = None;
+            model.indirect_new_target
+        }
+    }
 }
 
 /// Runs the program under instrumentation, producing the counts profile.
@@ -191,7 +229,7 @@ pub fn instrument_run_ctl(
         let pc = interp.cpu().pc;
         let block_id = match cache.get(&pc) {
             Some(&id) => id,
-            None => match translate(image, pc) {
+            None => match translate(image, pc, cfg.selective.as_deref()) {
                 Ok(block) => {
                     cost.unique_blocks += 1;
                     cost.instrumented_insns += model.translation;
@@ -233,13 +271,20 @@ pub fn instrument_run_ctl(
         }
         let Some(last) = last else { break };
 
-        // Vertex counter and per-block costs.
+        // Vertex counter and per-block costs. Cold blocks (selective mode)
+        // still pay the code-cache dispatch but none of the counters.
         let b = &mut blocks[block_id];
+        let counted = b.counted;
         b.count += 1;
         cost.block_execs += 1;
         cost.native_insns += len as u64;
-        cost.instrumented_insns +=
-            len as u64 + model.block_dispatch + model.vertex_counter;
+        cost.instrumented_insns += len as u64 + model.block_dispatch;
+        if counted {
+            cost.instrumented_insns += model.vertex_counter;
+            cost.counters_placed += 1;
+        } else {
+            cost.counters_suppressed += 1;
+        }
         if cfg.stack_profiling {
             cost.instrumented_insns += model.stackprof_block;
             global_counter += len as u64;
@@ -248,32 +293,38 @@ pub fn instrument_run_ctl(
         // Edge counters, per terminator type.
         match b.term {
             TermKind::CondBranch => {
-                cost.instrumented_insns += model.cond_edge;
-                if let Some(branch) = last.branch {
-                    if !branch.taken {
-                        b.fallthrough += 1;
+                if counted {
+                    cost.instrumented_insns += model.cond_edge;
+                    cost.counters_placed += 1;
+                    if let Some(branch) = last.branch {
+                        if !branch.taken {
+                            b.fallthrough += 1;
+                        }
                     }
+                } else {
+                    cost.counters_suppressed += 1;
                 }
             }
             TermKind::Indirect => {
-                cost.indirect_execs += 1;
-                if let Some(branch) = last.branch {
-                    let target = image.resolve(branch.target);
-                    cost.instrumented_insns += if target.is_some() && target == b.last_target {
-                        model.indirect_same_target
-                    } else {
-                        model.indirect_new_target
-                    };
-                    b.last_target = target;
-                    if let Some(target) = target {
+                if counted {
+                    cost.indirect_execs += 1;
+                    cost.counters_placed += 1;
+                    let event = last.branch.map(|branch| image.resolve(branch.target));
+                    cost.instrumented_insns += indirect_charge(&mut b.last_target, event, &model);
+                    if let Some(Some(target)) = event {
                         *b.targets.entry(target).or_insert(0) += 1;
                     }
                 } else {
-                    cost.instrumented_insns += model.indirect_new_target;
+                    cost.counters_suppressed += 1;
                 }
             }
             TermKind::DirectJump | TermKind::DirectCall | TermKind::Syscall => {
-                cost.instrumented_insns += model.vertex_counter;
+                if counted {
+                    cost.instrumented_insns += model.vertex_counter;
+                    cost.counters_placed += 1;
+                } else {
+                    cost.counters_suppressed += 1;
+                }
             }
             TermKind::Fallthrough => {}
         }
@@ -324,6 +375,7 @@ fn build_profile(
 ) -> CountsProfile {
     let blocks = blocks
         .iter()
+        .filter(|b| b.counted)
         .map(|b| {
             let mut targets: Vec<(CodeLoc, u64)> =
                 b.targets.iter().map(|(t, c)| (*t, *c)).collect();
@@ -350,17 +402,27 @@ fn build_profile(
         callee_counts: callee_counts.clone(),
         stack_profiling,
         cost,
+        placement: None,
         truncated,
     }
 }
 
 /// Translates the block starting at absolute address `pc`: decode forward
 /// until the first control-transfer instruction.
-fn translate(image: &ProcessImage, pc: u64) -> Result<RtBlock, SimError> {
+fn translate(
+    image: &ProcessImage,
+    pc: u64,
+    selective: Option<&[(ModuleId, u64, u64)]>,
+) -> Result<RtBlock, SimError> {
     let entry = image.resolve(pc).ok_or_else(|| SimError::Exec {
         pc,
         message: "block entry outside mapped code".into(),
     })?;
+    let counted = selective.is_none_or(|ranges| {
+        ranges
+            .iter()
+            .any(|&(m, lo, hi)| entry.module == m && entry.offset >= lo && entry.offset < hi)
+    });
     let module = image.module(entry.module).expect("resolved module exists");
     let text_end = module.text_size;
     let mut len = 0u32;
@@ -385,6 +447,7 @@ fn translate(image: &ProcessImage, pc: u64) -> Result<RtBlock, SimError> {
                 fallthrough: 0,
                 targets: HashMap::new(),
                 last_target: None,
+                counted,
             });
         }
         offset += INSN_BYTES;
@@ -398,6 +461,7 @@ fn translate(image: &ProcessImage, pc: u64) -> Result<RtBlock, SimError> {
                 fallthrough: 0,
                 targets: HashMap::new(),
                 last_target: None,
+                counted,
             });
         }
     }
@@ -868,6 +932,103 @@ mod tests {
             assert!(w[1].1 >= w[0].1);
         }
         assert!(snaps.iter().all(|&(_, total)| total <= p.total_insns()));
+    }
+
+    #[test]
+    fn unresolved_indirect_resets_last_target() {
+        // Pins the charge sequence of the inlined last-target comparison:
+        // after an unresolved indirect event the cached target is stale and
+        // must not discount the next indirect as a same-target hit.
+        let model = CostModel::dynamorio_like();
+        let t = Some(loc(0, 0x40));
+        let mut last = None;
+        assert_eq!(
+            indirect_charge(&mut last, Some(t), &model),
+            model.indirect_new_target
+        );
+        assert_eq!(
+            indirect_charge(&mut last, Some(t), &model),
+            model.indirect_same_target
+        );
+        assert_eq!(
+            indirect_charge(&mut last, None, &model),
+            model.indirect_new_target
+        );
+        assert_eq!(last, None, "unresolved event must clear the cache");
+        // Regression: this used to bill indirect_same_target because the
+        // stale target survived the miss.
+        assert_eq!(
+            indirect_charge(&mut last, Some(t), &model),
+            model.indirect_new_target
+        );
+        assert_eq!(
+            indirect_charge(&mut last, Some(t), &model),
+            model.indirect_same_target
+        );
+    }
+
+    #[test]
+    fn counter_tallies_cover_every_charge() {
+        let p = profile_of(COUNTED_LOOP);
+        // One vertex charge per block exec, plus one edge charge per
+        // non-fallthrough terminator exec; nothing suppressed.
+        assert_eq!(p.cost.counters_suppressed, 0);
+        assert!(p.cost.counters_placed > p.cost.block_execs);
+        assert!(p.cost.counters_placed <= 2 * p.cost.block_execs);
+    }
+
+    #[test]
+    fn selective_skips_cold_counters_but_keeps_stack_profiling() {
+        let src = r#"
+            .func cold
+                addi x2, x2, 1
+                addi x2, x2, 1
+                ret
+            .endfunc
+            .func _start global
+                li x8, 50
+                li x9, 0
+            loop:
+                call cold
+                subi x8, x8, 1
+                bne x8, x9, loop
+                li x0, 0
+                syscall
+            .endfunc
+            .entry _start
+        "#;
+        let image = ProcessImage::load_single(&assemble("t", src).unwrap()).unwrap();
+        let full = instrument_run(&image, &DbiConfig::default()).unwrap();
+        let start = image.modules[0].linked.symbol("_start").unwrap();
+        let sel = instrument_run(
+            &image,
+            &DbiConfig {
+                selective: Some(vec![(
+                    ModuleId(0),
+                    start.offset,
+                    start.offset + start.size,
+                )]),
+                ..DbiConfig::default()
+            },
+        )
+        .unwrap();
+        // Cold blocks vanish from the profile but their instructions still
+        // retire, and the callee table (stack profiling) stays exact.
+        assert!(sel.total_insns() < sel.cost.native_insns);
+        assert_eq!(sel.cost.native_insns, full.cost.native_insns);
+        assert_eq!(sel.callee_counts, full.callee_counts);
+        assert!(sel.blocks.len() < full.blocks.len());
+        assert!(sel
+            .blocks
+            .iter()
+            .all(|b| b.entry.offset >= start.offset && b.entry.offset < start.offset + start.size));
+        // Suppression is visible in both tallies and the overhead estimate.
+        assert!(sel.cost.counters_suppressed > 0);
+        assert!(sel.cost.instrumented_insns < full.cost.instrumented_insns);
+        assert_eq!(
+            sel.cost.counters_placed + sel.cost.counters_suppressed,
+            full.cost.counters_placed
+        );
     }
 
     #[test]

@@ -13,5 +13,5 @@ mod counts;
 mod engine;
 
 pub use cost::CostModel;
-pub use counts::{BlockCount, CountsProfile, InstrumentationCost, TermKind};
+pub use counts::{BlockCount, CounterPlacement, CountsProfile, InstrumentationCost, TermKind};
 pub use engine::{instrument_run, instrument_run_ctl, CountsPassControl, DbiConfig};

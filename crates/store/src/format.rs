@@ -284,6 +284,12 @@ impl<'a> ByteReader<'a> {
         StoreError::in_section(self.offset(), self.section.clone(), message)
     }
 
+    /// Bytes not yet consumed. Lets decoders accept older images that
+    /// simply end before an appended optional tail.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
     /// Fails unless the payload was fully consumed.
     pub fn expect_end(&self) -> Result<(), StoreError> {
         if self.pos != self.data.len() {

@@ -10,6 +10,13 @@
 //! | `SAMP` | raw [`SampleProfile`]               | optional |
 //! | `CNTS` | raw [`CountsProfile`]               | optional |
 //! | `TABL` | joined [`ProfileTables`]            | required |
+//! | `COVR` | per-function [`Coverage`] markers   | optional |
+//!
+//! Forward compatibility: `CNTS` carries the counter-placement tallies and
+//! suppression lists as an *optional tail* (older images simply end before
+//! it and decode with exhaustive defaults), and `COVR` is a separate
+//! section so pre-selective readers skip it as unknown. Decoders lacking
+//! `COVR` derive every function's coverage from the analysis mode.
 //!
 //! Encoding is fully deterministic — collections are written in their
 //! already-deterministic in-memory order and the one `HashMap`
@@ -19,10 +26,10 @@
 use std::collections::HashMap;
 
 use optiwise::{
-    AnalysisMode, FuncStats, LineStats, LoopStats, OptiwiseError, OptiwiseRun, ProfileTables,
-    StoreError,
+    AnalysisMode, Coverage, FuncStats, LineStats, LoopStats, OptiwiseError, OptiwiseRun,
+    ProfileTables, StoreError,
 };
-use wiser_dbi::{BlockCount, CountsProfile, InstrumentationCost, TermKind};
+use wiser_dbi::{BlockCount, CounterPlacement, CountsProfile, InstrumentationCost, TermKind};
 use wiser_sampler::{Sample, SampleProfile};
 use wiser_sim::{CodeLoc, ModuleId, TruncationReason};
 
@@ -32,6 +39,7 @@ const TAG_META: [u8; 4] = *b"META";
 pub(crate) const TAG_SAMP: [u8; 4] = *b"SAMP";
 pub(crate) const TAG_CNTS: [u8; 4] = *b"CNTS";
 const TAG_TABL: [u8; 4] = *b"TABL";
+const TAG_COVR: [u8; 4] = *b"COVR";
 
 /// Identity of a stored run, for labelling reports and diffs.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -87,6 +95,7 @@ impl StoredProfile {
             sections.push((TAG_CNTS, encode_counts(counts)));
         }
         sections.push((TAG_TABL, encode_tables(&self.tables)));
+        sections.push((TAG_COVR, encode_coverage(&self.tables)));
         write_store(&sections)
     }
 
@@ -108,6 +117,7 @@ impl StoredProfile {
         let mut samples = None;
         let mut counts = None;
         let mut tables = None;
+        let mut coverage: Option<(u64, Vec<Coverage>)> = None;
         for section in read_sections(data)? {
             let mut r = ByteReader::new(section.payload, section.payload_offset, section.tag_name());
             match section.tag {
@@ -142,13 +152,47 @@ impl StoredProfile {
                     })?;
                     tables = Some(t);
                 }
+                TAG_COVR => {
+                    let start = r.offset();
+                    let c = decode_coverage(&mut r)?;
+                    r.expect_end()?;
+                    coverage = Some((start, c));
+                }
                 _ => {} // unknown but checksum-valid: skip (forward compat)
             }
         }
         let meta = meta
             .ok_or_else(|| StoreError::at(data.len() as u64, "missing required META section"))?;
-        let tables = tables
+        let mut tables: ProfileTables = tables
             .ok_or_else(|| StoreError::at(data.len() as u64, "missing required TABL section"))?;
+        match coverage {
+            Some((start, cov)) => {
+                if cov.len() != tables.functions.len() {
+                    return Err(StoreError::in_section(
+                        start,
+                        "COVR",
+                        format!(
+                            "coverage count {} does not match function count {}",
+                            cov.len(),
+                            tables.functions.len()
+                        ),
+                    ));
+                }
+                for (f, c) in tables.functions.iter_mut().zip(cov) {
+                    f.coverage = c;
+                }
+            }
+            // Pre-selective image: every function shares the run's mode.
+            None => {
+                let derived = match tables.mode {
+                    AnalysisMode::Full => Coverage::Counted,
+                    AnalysisMode::SamplingOnly => Coverage::SamplingOnly,
+                };
+                for f in &mut tables.functions {
+                    f.coverage = derived;
+                }
+            }
+        }
         Ok(StoredProfile {
             meta,
             samples,
@@ -374,6 +418,27 @@ pub(crate) fn encode_counts(p: &CountsProfile) -> Vec<u8> {
         put_loc(&mut w, site);
         w.u64(count);
     }
+    // Optional tail (readers gate on bytes remaining): counter tallies and
+    // the minimal counter placement. Older images end here and decode with
+    // exhaustive defaults.
+    w.u64(p.cost.counters_placed);
+    w.u64(p.cost.counters_suppressed);
+    match &p.placement {
+        None => w.u8(0),
+        Some(pl) => {
+            w.u8(1);
+            w.u8(pl.recovered as u8);
+            w.u64(pl.total_insns);
+            w.len(pl.vertex_suppressed.len());
+            for &i in &pl.vertex_suppressed {
+                w.u32(i);
+            }
+            w.len(pl.fallthrough_suppressed.len());
+            for &i in &pl.fallthrough_suppressed {
+                w.u32(i);
+            }
+        }
+    }
     w.into_bytes()
 }
 
@@ -390,6 +455,8 @@ pub(crate) fn decode_counts(r: &mut ByteReader<'_>) -> Result<CountsProfile, Sto
         unique_blocks: r.u64("unique_blocks")?,
         block_execs: r.u64("block_execs")?,
         indirect_execs: r.u64("indirect_execs")?,
+        counters_placed: 0,
+        counters_suppressed: 0,
     };
     let truncated = get_truncation(r)?;
     let n = r.len(43, "block count")?;
@@ -429,12 +496,47 @@ pub(crate) fn decode_counts(r: &mut ByteReader<'_>) -> Result<CountsProfile, Sto
         let site = get_loc(r, "callee site")?;
         callee_counts.insert(site, r.u64("callee total")?);
     }
+    let mut cost = cost;
+    let mut placement = None;
+    if r.remaining() > 0 {
+        cost.counters_placed = r.u64("counters_placed")?;
+        cost.counters_suppressed = r.u64("counters_suppressed")?;
+        match r.u8("placement tag")? {
+            0 => {}
+            1 => {
+                let recovered = match r.u8("placement recovered")? {
+                    0 => false,
+                    1 => true,
+                    other => return Err(r.error(format!("bad recovered flag {other}"))),
+                };
+                let total_insns = r.u64("placement total")?;
+                let nv = r.len(4, "suppressed vertex count")?;
+                let mut vertex_suppressed = Vec::with_capacity(nv);
+                for _ in 0..nv {
+                    vertex_suppressed.push(r.u32("suppressed vertex")?);
+                }
+                let nf = r.len(4, "suppressed fallthrough count")?;
+                let mut fallthrough_suppressed = Vec::with_capacity(nf);
+                for _ in 0..nf {
+                    fallthrough_suppressed.push(r.u32("suppressed fallthrough")?);
+                }
+                placement = Some(CounterPlacement {
+                    vertex_suppressed,
+                    fallthrough_suppressed,
+                    total_insns,
+                    recovered,
+                });
+            }
+            other => return Err(r.error(format!("bad placement tag {other}"))),
+        }
+    }
     Ok(CountsProfile {
         module_names,
         blocks,
         callee_counts,
         stack_profiling,
         cost,
+        placement,
         truncated,
     })
 }
@@ -444,6 +546,32 @@ fn mode_code(m: AnalysisMode) -> u8 {
         AnalysisMode::Full => 0,
         AnalysisMode::SamplingOnly => 1,
     }
+}
+
+/// One coverage byte per function, in `TABL` function order.
+fn encode_coverage(t: &ProfileTables) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.len(t.functions.len());
+    for f in &t.functions {
+        w.u8(match f.coverage {
+            Coverage::Counted => 0,
+            Coverage::SamplingOnly => 1,
+        });
+    }
+    w.into_bytes()
+}
+
+fn decode_coverage(r: &mut ByteReader<'_>) -> Result<Vec<Coverage>, StoreError> {
+    let n = r.len(1, "coverage count")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match r.u8("coverage")? {
+            0 => Coverage::Counted,
+            1 => Coverage::SamplingOnly,
+            other => return Err(r.error(format!("unknown coverage code {other}"))),
+        });
+    }
+    Ok(out)
 }
 
 fn encode_tables(t: &ProfileTables) -> Vec<u8> {
@@ -525,6 +653,9 @@ fn decode_tables(r: &mut ByteReader<'_>) -> Result<ProfileTables, StoreError> {
             self_samples: r.u64("self_samples")?,
             self_insns: r.u64("self_insns")?,
             incl_insns: r.u64("incl_insns")?,
+            // Fixed up from the COVR section (or derived from the mode)
+            // once all sections are read.
+            coverage: Coverage::Counted,
         });
     }
     let n = r.len(74, "loop count")?;

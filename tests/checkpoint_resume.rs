@@ -111,7 +111,9 @@ fn kill_at_every_checkpoint_boundary_then_resume_is_byte_identical() {
 
     let golden_run = run_optiwise_ctl(&modules, &config, RunControl::default()).unwrap();
     let golden = profile_bytes(&golden_run);
-    let total = golden_run.counts.total_insns();
+    // The raw profile is counter-placed (suppressed slots read 0), so size the
+    // kill schedule from the recovered analysis total instead.
+    let total = golden_run.analysis.total_insns;
     assert!(
         total / CADENCE >= 3,
         "workload too small to exercise several boundaries: {total} insns"

@@ -57,9 +57,9 @@ fn every_section_rejects_targeted_bit_flips() {
     let spans = section_spans(&bytes).unwrap();
     assert!(
         spans.iter().map(|(tag, _, _)| tag.as_str()).eq([
-            "META", "SAMP", "CNTS", "TABL"
+            "META", "SAMP", "CNTS", "TABL", "COVR"
         ]),
-        "fixture should carry all four sections, got {spans:?}"
+        "fixture should carry all five sections, got {spans:?}"
     );
     for (tag, start, end) in &spans {
         // First, middle and last payload byte of each section; the store's

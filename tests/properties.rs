@@ -365,6 +365,88 @@ fn loop_forest_recovers_random_nests() {
     }
 }
 
+/// Minimal counter placement is lossless across the whole generated corpus
+/// (seeds 0..40, the same range the selfcheck sweep gates): placing counters
+/// on an exhaustive profile and recovering by flow conservation reproduces
+/// the exhaustive block counts bit for bit.
+#[test]
+fn placement_recovery_matches_exhaustive_on_generated_seeds() {
+    use wiser_workloads::generated;
+
+    let mut suppressed_total = 0u64;
+    for seed in 0..40u64 {
+        let modules = generated::generate(seed).unwrap();
+        let image = ProcessImage::load_single(&modules[0]).expect("loads");
+        let linked: Vec<_> = image.modules.iter().map(|m| m.linked.clone()).collect();
+        let config = DbiConfig::default();
+        let exhaustive = instrument_run(&image, &config).expect("instruments");
+        let mut placed = exhaustive.clone();
+        wiser_cfg::optimize_placement(&mut placed, &linked, &config.cost);
+        let placement = placed
+            .placement
+            .as_ref()
+            .unwrap_or_else(|| panic!("seed {seed}: placement missing"));
+        suppressed_total +=
+            (placement.vertex_suppressed.len() + placement.fallthrough_suppressed.len()) as u64;
+        let recovered = wiser_cfg::recover(&placed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(
+            recovered.blocks, exhaustive.blocks,
+            "seed {seed}: recovered counts diverge from exhaustive"
+        );
+        assert_eq!(recovered.total_insns(), exhaustive.total_insns(), "seed {seed}");
+        assert!(
+            placed.cost.instrumented_insns <= exhaustive.cost.instrumented_insns,
+            "seed {seed}: placement made instrumentation more expensive"
+        );
+    }
+    // The sweep must actually exercise recovery, not just verify no-ops.
+    assert!(suppressed_total > 0, "no counters were ever suppressed");
+}
+
+/// The full pipeline, with placement on, joins to the same analysis as an
+/// exhaustive run — at analysis jobs 1 and 8 (with concurrent passes in the
+/// parallel case). A spread of corpus seeds keeps the timed sampling pass
+/// affordable; the whole range is covered functionally above and by the
+/// `selfcheck --seed-range 0..40` CI gate.
+#[test]
+fn pipeline_placement_is_jobs_invariant_on_generated_seeds() {
+    use optiwise::{run_optiwise, OptiwiseConfig};
+    use wiser_workloads::generated;
+
+    for seed in [0u64, 7, 13, 21, 34, 39] {
+        let modules = generated::generate(seed).unwrap();
+        let exh_cfg = OptiwiseConfig {
+            exhaustive_counters: true,
+            ..OptiwiseConfig::default()
+        };
+        let exhaustive = run_optiwise(&modules, &exh_cfg).unwrap();
+        assert!(exhaustive.counts.placement.is_none());
+
+        for jobs in [1usize, 8] {
+            let mut cfg = OptiwiseConfig::default();
+            cfg.analysis.jobs = jobs;
+            cfg.concurrent_passes = jobs > 1;
+            let run = run_optiwise(&modules, &cfg).unwrap();
+            let placement = run
+                .counts
+                .placement
+                .as_ref()
+                .unwrap_or_else(|| panic!("seed {seed} jobs {jobs}: placement missing"));
+            assert!(!placement.recovered, "seed {seed} jobs {jobs}");
+            let recovered = wiser_cfg::recover(&run.counts)
+                .unwrap_or_else(|e| panic!("seed {seed} jobs {jobs}: {e}"));
+            assert_eq!(
+                recovered.blocks, exhaustive.counts.blocks,
+                "seed {seed} jobs {jobs}: recovered counts diverge from exhaustive"
+            );
+            assert_eq!(
+                run.analysis.total_insns, exhaustive.analysis.total_insns,
+                "seed {seed} jobs {jobs}: analysis totals diverge"
+            );
+        }
+    }
+}
+
 /// Random straight-line ALU programs: the timing model retires exactly the
 /// instructions the functional run executed, in at least
 /// ceil(n / commit_width) cycles.
