@@ -688,6 +688,7 @@ mod tests {
                 loops: Vec::new(),
                 lines: Vec::new(),
             },
+            transforms: Default::default(),
         }
         .to_bytes()
     }

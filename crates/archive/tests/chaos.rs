@@ -45,6 +45,7 @@ fn profile_bytes(label: &str, seed: u64) -> Vec<u8> {
             loops: Vec::new(),
             lines: Vec::new(),
         },
+        transforms: Default::default(),
     }
     .to_bytes()
 }

@@ -124,6 +124,7 @@ fn main() {
         samples: Some(samples.clone()),
         counts: Some(counts.clone()),
         tables: ProfileTables::from_analysis(&analysis),
+        transforms: Default::default(),
     };
     bench("store_encode_mcf_test", || stored.to_bytes().len());
 

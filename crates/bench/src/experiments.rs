@@ -866,3 +866,106 @@ impl LoadExt for ProcessImage {
         ProcessImage::load(modules, &LoadConfig::default()).expect("load")
     }
 }
+
+// ---------------------------------------------------------------------------
+// PGO speedup — profile-guided rewriting closed into a verification loop
+// ---------------------------------------------------------------------------
+
+/// One workload's profile → optimize → oracle → re-profile → diff verdict.
+pub struct PgoSpeedupRow {
+    /// Workload name.
+    pub name: &'static str,
+    /// Transform records the optimizer emitted (0 = module kept verbatim).
+    pub transforms: usize,
+    /// Timed-run cycles of the baseline binary.
+    pub baseline_cycles: u64,
+    /// Timed-run cycles of the rewritten binary.
+    pub optimized_cycles: u64,
+    /// Retired instructions of the baseline timed run.
+    pub baseline_retired: u64,
+    /// Retired instructions of the rewritten timed run.
+    pub optimized_retired: u64,
+    /// Whether the differential oracle found both binaries observationally
+    /// identical on every generated seed.
+    pub oracle_ok: bool,
+    /// Regression rows of any metric in the re-profile diff (the strict
+    /// Improvement-or-Noise criterion).
+    pub regression_rows: usize,
+    /// Regression rows on the CPI/cycles metrics only — exact-count `Execs`
+    /// shifts are the rewrite working, not a performance verdict.
+    pub cpi_regressions: usize,
+}
+
+impl PgoSpeedupRow {
+    /// Timed-run cycle reduction from the rewrite, in percent.
+    pub fn cycle_speedup_pct(&self) -> f64 {
+        if self.baseline_cycles == 0 {
+            return 0.0;
+        }
+        100.0 * (1.0 - self.optimized_cycles as f64 / self.baseline_cycles as f64)
+    }
+}
+
+/// Seeds swept by the optimizer's differential oracle.
+pub const PGO_ORACLE_SEEDS: u64 = 20;
+
+/// Runs the full PGO loop — profile, rewrite, oracle-check, re-profile,
+/// diff — over `recip_loop` and the SPEC-like suite.
+pub fn pgo_speedup(size: InputSize) -> Vec<PgoSpeedupRow> {
+    const ORACLE_MAX_INSNS: u64 = 200_000_000;
+    let mut names: Vec<&'static str> = vec!["recip_loop"];
+    names.extend(wiser_workloads::spec_suite().iter().map(|w| w.name));
+    names
+        .iter()
+        .map(|&name| {
+            let modules = build(name, size);
+            let config = OptiwiseConfig::default();
+            let run = pipeline(&modules, &config);
+            // Minimal placement leaves most counters suppressed; the
+            // transforms need the recovered flow-conserved edge weights.
+            let counts = match &run.counts.placement {
+                Some(p) if !p.recovered => {
+                    wiser_cfg::recover(&run.counts).expect("recovery solvable")
+                }
+                _ => run.counts.clone(),
+            };
+            let tables = optiwise::ProfileTables::from_analysis(&run.analysis);
+            let (rewritten, log) = wiser_opt::optimize_modules(
+                &modules,
+                &counts,
+                Some(&tables),
+                &wiser_opt::OptimizeOptions::default(),
+            )
+            .expect("optimize");
+            let oracle_ok = wiser_opt::oracle_check(
+                &modules,
+                &rewritten,
+                PGO_ORACLE_SEEDS,
+                ORACLE_MAX_INSNS,
+            )
+            .is_ok();
+            let rerun = pipeline(&rewritten, &config);
+            let optimized = optiwise::ProfileTables::from_analysis(&rerun.analysis);
+            let diff =
+                optiwise::diff_tables(&tables, &optimized, optiwise::DiffOptions::default());
+            let cpi_regressions = diff
+                .rows()
+                .filter(|r| {
+                    r.class == optiwise::DiffClass::Regression
+                        && r.metric != optiwise::DiffMetric::Execs
+                })
+                .count();
+            PgoSpeedupRow {
+                name,
+                transforms: log.records.len(),
+                baseline_cycles: run.timed.stats.cycles,
+                optimized_cycles: rerun.timed.stats.cycles,
+                baseline_retired: run.timed.stats.retired,
+                optimized_retired: rerun.timed.stats.retired,
+                oracle_ok,
+                regression_rows: diff.regressions(),
+                cpi_regressions,
+            }
+        })
+        .collect()
+}

@@ -11,6 +11,8 @@
 //! optiwise show <profile.owp>                # report a saved profile
 //! optiwise report <profile.owp> [--format json]
 //! optiwise diff <old.owp> <new.owp>          # differential CPI analysis
+//! optiwise optimize [--verify] <workload|profile.owp>
+//!                                            # profile-guided rewrite + check
 //! optiwise resume <checkpoint.owp|archive>   # continue an interrupted run
 //! optiwise selfcheck [--seed-range A..B]     # pipeline vs oracle sweep
 //! optiwise fsck <archive>                    # verify + repair a run archive
@@ -28,8 +30,8 @@
 //! `--attribution interrupt|precise|predecessor`, `--no-stack-profiling`,
 //! `--merge-threshold N|off`, `--seed N`, `--top N`, `--out FILE`,
 //! `--jobs N`, `--strict`, `--allow-partial`, `--inject SPEC`,
-//! `--save FILE`, `--threshold PCT`, `--fail-on-regression`,
-//! `--format text|json`, `--deadline SECS`, `--checkpoint FILE`,
+//! `--save FILE`, `--threshold PCT`, `--fail-on-regression`, `--verify`,
+//! `--format text|json|yaml`, `--deadline SECS`, `--checkpoint FILE`,
 //! `--checkpoint-every N`.
 //!
 //! `run` accepts multiple workloads: they are profiled concurrently on a
@@ -62,7 +64,7 @@ use std::time::Duration;
 use optiwise::{
     diff_tables, module_fingerprint, report, run_optiwise, run_optiwise_ctl, Analysis,
     AnalysisMode, AnalysisOptions, CancelToken, DiffOptions, OptiwiseConfig, OptiwiseError,
-    OptiwiseRun, Pass, PassEvent, ProfileKind, RunControl, StoreError,
+    OptiwiseRun, Pass, PassEvent, ProfileKind, ProfileTables, RunControl, StoreError,
     DEFAULT_DIVERGENCE_THRESHOLD,
 };
 use wiser_store::{Checkpoint, CheckpointSpec, CheckpointWriter, StoredProfile};
@@ -98,6 +100,8 @@ struct Options {
     threshold: f64,
     fail_on_regression: bool,
     json: bool,
+    yaml: bool,
+    verify: bool,
     deadline: Option<f64>,
     checkpoint: Option<String>,
     checkpoint_every: Option<u64>,
@@ -143,6 +147,8 @@ impl Default for Options {
             threshold: optiwise::DiffOptions::default().threshold_pct,
             fail_on_regression: false,
             json: false,
+            yaml: false,
+            verify: false,
             deadline: None,
             checkpoint: None,
             checkpoint_every: None,
@@ -335,12 +341,14 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.checkpoint_every = Some(n);
             }
             "--format" => {
-                opts.json = match value(&mut i)?.as_str() {
-                    "text" => false,
-                    "json" => true,
+                (opts.json, opts.yaml) = match value(&mut i)?.as_str() {
+                    "text" => (false, false),
+                    "json" => (true, false),
+                    "yaml" => (false, true),
                     other => return Err(format!("unknown format `{other}`")),
                 }
             }
+            "--verify" => opts.verify = true,
             "--" => {}
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"))
@@ -1104,7 +1112,7 @@ fn cmd_show(opts: &Options) -> Result<(), OptiwiseError> {
     let meta = &stored.meta;
     let mut text = format!(
         "== stored profile: {} ==\nfile: {}   format v{}   tool {}   arch {}   seed {}\n\
-         sections: meta{}{} tables\n\n",
+         sections: meta{}{} tables{}\n\n",
         meta.label,
         path,
         wiser_store::FORMAT_VERSION,
@@ -1113,15 +1121,22 @@ fn cmd_show(opts: &Options) -> Result<(), OptiwiseError> {
         meta.rand_seed,
         if stored.samples.is_some() { " samples" } else { "" },
         if stored.counts.is_some() { " counts" } else { "" },
+        if stored.transforms.is_empty() { "" } else { " transforms" },
     );
     text.push_str(&report::tables_report(&stored.tables, opts.top));
+    if !stored.transforms.is_empty() {
+        text.push('\n');
+        text.push_str(&stored.transforms.render());
+    }
     emit(opts, &text)
 }
 
 fn cmd_report(opts: &Options) -> Result<(), OptiwiseError> {
     let path = profile_arg(opts, "report")?;
     let stored = load_profile(path)?;
-    let text = if opts.json {
+    let text = if opts.yaml {
+        optiwise::export::tables_yaml(&stored.tables)
+    } else if opts.json {
         optiwise::export::tables_json(&stored.tables)
     } else {
         report::tables_report(&stored.tables, opts.top)
@@ -1155,6 +1170,143 @@ fn cmd_diff(opts: &Options) -> Result<(), OptiwiseError> {
         let (regressions, _, _) = diff.summary();
         return Err(OptiwiseError::Regression {
             count: regressions,
+            threshold_pct: opts.threshold,
+        });
+    }
+    Ok(())
+}
+
+/// Seeds the optimizer's differential oracle sweeps (acceptance asks for
+/// at least 20 generated ASLR/rand seeds per binary pair).
+const ORACLE_SEEDS: u64 = 20;
+/// Per-seed instruction budget of one oracle execution.
+const ORACLE_MAX_INSNS: u64 = 200_000_000;
+
+/// `optiwise optimize [--verify] <workload|profile.owp>`: profile-guided
+/// binary rewriting closed into a verification loop.
+///
+/// The baseline profile comes either from a stored `.owp` run (the argument
+/// is an existing file; it must carry its counts section) or from a fresh
+/// profiling run of the named workload. The optimizer (`wiser-opt`) rewrites
+/// the module set — hot-path block layout, guarded indirect-call promotion,
+/// loop-invariant hoisting — then three independent checks gate the result:
+///
+/// 1. every rewritten module passes `Module::validate`;
+/// 2. the simulator oracle runs baseline and rewritten binaries on
+///    [`ORACLE_SEEDS`] generated seeds and compares observable behaviour
+///    (exit code and output bytes) — any divergence exits 5;
+/// 3. the rewritten binary is re-profiled and the differential engine
+///    classifies the change under the sampling-noise bound; with `--verify`
+///    a statistically significant regression exits 7.
+///
+/// `--save FILE` stores the re-profiled run as a `.owp` whose `XFRM` section
+/// records which transforms fired. Output is byte-identical for every
+/// `--jobs` value.
+fn cmd_optimize(opts: &Options) -> Result<(), OptiwiseError> {
+    let [arg] = opts.workloads.as_slice() else {
+        return Err(OptiwiseError::Usage(
+            "`optimize` takes exactly one workload name or stored profile (.owp) path".into(),
+        ));
+    };
+    let stored = if std::path::Path::new(arg).is_file() {
+        Some(load_profile(arg)?)
+    } else {
+        None
+    };
+    let (name, seed) = match &stored {
+        Some(s) => (s.meta.label.clone(), s.meta.rand_seed),
+        None => (arg.to_string(), opts.seed),
+    };
+    let modules = build_named_workload(&name, opts.size)?;
+    let mut config = pipeline_config(opts);
+    // A stored baseline was produced under its own seed; re-profile the
+    // rewritten binary under the same one so the diff compares like runs.
+    config.rand_seed = seed;
+    let (baseline, counts) = match stored {
+        Some(s) => {
+            let counts = s.counts.ok_or_else(|| {
+                OptiwiseError::Usage(format!(
+                    "{arg} has no counts section; optimize needs the \
+                     instrumentation profile (`optiwise run {name} --save`)"
+                ))
+            })?;
+            (s.tables, counts)
+        }
+        None => {
+            let run = run_optiwise(&modules, &config)?;
+            (ProfileTables::from_analysis(&run.analysis), run.counts)
+        }
+    };
+    // Minimal counter placement stores only the uncovered counters; recover
+    // the flow-conserved profile so every edge weight the transforms read is
+    // real, not a placement artifact.
+    let counts = match &counts.placement {
+        Some(p) if !p.recovered => wiser_cfg::recover(&counts)
+            .map_err(|e| OptiwiseError::Internal(format!("recovering counts: {e}")))?,
+        _ => counts,
+    };
+
+    let (rewritten, log) = wiser_opt::optimize_modules(
+        &modules,
+        &counts,
+        Some(&baseline),
+        &wiser_opt::OptimizeOptions::default(),
+    )
+    .map_err(|e| OptiwiseError::Internal(format!("optimizer: {e}")))?;
+    wiser_opt::oracle_check(&modules, &rewritten, ORACLE_SEEDS, ORACLE_MAX_INSNS).map_err(
+        |e| OptiwiseError::Divergence {
+            score: 1.0,
+            threshold: 0.0,
+            summary: format!("optimizer oracle: {e}"),
+        },
+    )?;
+
+    let verify_run = run_optiwise(&rewritten, &config)?;
+    let optimized = ProfileTables::from_analysis(&verify_run.analysis);
+    let diff = diff_tables(
+        &baseline,
+        &optimized,
+        DiffOptions {
+            threshold_pct: opts.threshold,
+            ..DiffOptions::default()
+        },
+    );
+
+    if let Some(path) = &opts.save {
+        let mut profile = StoredProfile::from_run(&name, &verify_run, seed);
+        profile.transforms = log.clone();
+        profile.save(std::path::Path::new(path))?;
+        eprintln!("saved optimized-run profile to {path}");
+    }
+
+    // Rewriting intentionally changes instruction counts (inserted guard
+    // sequences, dropped/added jumps, hoisted invariants), so exact-count
+    // `Execs` rows shifting is the rewrite working, not a performance
+    // verdict. The verify gate counts only CPI/cycle regressions — the
+    // sampling-noise-bounded claims the optimizer must never make worse.
+    let cpi_regressions = diff
+        .rows()
+        .filter(|r| {
+            r.class == optiwise::DiffClass::Regression && r.metric != optiwise::DiffMetric::Execs
+        })
+        .count();
+
+    let mut text = format!("== optimize: {name} ==\n");
+    text.push_str(&log.render());
+    text.push_str(&format!(
+        "oracle: {ORACLE_SEEDS} seeds, behaviour preserved\n\
+         \n== re-profile: baseline -> optimized ==\n"
+    ));
+    text.push_str(&report::diff_report(&diff, opts.top));
+    text.push_str(&format!(
+        "verify: {cpi_regressions} CPI regression(s); exact-count shifts \
+         from rewriting are expected and not gated\n"
+    ));
+    emit(opts, &text)?;
+
+    if opts.verify && cpi_regressions > 0 {
+        return Err(OptiwiseError::Regression {
+            count: cpi_regressions,
             threshold_pct: opts.threshold,
         });
     }
@@ -1436,6 +1588,15 @@ commands:
   report <profile.owp>  tables from a saved profile (--format text|json)
   diff <old.owp> <new.owp>
                         differential CPI analysis between two saved runs
+  optimize <workload|profile.owp>
+                        profile-guided rewrite (block layout, call promotion,
+                        loop-invariant hoisting), checked by a differential
+                        oracle over generated seeds, then re-profiled and
+                        diffed against the baseline; --verify exits 7 on a
+                        statistically significant regression, --save stores
+                        the optimized run with its XFRM provenance section;
+                        with a .owp baseline, pass the --size it was
+                        recorded at (the store does not carry it)
   resume <checkpoint.owp|archive>
                         continue an interrupted run from its checkpoint;
                         given an archive directory, the newest incomplete
@@ -1486,10 +1647,14 @@ options:
                           seed=N, drop-samples=PCT, abort-sample=N,
                           truncate-counts=N, desync-seed=N, corrupt,
                           kill-after=N, kill-in-write=N
-  --save FILE             (run) also save the profile as a binary .owp store
-  --format text|json      (report) output format (default: text)
-  --threshold PCT         (diff) significance threshold in percent (default: 5)
+  --save FILE             (run/optimize) also save the profile as a binary
+                          .owp store
+  --format text|json|yaml (report) output format (default: text)
+  --threshold PCT         (diff/optimize) significance threshold in percent
+                          (default: 5)
   --fail-on-regression    (diff) exit 7 when regressions are found
+  --verify                (optimize) exit 7 when the re-profile diff flags a
+                          statistically significant regression
   --seed-range A..B       (selfcheck) seeds to sweep, half-open (default: 0..10)
   --archive DIR           (run/resume) also commit the profile to a crash-safe
                           multi-run archive; --max-runs/--max-bytes prune it
@@ -1541,6 +1706,7 @@ pub fn cli_main() -> ExitCode {
                 "show" => cmd_show(&opts),
                 "report" => cmd_report(&opts),
                 "diff" => cmd_diff(&opts),
+                "optimize" => cmd_optimize(&opts),
                 "resume" => cmd_resume(&opts),
                 "selfcheck" => cmd_selfcheck(&opts),
                 "fsck" => cmd_fsck(&opts),
@@ -1665,10 +1831,21 @@ mod tests {
         assert_eq!(o.workloads, vec!["old.owp".to_string(), "new.owp".to_string()]);
 
         let o = parse(&["--format", "json", "p.owp"]).unwrap();
-        assert!(o.json);
+        assert!(o.json && !o.yaml);
+        let o = parse(&["--format", "yaml", "p.owp"]).unwrap();
+        assert!(o.yaml && !o.json);
+        let o = parse(&["--format", "text", "p.owp"]).unwrap();
+        assert!(!o.yaml && !o.json);
         assert!(parse(&["--format", "xml"]).is_err());
         assert!(parse(&["--threshold", "-3"]).is_err());
         assert!(parse(&["--threshold", "nope"]).is_err());
+    }
+
+    #[test]
+    fn optimize_flags_parse() {
+        let o = parse(&["--verify", "recip_loop"]).unwrap();
+        assert!(o.verify);
+        assert!(!parse(&["recip_loop"]).unwrap().verify);
     }
 
     #[test]

@@ -479,3 +479,133 @@ fn checkpoint_flags_are_validated() {
     assert_eq!(out.status.code(), Some(6), "{out:?}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn optimize_verifies_and_is_deterministic_across_thread_counts() {
+    let seq = optiwise(&[
+        "optimize", "recip_loop", "--size", "test", "--verify", "--jobs", "1",
+    ]);
+    assert_eq!(seq.status.code(), Some(0), "{seq:?}");
+    let stdout = String::from_utf8_lossy(&seq.stdout);
+    assert!(stdout.contains("== transforms =="), "{stdout}");
+    assert!(stdout.contains("oracle: 20 seeds, behaviour preserved"), "{stdout}");
+    assert!(stdout.contains("== re-profile: baseline -> optimized =="), "{stdout}");
+
+    let par = optiwise(&[
+        "optimize", "recip_loop", "--size", "test", "--verify", "--jobs", "8",
+    ]);
+    assert_eq!(par.status.code(), Some(0), "{par:?}");
+    assert_eq!(
+        seq.stdout, par.stdout,
+        "optimize report differs between --jobs 1 and --jobs 8"
+    );
+}
+
+#[test]
+fn optimize_accepts_a_stored_profile_and_saves_provenance() {
+    let dir = std::env::temp_dir().join("optiwise-optimize-store-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("mcf.owp");
+    let optimized = dir.join("mcf-opt.owp");
+
+    let out = optiwise(&[
+        "run", "mcf_like", "--size", "test",
+        "--save", baseline.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = optiwise(&[
+        "optimize", baseline.to_str().unwrap(),
+        "--save", optimized.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("layout"), "{stdout}");
+
+    // The optimized-run profile carries an XFRM section; `show` surfaces it.
+    let out = optiwise(&["show", optimized.to_str().unwrap()]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("transforms"), "{stdout}");
+    assert!(stdout.contains("layout"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn yaml_report_matches_golden_file() {
+    let dir = std::env::temp_dir().join("optiwise-yaml-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let owp = dir.join("loop_merge.owp");
+    let out = optiwise(&[
+        "run", "loop_merge", "--size", "test",
+        "--save", owp.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = optiwise(&["report", owp.to_str().unwrap(), "--format", "yaml"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let golden = include_str!("golden/loop_merge_report.yaml");
+    assert_eq!(
+        stdout, golden,
+        "yaml report drifted from tests/golden/loop_merge_report.yaml; \
+         regenerate it if the change is intentional"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn query_last_clamps_to_archive_size() {
+    let dir = std::env::temp_dir().join("optiwise-query-clamp-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    for _ in 0..2 {
+        let out = optiwise(&[
+            "run", "loop_merge", "--size", "test",
+            "--archive", dir.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{out:?}");
+    }
+
+    // Asking for far more runs than the archive holds must not panic or
+    // error: the window clamps to everything committed.
+    let out = optiwise(&["query", dir.to_str().unwrap(), "--last", "100"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.matches("loop_merge").count() >= 2, "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn coverage_flip_diffs_as_coverage_change_not_regression() {
+    // An exhaustive run counts every function; a selective run with an
+    // aggressive hotness cutoff leaves cold functions sampling-only. The
+    // diff must report those rows as coverage changes, not regressions,
+    // and must not apply the zero-noise exact-count fallback to them.
+    let dir = std::env::temp_dir().join("optiwise-coverage-flip-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let full = dir.join("full.owp");
+    let selective = dir.join("selective.owp");
+    let out = optiwise(&[
+        "run", "stack_attr", "--size", "test",
+        "--save", full.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = optiwise(&[
+        "run", "stack_attr", "--size", "test",
+        "--selective", "--hot-threshold", "0.9",
+        "--save", selective.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let out = optiwise(&[
+        "diff",
+        full.to_str().unwrap(),
+        selective.to_str().unwrap(),
+        "--fail-on-regression",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("coverage"), "{stdout}");
+    assert!(!stdout.contains("REGRESSION"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -21,6 +21,7 @@
 use std::fmt;
 
 use crate::tables::ProfileTables;
+use crate::types::Coverage;
 
 /// Tuning knobs of a differential analysis.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -53,6 +54,10 @@ pub enum DiffClass {
     Added,
     /// Row exists only in the old run.
     Removed,
+    /// Instrumentation coverage flipped between the runs (e.g. `--selective`
+    /// skipped the function in one run only): the metrics are not comparable,
+    /// so no performance verdict is issued.
+    CoverageChange,
 }
 
 impl DiffClass {
@@ -62,7 +67,8 @@ impl DiffClass {
             DiffClass::Improvement => 1,
             DiffClass::Added => 2,
             DiffClass::Removed => 3,
-            DiffClass::Noise => 4,
+            DiffClass::CoverageChange => 4,
+            DiffClass::Noise => 5,
         }
     }
 }
@@ -75,6 +81,7 @@ impl fmt::Display for DiffClass {
             DiffClass::Noise => "noise",
             DiffClass::Added => "added",
             DiffClass::Removed => "removed",
+            DiffClass::CoverageChange => "coverage",
         })
     }
 }
@@ -114,6 +121,9 @@ pub struct DiffSide {
     pub execs: u64,
     /// Cycles per execution, when the row executed.
     pub cpi: Option<f64>,
+    /// Instrumentation coverage of the row, when the granularity tracks it
+    /// (functions do, loops and lines do not).
+    pub coverage: Option<Coverage>,
 }
 
 /// An aligned row of the differential report.
@@ -159,7 +169,7 @@ impl DiffReport {
                 DiffClass::Regression => reg += 1,
                 DiffClass::Improvement => imp += 1,
                 DiffClass::Noise => noise += 1,
-                DiffClass::Added | DiffClass::Removed => {}
+                DiffClass::Added | DiffClass::Removed | DiffClass::CoverageChange => {}
             }
         }
         (reg, imp, noise)
@@ -198,6 +208,7 @@ pub fn diff_tables(old: &ProfileTables, new: &ProfileTables, options: DiffOption
                     samples: f.self_samples,
                     execs: f.self_insns,
                     cpi: f.cpi(),
+                    coverage: Some(f.coverage),
                 },
             )
         }),
@@ -209,6 +220,7 @@ pub fn diff_tables(old: &ProfileTables, new: &ProfileTables, options: DiffOption
                     samples: f.self_samples,
                     execs: f.self_insns,
                     cpi: f.cpi(),
+                    coverage: Some(f.coverage),
                 },
             )
         }),
@@ -230,6 +242,7 @@ pub fn diff_tables(old: &ProfileTables, new: &ProfileTables, options: DiffOption
                     samples: l.samples,
                     execs: l.total_insns,
                     cpi: l.cpi(),
+                    coverage: None,
                 },
             )
         }),
@@ -241,6 +254,7 @@ pub fn diff_tables(old: &ProfileTables, new: &ProfileTables, options: DiffOption
                     samples: l.samples,
                     execs: l.total_insns,
                     cpi: l.cpi(),
+                    coverage: None,
                 },
             )
         }),
@@ -255,6 +269,7 @@ pub fn diff_tables(old: &ProfileTables, new: &ProfileTables, options: DiffOption
                     samples: l.samples,
                     execs: l.count,
                     cpi: l.cpi(),
+                    coverage: None,
                 },
             )
         }),
@@ -266,6 +281,7 @@ pub fn diff_tables(old: &ProfileTables, new: &ProfileTables, options: DiffOption
                     samples: l.samples,
                     execs: l.count,
                     cpi: l.cpi(),
+                    coverage: None,
                 },
             )
         }),
@@ -294,11 +310,19 @@ fn align(
             samples: 0,
             execs: 0,
             cpi: None,
+            coverage: None,
         });
         s.cycles += side.cycles;
         s.samples += side.samples;
         s.execs += side.execs;
         s.cpi = (s.execs > 0).then(|| s.cycles as f64 / s.execs as f64);
+        // Any partially-covered contribution taints the merged row.
+        s.coverage = match (s.coverage, side.coverage) {
+            (Some(Coverage::SamplingOnly), _) | (_, Some(Coverage::SamplingOnly)) => {
+                Some(Coverage::SamplingOnly)
+            }
+            (a, b) => a.or(b),
+        };
     };
     for (key, side) in old {
         accumulate(&mut merged.entry(key).or_default().0, side);
@@ -354,6 +378,19 @@ fn classify(
         (None, None) => unreachable!("row without either side"),
     };
 
+    // A coverage flip (e.g. `--selective` instrumented the function in one
+    // run only) means one side's counts and CPI are estimates while the
+    // other's are exact: no performance verdict is defensible, so report the
+    // row as a coverage change rather than a spurious regression.
+    let coverage_flip = match (old_side.coverage, new_side.coverage) {
+        (Some(a), Some(b)) => a != b,
+        _ => false,
+    };
+    // When either side is sampling-only its "counts" are reconstructed, not
+    // exact, so the zero-noise execution-count fallback below is off-limits.
+    let counts_exact = old_side.coverage != Some(Coverage::SamplingOnly)
+        && new_side.coverage != Some(Coverage::SamplingOnly);
+
     // Prefer CPI (normalises away iteration-count changes). A row with zero
     // samples on either side has an unbounded cycle estimate — its CPI is
     // meaningless and the z-bound below would be infinite, silently burying
@@ -362,7 +399,7 @@ fn classify(
     // Rows that also lack counts fall back to raw cycles (and stay noise).
     let degraded = old_side.samples == 0 || new_side.samples == 0;
     let (metric, old_value, new_value) = match (old_side.cpi, new_side.cpi) {
-        _ if degraded && old_side.execs > 0 && new_side.execs > 0 => (
+        _ if degraded && counts_exact && old_side.execs > 0 && new_side.execs > 0 => (
             DiffMetric::Execs,
             old_side.execs as f64,
             new_side.execs as f64,
@@ -391,7 +428,9 @@ fn classify(
         f64::INFINITY
     };
     let significant = delta_pct.abs() > options.threshold_pct.max(noise_pct);
-    let class = if !significant {
+    let class = if coverage_flip {
+        DiffClass::CoverageChange
+    } else if !significant {
         DiffClass::Noise
     } else if delta_pct > 0.0 {
         DiffClass::Regression
@@ -587,6 +626,42 @@ mod tests {
         let row = &report.functions[0];
         assert_eq!(row.metric, DiffMetric::Cycles);
         assert_eq!(row.class, DiffClass::Regression, "{row:?}");
+    }
+
+    #[test]
+    fn coverage_flip_is_a_coverage_change_not_a_regression() {
+        // Old run counted the function exhaustively; the new run's selective
+        // instrumentation skipped it, so its counts collapse and its cycles
+        // swing. Without coverage tracking this aligns as a huge Execs
+        // regression; it must surface as a coverage change instead.
+        let old = tables(1000, 400, 1000);
+        let mut new = tables(9000, 0, 1000);
+        new.functions[0].coverage = Coverage::SamplingOnly;
+        new.functions[0].self_insns = 0;
+        let report = diff_tables(&old, &new, DiffOptions::default());
+        let row = &report.functions[0];
+        assert_eq!(row.class, DiffClass::CoverageChange, "{row:?}");
+        // Coverage changes never count toward --fail-on-regression.
+        assert!(!report.has_regressions());
+        // Loops and lines carry no coverage, so they classify as usual.
+        assert!(report.loops.iter().all(|r| r.class != DiffClass::CoverageChange));
+    }
+
+    #[test]
+    fn sampling_only_rows_never_use_the_exact_count_fallback() {
+        // Both runs skipped the function: coverage agrees (no flip), but the
+        // counts are reconstructions, so the zero-noise Execs comparison
+        // would manufacture certainty. The row must fall back to cycles and
+        // stay inside the unbounded noise band.
+        let mut old = tables(1000, 0, 1000);
+        let mut new = tables(9000, 0, 9000);
+        for t in [&mut old, &mut new] {
+            t.functions[0].coverage = Coverage::SamplingOnly;
+        }
+        let report = diff_tables(&old, &new, DiffOptions::default());
+        let row = &report.functions[0];
+        assert_ne!(row.metric, DiffMetric::Execs, "{row:?}");
+        assert_eq!(row.class, DiffClass::Noise, "{row:?}");
     }
 
     #[test]

@@ -225,6 +225,78 @@ pub fn tables_json(tables: &ProfileTables) -> String {
     )
 }
 
+/// Quotes `s` as a YAML double-quoted scalar. JSON string escapes are a
+/// subset of YAML's double-quoted escapes, so the JSON escaper is reused.
+fn yaml_str(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
+/// A stored profile's tables as one YAML document with the same shape as
+/// [`tables_json`]: `summary`, `modules`, `functions`, `loops`.
+pub fn tables_yaml(tables: &ProfileTables) -> String {
+    let mut out = String::from("---\n");
+    let _ = writeln!(out, "summary:");
+    let _ = writeln!(out, "  mode: {:?}", tables.mode);
+    let _ = writeln!(out, "  wall_cycles: {}", tables.wall_cycles);
+    let _ = writeln!(out, "  total_cycles: {}", tables.total_cycles);
+    let _ = writeln!(out, "  total_insns: {}", tables.total_insns);
+    if tables.modules.is_empty() {
+        let _ = writeln!(out, "modules: []");
+    } else {
+        let _ = writeln!(out, "modules:");
+        for m in &tables.modules {
+            let _ = writeln!(out, "  - {}", yaml_str(m));
+        }
+    }
+    if tables.functions.is_empty() {
+        let _ = writeln!(out, "functions: []");
+    } else {
+        let _ = writeln!(out, "functions:");
+        for f in &tables.functions {
+            let _ = writeln!(out, "  - module: {}", f.module);
+            let _ = writeln!(out, "    function: {}", yaml_str(&f.name));
+            let _ = writeln!(out, "    self_cycles: {}", f.self_cycles);
+            let _ = writeln!(out, "    incl_cycles: {}", f.incl_cycles);
+            let _ = writeln!(out, "    self_samples: {}", f.self_samples);
+            let _ = writeln!(out, "    self_insns: {}", f.self_insns);
+            let _ = writeln!(out, "    incl_insns: {}", f.incl_insns);
+            let _ = writeln!(out, "    ipc: {}", json_opt(f.ipc()));
+            let _ = writeln!(out, "    cpi: {}", json_opt(f.cpi()));
+        }
+    }
+    if tables.loops.is_empty() {
+        let _ = writeln!(out, "loops: []");
+    } else {
+        let _ = writeln!(out, "loops:");
+        for l in &tables.loops {
+            let _ = writeln!(out, "  - module: {}", l.module);
+            let _ = writeln!(out, "    function: {}", yaml_str(&l.function));
+            let _ = writeln!(out, "    header_offset: {}", l.header_offset);
+            let _ = writeln!(out, "    depth: {}", l.depth);
+            let _ = writeln!(out, "    iterations: {}", l.iterations);
+            let _ = writeln!(out, "    invocations: {}", l.invocations);
+            let _ = writeln!(out, "    body_insns: {}", l.body_insns);
+            let _ = writeln!(out, "    total_insns: {}", l.total_insns);
+            let _ = writeln!(out, "    cycles: {}", l.cycles);
+            let _ = writeln!(out, "    samples: {}", l.samples);
+            let _ = writeln!(out, "    insns_per_iter: {:.2}", l.insns_per_iteration());
+            let _ = writeln!(out, "    cpi: {}", json_opt(l.cpi()));
+            match &l.lines {
+                Some((file, lo, hi)) => {
+                    let _ = writeln!(out, "    lines:");
+                    let _ = writeln!(out, "      file: {}", yaml_str(file));
+                    let _ = writeln!(out, "      lo: {lo}");
+                    let _ = writeln!(out, "      hi: {hi}");
+                }
+                None => {
+                    let _ = writeln!(out, "    lines: null");
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +384,24 @@ mod tests {
         assert_eq!(json_escape("a\\b"), "a\\\\b");
         assert_eq!(json_escape("a\nb\t"), "a\\nb\\t");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn yaml_export_mirrors_tables() {
+        let a = analysis();
+        let t = ProfileTables::from_analysis(&a);
+        let doc = tables_yaml(&t);
+        assert!(doc.starts_with("---\n"), "{doc}");
+        assert!(doc.contains("summary:"), "{doc}");
+        assert!(doc.contains("  - \"csv\""), "{doc}");
+        assert!(doc.contains("function: \"_start\""), "{doc}");
+        // One `function:` entry per function row, same cardinality as JSON.
+        assert_eq!(
+            doc.matches("\n    function: ").count(),
+            t.functions.len() + t.loops.len(),
+        );
+        // Deterministic: rendering twice yields identical bytes.
+        assert_eq!(doc, tables_yaml(&t));
     }
 
     #[test]

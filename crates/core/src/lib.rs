@@ -29,6 +29,7 @@ mod runner;
 pub mod selfcheck;
 mod tables;
 mod types;
+mod xfrm;
 
 pub use analysis::{
     Analysis, AnalysisMode, AnalysisOptions, JoinDiagnostics, ModuleAnalysis,
@@ -44,3 +45,4 @@ pub use runner::{
 pub use wiser_sim::{CancelCause, CancelToken};
 pub use tables::ProfileTables;
 pub use types::{Coverage, FuncStats, InsnRow, LineStats, LoopStats};
+pub use xfrm::{TransformKind, TransformLog, TransformRecord};

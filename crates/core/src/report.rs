@@ -278,7 +278,9 @@ fn diff_table(rows: &[DiffRow], limit: usize) -> String {
             (None, None) => ("-".to_string(), "-".to_string()),
         };
         let delta = match r.class {
-            DiffClass::Added | DiffClass::Removed => format!("{:>9}", "-"),
+            DiffClass::Added | DiffClass::Removed | DiffClass::CoverageChange => {
+                format!("{:>9}", "-")
+            }
             _ if r.delta_pct.is_infinite() => format!("{:>9}", "+inf"),
             _ => format!("{:>+8.1}%", r.delta_pct),
         };

@@ -1,6 +1,8 @@
 //! Assembler: programmatic builder and text front-end.
 
 mod builder;
+mod print;
 pub(crate) mod text;
 
 pub use builder::{Asm, Label, Target};
+pub use print::module_to_text;

@@ -408,6 +408,24 @@ impl<'a> Operands<'a> {
     }
 }
 
+/// Parses `sym`, `sym+imm` or `sym-imm` (the `la` operand form).
+fn parse_symbol_addend(s: &str) -> Result<(&str, i64), String> {
+    let s = s.trim();
+    let split = s.char_indices().find(|&(i, c)| (c == '+' || c == '-') && i > 0);
+    let (sym, addend) = match split {
+        Some((i, _)) => {
+            let addend =
+                parse_int(&s[i..]).ok_or_else(|| format!("bad symbol offset `{}`", &s[i..]))?;
+            (&s[..i], addend)
+        }
+        None => (s, 0),
+    };
+    if !is_ident(sym) {
+        return Err(format!("bad symbol `{sym}`"));
+    }
+    Ok((sym, addend))
+}
+
 struct MemOperand {
     base: Gpr,
     index: Option<(Gpr, Scale)>,
@@ -519,8 +537,8 @@ fn parse_insn(asm: &mut Asm, mnemonic: &str, tail: &str) -> Result<(), String> {
         }
         "la" => {
             ops.count(2, mnemonic)?;
-            let sym = ops.target(1)?;
-            asm.la(ops.gpr(0)?, sym);
+            let (sym, addend) = parse_symbol_addend(ops.parts[1])?;
+            asm.la_off(ops.gpr(0)?, sym, addend);
         }
         "mov" => {
             ops.count(2, mnemonic)?;

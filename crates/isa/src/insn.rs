@@ -46,6 +46,21 @@ impl Cond {
         }
     }
 
+    /// The logically opposite condition on the same operands:
+    /// `self.eval(a, b) != self.inverse().eval(a, b)` for every `a`, `b`.
+    /// Lets a rewriter flip a branch's polarity when swapping its taken and
+    /// fall-through successors.
+    pub fn inverse(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lt => Cond::Ge,
+            Cond::Ge => Cond::Lt,
+            Cond::Ltu => Cond::Geu,
+            Cond::Geu => Cond::Ltu,
+        }
+    }
+
     /// Mnemonic suffix (`eq`, `ne`, ...).
     pub fn mnemonic(self) -> &'static str {
         match self {
@@ -831,6 +846,19 @@ mod tests {
         assert!(Cond::Geu.eval((-1i64) as u64, 0));
         assert!(Cond::Ne.eval(1, 2));
         assert!(Cond::Ge.eval(5, 5));
+    }
+
+    #[test]
+    fn cond_inverse_is_exact_negation() {
+        let samples = [0u64, 1, 7, (-1i64) as u64, i64::MIN as u64, u64::MAX];
+        for cond in Cond::all() {
+            assert_eq!(cond.inverse().inverse(), cond);
+            for &a in &samples {
+                for &b in &samples {
+                    assert_ne!(cond.eval(a, b), cond.inverse().eval(a, b), "{cond:?} {a} {b}");
+                }
+            }
+        }
     }
 
     #[test]

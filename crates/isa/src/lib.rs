@@ -44,6 +44,7 @@ mod insn;
 mod module;
 mod reg;
 
+pub use asm::module_to_text;
 pub use asm::text::assemble;
 pub use disasm::{format_insn, DisasmLine, Disassembly};
 pub use encode::{decode_at, decode_insn, encode_insn};

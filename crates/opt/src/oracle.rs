@@ -1,0 +1,57 @@
+//! Differential oracle: the rewritten program must be observationally
+//! identical to the baseline on every generated input.
+//!
+//! Both module sets are loaded and run under the functional interpreter for
+//! a range of input seeds (the seed drives the simulated `rand` syscall, so
+//! each seed is a distinct workload input, including inputs the profile
+//! never saw). Exit status and program output must match exactly; retired
+//! instruction counts are allowed to differ — changing them is the point.
+
+use wiser_isa::Module;
+use wiser_sim::{Interp, LoadConfig, ProcessImage};
+
+use crate::OptError;
+
+/// One observable outcome of a functional run.
+#[derive(Debug, PartialEq, Eq)]
+struct Observation {
+    outcome: Result<i64, String>,
+    output: String,
+}
+
+fn observe(modules: &[Module], seed: u64, max_insns: u64) -> Result<Observation, OptError> {
+    let image = ProcessImage::load(modules, &LoadConfig::default())
+        .map_err(|e| OptError::Rewrite(format!("oracle load failed: {e}")))?;
+    let mut interp = Interp::new(&image, seed)
+        .map_err(|e| OptError::Rewrite(format!("oracle init failed: {e}")))?;
+    let outcome = interp.run(max_insns).map_err(|e| e.to_string());
+    Ok(Observation {
+        outcome,
+        output: interp.output_string(),
+    })
+}
+
+/// Runs `baseline` and `rewritten` on `seeds` generated inputs and returns
+/// [`OptError::Divergence`] on the first observable difference.
+pub fn oracle_check(
+    baseline: &[Module],
+    rewritten: &[Module],
+    seeds: u64,
+    max_insns: u64,
+) -> Result<(), OptError> {
+    for seed in 0..seeds {
+        let want = observe(baseline, seed, max_insns)?;
+        let got = observe(rewritten, seed, max_insns)?;
+        if want != got {
+            return Err(OptError::Divergence(format!(
+                "seed {seed}: baseline exited {:?} with {} output bytes, \
+                 rewritten exited {:?} with {} output bytes",
+                want.outcome,
+                want.output.len(),
+                got.outcome,
+                got.output.len()
+            )));
+        }
+    }
+    Ok(())
+}

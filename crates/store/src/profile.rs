@@ -27,7 +27,7 @@ use std::collections::HashMap;
 
 use optiwise::{
     AnalysisMode, Coverage, FuncStats, LineStats, LoopStats, OptiwiseError, OptiwiseRun,
-    ProfileTables, StoreError,
+    ProfileTables, StoreError, TransformKind, TransformLog, TransformRecord,
 };
 use wiser_dbi::{BlockCount, CounterPlacement, CountsProfile, InstrumentationCost, TermKind};
 use wiser_sampler::{Sample, SampleProfile};
@@ -40,6 +40,7 @@ pub(crate) const TAG_SAMP: [u8; 4] = *b"SAMP";
 pub(crate) const TAG_CNTS: [u8; 4] = *b"CNTS";
 const TAG_TABL: [u8; 4] = *b"TABL";
 const TAG_COVR: [u8; 4] = *b"COVR";
+const TAG_XFRM: [u8; 4] = *b"XFRM";
 
 /// Identity of a stored run, for labelling reports and diffs.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -66,6 +67,10 @@ pub struct StoredProfile {
     /// The joined analysis tables (always present — the part `show` and
     /// `diff` operate on).
     pub tables: ProfileTables,
+    /// Provenance of profile-guided rewrites that produced the profiled
+    /// binary (empty for ordinary profiling runs; stored as an `XFRM`
+    /// section only when non-empty, so older readers skip it).
+    pub transforms: TransformLog,
 }
 
 impl StoredProfile {
@@ -81,6 +86,7 @@ impl StoredProfile {
             samples: Some(run.samples.clone()),
             counts: Some(run.counts.clone()),
             tables: ProfileTables::from_analysis(&run.analysis),
+            transforms: TransformLog::default(),
         }
     }
 
@@ -96,6 +102,9 @@ impl StoredProfile {
         }
         sections.push((TAG_TABL, encode_tables(&self.tables)));
         sections.push((TAG_COVR, encode_coverage(&self.tables)));
+        if !self.transforms.is_empty() {
+            sections.push((TAG_XFRM, encode_transforms(&self.transforms)));
+        }
         write_store(&sections)
     }
 
@@ -118,6 +127,7 @@ impl StoredProfile {
         let mut counts = None;
         let mut tables = None;
         let mut coverage: Option<(u64, Vec<Coverage>)> = None;
+        let mut transforms = TransformLog::default();
         for section in read_sections(data)? {
             let mut r = ByteReader::new(section.payload, section.payload_offset, section.tag_name());
             match section.tag {
@@ -157,6 +167,11 @@ impl StoredProfile {
                     let c = decode_coverage(&mut r)?;
                     r.expect_end()?;
                     coverage = Some((start, c));
+                }
+                TAG_XFRM => {
+                    let t = decode_transforms(&mut r)?;
+                    r.expect_end()?;
+                    transforms = t;
                 }
                 _ => {} // unknown but checksum-valid: skip (forward compat)
             }
@@ -198,6 +213,7 @@ impl StoredProfile {
             samples,
             counts,
             tables,
+            transforms,
         })
     }
 
@@ -574,6 +590,50 @@ fn decode_coverage(r: &mut ByteReader<'_>) -> Result<Vec<Coverage>, StoreError> 
     Ok(out)
 }
 
+/// Transform provenance: which profile-guided rewrites produced the binary
+/// this profile describes. Framed like every other section (CRC32 over
+/// tag+payload), count-prefixed, unknown kinds rejected.
+fn encode_transforms(log: &TransformLog) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.len(log.records.len());
+    for rec in &log.records {
+        w.u32(rec.module);
+        w.string(&rec.function);
+        w.u8(rec.kind.code());
+        w.string(&rec.detail);
+    }
+    w.len(log.notes.len());
+    for note in &log.notes {
+        w.string(note);
+    }
+    w.into_bytes()
+}
+
+fn decode_transforms(r: &mut ByteReader<'_>) -> Result<TransformLog, StoreError> {
+    let n = r.len(7, "transform record count")?;
+    let mut records = Vec::with_capacity(n);
+    for _ in 0..n {
+        let module = r.u32("transform module")?;
+        let function = r.string("transform function")?;
+        let code = r.u8("transform kind")?;
+        let kind = TransformKind::from_code(code)
+            .ok_or_else(|| r.error(format!("unknown transform kind {code}")))?;
+        let detail = r.string("transform detail")?;
+        records.push(TransformRecord {
+            module,
+            function,
+            kind,
+            detail,
+        });
+    }
+    let n = r.len(2, "transform note count")?;
+    let mut notes = Vec::with_capacity(n);
+    for _ in 0..n {
+        notes.push(r.string("transform note")?);
+    }
+    Ok(TransformLog { records, notes })
+}
+
 fn encode_tables(t: &ProfileTables) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.u8(mode_code(t.mode));
@@ -755,6 +815,36 @@ mod tests {
         .unwrap();
         let run = run_optiwise(&[module], &OptiwiseConfig::default()).unwrap();
         StoredProfile::from_run("store_test", &run, 0)
+    }
+
+    #[test]
+    fn transform_log_round_trips_in_the_xfrm_section() {
+        let mut p = stored();
+        // Ordinary runs write no XFRM section and decode to an empty log.
+        let plain = StoredProfile::from_bytes(&p.to_bytes()).unwrap();
+        assert!(plain.transforms.is_empty());
+
+        p.transforms = TransformLog {
+            records: vec![
+                TransformRecord {
+                    module: 0,
+                    function: "_start".into(),
+                    kind: TransformKind::Layout,
+                    detail: "reordered 4 blocks".into(),
+                },
+                TransformRecord {
+                    module: 0,
+                    function: "dispatch".into(),
+                    kind: TransformKind::CallPromotion,
+                    detail: "callr@0x40 -> handler (980/1000 calls)".into(),
+                },
+            ],
+            notes: vec!["m:f: kept original layout (computed jump)".into()],
+        };
+        let bytes = p.to_bytes();
+        let back = StoredProfile::from_bytes(&bytes).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.to_bytes(), bytes);
     }
 
     #[test]
