@@ -12,8 +12,8 @@
 //! lists them commits. That ordering is what makes every crash window
 //! recoverable (see the crate docs for the full protocol).
 
-use optiwise::StoreError;
-use wiser_store::format::{read_sections, write_store, ByteReader, ByteWriter};
+use optiwise::{ResourceLimits, StoreError};
+use wiser_store::format::{read_sections, write_store, ByteReader, ByteWriter, DecodeBudget};
 
 /// Archive format version, stored in the `MFST` payload. Readers accept
 /// exactly this version.
@@ -162,13 +162,33 @@ impl Manifest {
     ///
     /// Returns a [`StoreError`] locating the first problem.
     pub fn from_bytes(data: &[u8]) -> Result<Manifest, StoreError> {
+        Manifest::from_bytes_limited(data, &ResourceLimits::default())
+    }
+
+    /// [`Manifest::from_bytes`] under an explicit allocation budget: the
+    /// entry count is charged at its in-memory size before the table is
+    /// allocated, so a hostile manifest fails closed instead of aborting
+    /// on OOM.
+    ///
+    /// # Errors
+    ///
+    /// As [`Manifest::from_bytes`], plus budget-exceeded failures.
+    pub fn from_bytes_limited(
+        data: &[u8],
+        limits: &ResourceLimits,
+    ) -> Result<Manifest, StoreError> {
+        let budget = DecodeBudget::new(limits.max_decode_alloc);
         let mut found = None;
         for section in read_sections(data)? {
             if section.tag != TAG_MFST {
                 continue; // unknown but checksum-valid: skip (forward compat)
             }
-            let mut r =
-                ByteReader::new(section.payload, section.payload_offset, section.tag_name());
+            let mut r = ByteReader::with_budget(
+                section.payload,
+                section.payload_offset,
+                section.tag_name(),
+                budget.clone(),
+            );
             let version = r.u32("archive version")?;
             if version != ARCHIVE_VERSION {
                 return Err(r.error(format!(
@@ -176,7 +196,11 @@ impl Manifest {
                 )));
             }
             let next_run_id = r.u64("next_run_id")?;
-            let count = r.len(30, "manifest entries")?;
+            let count = r.len_mem(
+                30,
+                std::mem::size_of::<ManifestEntry>(),
+                "manifest entries",
+            )?;
             let mut entries = Vec::with_capacity(count);
             let mut last_id = None;
             for _ in 0..count {
@@ -340,6 +364,23 @@ mod tests {
             .unwrap_err()
             .message
             .contains("next_run_id"));
+    }
+
+    #[test]
+    fn decode_bomb_entry_count_fails_closed_under_budget() {
+        let mut m = Manifest::new();
+        for id in 1..=64 {
+            m.insert(entry(id, RunStatus::Committed));
+        }
+        let image = m.to_bytes();
+        let limits = optiwise::ResourceLimits {
+            max_decode_alloc: 256,
+            ..optiwise::ResourceLimits::default()
+        };
+        let err = Manifest::from_bytes_limited(&image, &limits).unwrap_err();
+        assert!(err.message.contains("budget"), "{err}");
+        // The production default budget decodes the same image fine.
+        assert_eq!(Manifest::from_bytes(&image).unwrap(), m);
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!
 //! Admission is a bounded counter (`--queue N`, queued + running): a full
 //! daemon answers `{"ok":false,"error":"busy"}` immediately instead of
-//! building unbounded backlog. Each admitted job gets its own
+//! building unbounded backlog. Resource exhaustion is rejected separately
+//! as `{"ok":false,"error":"overloaded"}` — low disk headroom under the
+//! archive (`--min-headroom`) or too many admitted request bytes
+//! (`--max-queued-bytes`) — and the socket reader itself is bounded
+//! (`--max-line-bytes`), so no client can grow the daemon's heap by
+//! withholding a newline. Each admitted job gets its own
 //! [`CancelToken`], armed with `--job-deadline` at *admission* (the budget
 //! includes queue wait: a stuck daemon must not hold clients forever).
 //! Jobs run on the shared `wiser-par` worker pool, checkpoint into the
@@ -62,6 +67,15 @@ options:
   --seed N                default random seed for jobs that name none
   --checkpoint-every N    job checkpoint cadence in committed instructions
                           (default: 1000000)
+  --max-line-bytes N      cap on one request line (default: 65536); a
+                          newline-free flood gets a typed error frame after
+                          at most N buffered bytes and the connection closes
+  --min-headroom N        free bytes the archive filesystem must have to
+                          admit a job (default: 1048576); below it submits
+                          answer `overloaded` instead of failing mid-commit
+  --max-queued-bytes N    cap on admitted-but-unfinished request bytes
+                          (default: 1048576); beyond it submits answer
+                          `overloaded`
   --inject SPEC           deterministic fault injection (tests)
 protocol (one JSON object per line):
   {\"cmd\":\"ping\"}
@@ -106,7 +120,7 @@ pub fn daemon_main() -> ExitCode {
 #[cfg(unix)]
 mod imp {
     use std::collections::{BTreeMap, VecDeque};
-    use std::io::{BufRead, BufReader, Write};
+    use std::io::Write;
     use std::os::unix::net::{UnixListener, UnixStream};
     use std::path::Path;
     use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -150,6 +164,9 @@ mod imp {
         connections: AtomicUsize,
         /// Admitted jobs waiting for the accept loop to pool them.
         job_queue: Mutex<VecDeque<Job>>,
+        /// Bytes of admitted-but-unfinished request lines, bounded by
+        /// `--max-queued-bytes`; admission beyond it answers `overloaded`.
+        queued_bytes: AtomicU64,
     }
 
     /// Locks without poisoning games: a panicked holder's state is still
@@ -166,6 +183,58 @@ mod imp {
         fn drop(&mut self) {
             self.0.fetch_sub(1, Ordering::AcqRel);
         }
+    }
+
+    /// Releases a request's byte charge from the queued-bytes budget when
+    /// dropped, panic or not.
+    struct ByteGuard<'a>(&'a AtomicU64, u64);
+
+    impl Drop for ByteGuard<'_> {
+        fn drop(&mut self) {
+            self.0.fetch_sub(self.1, Ordering::AcqRel);
+        }
+    }
+
+    /// Free bytes available to unprivileged writers on `path`'s
+    /// filesystem, or `None` where the probe is unsupported (the headroom
+    /// check is then disabled rather than guessed).
+    #[cfg(target_os = "linux")]
+    fn disk_headroom(path: &Path) -> Option<u64> {
+        use std::os::unix::ffi::OsStrExt;
+
+        // glibc x86-64 `struct statvfs`: eleven word-sized fields and
+        // padding. Declared here because the build is hermetic (no libc
+        // crate); the layout is ABI-stable.
+        #[repr(C)]
+        struct Statvfs {
+            f_bsize: u64,
+            f_frsize: u64,
+            f_blocks: u64,
+            f_bfree: u64,
+            f_bavail: u64,
+            f_files: u64,
+            f_ffree: u64,
+            f_favail: u64,
+            f_fsid: u64,
+            f_flag: u64,
+            f_namemax: u64,
+            __f_spare: [i32; 6],
+        }
+        extern "C" {
+            fn statvfs(path: *const std::os::raw::c_char, buf: *mut Statvfs) -> i32;
+        }
+        let cpath = std::ffi::CString::new(path.as_os_str().as_bytes()).ok()?;
+        let mut buf = std::mem::MaybeUninit::<Statvfs>::zeroed();
+        if unsafe { statvfs(cpath.as_ptr(), buf.as_mut_ptr()) } != 0 {
+            return None;
+        }
+        let buf = unsafe { buf.assume_init() };
+        Some(buf.f_bavail.saturating_mul(buf.f_frsize))
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    fn disk_headroom(_path: &Path) -> Option<u64> {
+        None
     }
 
     pub fn serve(opts: Options) -> Result<(), OptiwiseError> {
@@ -220,6 +289,7 @@ mod imp {
             tokens: Mutex::new(Vec::new()),
             connections: AtomicUsize::new(0),
             job_queue: Mutex::new(VecDeque::new()),
+            queued_bytes: AtomicU64::new(0),
             opts,
         });
         eprintln!(
@@ -319,20 +389,29 @@ mod imp {
             .unwrap_or(0)
     }
 
-    /// One connection: one request line, one response line.
+    /// One connection: one request line, one response line. The read is
+    /// bounded by `--max-line-bytes`: a newline-free flood gets a typed
+    /// error frame after at most that many buffered bytes, and the
+    /// connection closes with the rest of the flood unread.
     fn handle_connection(daemon: &Arc<Daemon>, stream: UnixStream) {
         // A client that connects and never writes must not pin the drain.
         let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
         let Ok(read_half) = stream.try_clone() else {
             return;
         };
-        let mut line = String::new();
-        if BufReader::new(read_half).read_line(&mut line).is_err() {
-            return;
-        }
-        let response = match jsonl::parse_object(&line) {
-            Err(e) => error_response(&format!("bad request: {e}")),
-            Ok(request) => dispatch(daemon, &request),
+        let max = daemon.opts.limits.max_line_bytes;
+        let response = match jsonl::read_bounded_line(read_half, max) {
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                error_response(&format!("bad request: {e}"))
+            }
+            Err(_) => return, // peer gone or timed out: nobody to answer
+            Ok(jsonl::LineRead::TooLong) => {
+                error_response(&format!("request line exceeds {max} bytes"))
+            }
+            Ok(jsonl::LineRead::Line(line)) => match jsonl::parse_object(&line) {
+                Err(e) => error_response(&format!("bad request: {e}")),
+                Ok(request) => dispatch(daemon, &request, line.len() as u64),
+            },
         };
         let mut stream = stream;
         let _ = stream.write_all(format!("{}\n", jsonl::to_line(&response)).as_bytes());
@@ -345,7 +424,7 @@ mod imp {
         ])
     }
 
-    fn dispatch(daemon: &Arc<Daemon>, request: &Response) -> Response {
+    fn dispatch(daemon: &Arc<Daemon>, request: &Response, request_bytes: u64) -> Response {
         let cmd = match request.get("cmd") {
             Some(Value::Str(s)) => s.as_str(),
             _ => return error_response("request needs a string `cmd`"),
@@ -360,7 +439,7 @@ mod imp {
                     ("draining".to_string(), Value::Bool(true)),
                 ])
             }
-            "submit" => submit(daemon, request),
+            "submit" => submit(daemon, request, request_bytes),
             other => error_response(&format!("unknown cmd `{other}`")),
         }
     }
@@ -381,8 +460,18 @@ mod imp {
         ])
     }
 
+    /// A typed `overloaded` rejection: the daemon is healthy but a
+    /// resource budget (disk headroom, queued request bytes) is exhausted.
+    /// Distinct from `busy` (queue slots) so clients can tell "retry
+    /// shortly" from "the host needs attention".
+    fn overloaded_response(reason: &str) -> Response {
+        let mut response = error_response("overloaded");
+        response.insert("reason".to_string(), Value::Str(reason.to_string()));
+        response
+    }
+
     /// Admission, scheduling and the blocking wait for one job's result.
-    fn submit(daemon: &Arc<Daemon>, request: &Response) -> Response {
+    fn submit(daemon: &Arc<Daemon>, request: &Response, request_bytes: u64) -> Response {
         let workload = match request.get("workload") {
             Some(Value::Str(s)) if !s.is_empty() => s.clone(),
             _ => return error_response("submit needs a string `workload`"),
@@ -404,6 +493,36 @@ mod imp {
         if daemon.draining.load(Ordering::Acquire) {
             return error_response("draining");
         }
+        // Resource admission: refuse work the daemon could accept but not
+        // safely finish. A commit onto a full disk would ENOSPC after the
+        // job burned its cycles — checking headroom here fails the cheap
+        // way instead.
+        let min_headroom = daemon.opts.limits.min_disk_headroom;
+        if min_headroom > 0 {
+            if let Some(dir) = &daemon.opts.archive {
+                if let Some(headroom) = disk_headroom(Path::new(dir)) {
+                    if headroom < min_headroom {
+                        return overloaded_response(&format!(
+                            "archive disk headroom {headroom} below minimum {min_headroom}"
+                        ));
+                    }
+                }
+            }
+        }
+        // Bound the bytes of admitted-but-unfinished request lines, so a
+        // swarm of maximal requests cannot pin unbounded memory behind
+        // the admission counter.
+        let byte_budget = daemon.opts.limits.max_queued_bytes;
+        if daemon
+            .queued_bytes
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |q| {
+                (q.saturating_add(request_bytes) <= byte_budget).then(|| q + request_bytes)
+            })
+            .is_err()
+        {
+            return overloaded_response("queued request bytes budget exhausted");
+        }
+        let _bytes = ByteGuard(&daemon.queued_bytes, request_bytes);
         // Admission: one bounded counter covers queued and running jobs.
         // `fetch_update` makes the slot claim atomic against racing
         // submitters; losers get a typed `busy`, never a silent backlog.

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read};
 
 /// A protocol value: the subset of JSON the daemon wire format uses.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,6 +19,49 @@ pub enum Value {
     Int(u64),
     /// A JSON boolean.
     Bool(bool),
+}
+
+/// Outcome of [`read_bounded_line`]: one line, or proof the peer exceeded
+/// the budget.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LineRead {
+    /// One line, newline stripped (or the whole stream if it ended
+    /// without one while still under budget).
+    Line(String),
+    /// The peer sent more than the budget without a newline. The reader
+    /// stopped buffering at the cap; the rest of the stream is unread.
+    TooLong,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `max_bytes` of it.
+///
+/// This is the daemon's first line of defense against a hostile client:
+/// `BufReader::read_line` on its own buffers until the peer hangs up,
+/// so a newline-free flood grows the daemon's heap without bound. Here
+/// the underlying reader is hard-capped via [`Read::take`] — not one
+/// byte past the budget is ever pulled, let alone buffered.
+///
+/// Invalid UTF-8 surfaces as an [`io::ErrorKind::InvalidData`] error,
+/// exactly as `read_line` reports it.
+pub fn read_bounded_line(reader: impl Read, max_bytes: usize) -> io::Result<LineRead> {
+    // One byte of slack distinguishes "exactly max_bytes then newline"
+    // (fine) from "more than max_bytes and still no newline" (flood).
+    let cap = max_bytes.saturating_add(1);
+    let mut bytes = Vec::new();
+    BufReader::new(reader.take(cap as u64)).read_until(b'\n', &mut bytes)?;
+    if bytes.last() != Some(&b'\n') && bytes.len() >= cap {
+        return Ok(LineRead::TooLong);
+    }
+    if bytes.last() == Some(&b'\n') {
+        bytes.pop();
+    }
+    match String::from_utf8(bytes) {
+        Ok(line) => Ok(LineRead::Line(line)),
+        Err(e) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line is not UTF-8: {e}"),
+        )),
+    }
 }
 
 /// Serialises one flat object as a single JSON line (no trailing newline).
@@ -245,6 +289,40 @@ mod tests {
         assert!(parse_object("{}").unwrap().is_empty());
         let parsed = parse_object(" { \"a\" : 1 , \"b\" : \"x\" } ").unwrap();
         assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn bounded_reader_returns_lines_under_budget() {
+        assert_eq!(
+            read_bounded_line(&b"{\"cmd\":\"ping\"}\nrest of the stream"[..], 64).unwrap(),
+            LineRead::Line("{\"cmd\":\"ping\"}".into())
+        );
+        // A stream that ends without a newline but under budget is a line.
+        assert_eq!(
+            read_bounded_line(&b"{}"[..], 64).unwrap(),
+            LineRead::Line("{}".into())
+        );
+        // Exactly at the budget with a newline is still fine.
+        assert_eq!(
+            read_bounded_line(&b"abcd\n"[..], 4).unwrap(),
+            LineRead::Line("abcd".into())
+        );
+    }
+
+    #[test]
+    fn bounded_reader_stops_buffering_a_newline_free_flood() {
+        let flood = vec![b'x'; 1 << 20];
+        assert_eq!(read_bounded_line(&flood[..], 4096).unwrap(), LineRead::TooLong);
+        // Too long even when a newline exists past the cap.
+        let mut late = vec![b'y'; 8192];
+        late.push(b'\n');
+        assert_eq!(read_bounded_line(&late[..], 4096).unwrap(), LineRead::TooLong);
+    }
+
+    #[test]
+    fn bounded_reader_reports_invalid_utf8_as_data_error() {
+        let err = read_bounded_line(&b"\xff\xfe{}\n"[..], 64).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

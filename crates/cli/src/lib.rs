@@ -53,9 +53,11 @@
 //! 7 regressions found by `diff --fail-on-regression`, 8 deadline exceeded
 //! or cancelled (SIGINT and SIGTERM both land here), 9 injected crash,
 //! 10 join-bug discrepancies found by `selfcheck`, 11 archive damage
-//! repaired by `fsck`, 12 archive unrepairable, 1 usage/io/other.
+//! repaired by `fsck`, 12 archive unrepairable, 13 fuzz invariant
+//! violation, 1 usage/io/other.
 
 pub mod daemon;
+mod fuzz;
 pub mod jsonl;
 
 use std::process::ExitCode;
@@ -64,8 +66,8 @@ use std::time::Duration;
 use optiwise::{
     diff_tables, module_fingerprint, report, run_optiwise, run_optiwise_ctl, Analysis,
     AnalysisMode, AnalysisOptions, CancelToken, DiffOptions, OptiwiseConfig, OptiwiseError,
-    OptiwiseRun, Pass, PassEvent, ProfileKind, ProfileTables, RunControl, StoreError,
-    DEFAULT_DIVERGENCE_THRESHOLD,
+    OptiwiseRun, Pass, PassEvent, ProfileKind, ProfileTables, ResourceLimits, RunControl,
+    StoreError, DEFAULT_DIVERGENCE_THRESHOLD,
 };
 use wiser_store::{Checkpoint, CheckpointSpec, CheckpointWriter, StoredProfile};
 use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
@@ -113,6 +115,8 @@ struct Options {
     job_deadline: Option<f64>,
     max_runs: Option<usize>,
     max_bytes: Option<u64>,
+    surfaces: Vec<String>,
+    limits: ResourceLimits,
 }
 
 /// Checkpoint cadence (committed instructions) when `--checkpoint` is given
@@ -160,6 +164,8 @@ impl Default for Options {
             job_deadline: None,
             max_runs: None,
             max_bytes: None,
+            surfaces: Vec::new(),
+            limits: ResourceLimits::default(),
         }
     }
 }
@@ -329,6 +335,39 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                         .parse()
                         .map_err(|e| format!("bad --max-bytes: {e}"))?,
                 )
+            }
+            "--surface" => {
+                let name = value(&mut i)?;
+                if !fuzz::SURFACE_NAMES.contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown fuzz surface `{name}`; one of: {}",
+                        fuzz::SURFACE_NAMES.join(", ")
+                    ));
+                }
+                opts.surfaces.push(name);
+            }
+            "--max-line-bytes" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --max-line-bytes: {e}"))?;
+                if n < 16 {
+                    return Err("--max-line-bytes must be at least 16".into());
+                }
+                opts.limits.max_line_bytes = n;
+            }
+            "--min-headroom" => {
+                opts.limits.min_disk_headroom = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --min-headroom: {e}"))?
+            }
+            "--max-queued-bytes" => {
+                let n: u64 = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("bad --max-queued-bytes: {e}"))?;
+                if n == 0 {
+                    return Err("--max-queued-bytes must be at least 1".into());
+                }
+                opts.limits.max_queued_bytes = n;
             }
             "--checkpoint" => opts.checkpoint = Some(value(&mut i)?),
             "--checkpoint-every" => {
@@ -1611,6 +1650,12 @@ commands:
   query <archive>       diff the last N committed runs (--last N, default 4)
                         pairwise in parallel; output is byte-identical for
                         every --jobs value
+  fuzz                  deterministic hostile-input sweep over the decode
+                        surfaces (profile, checkpoint, manifest, jsonl);
+                        --seed-range picks the seeds (default 0..256),
+                        --surface repeats to restrict; the report is
+                        byte-identical for every --jobs value and any
+                        invariant violation exits 13 with reproducer seeds
   submit --socket S <workload>
                         run one job on a running optiwised and wait; the
                         exit code mirrors the job's own
@@ -1655,7 +1700,19 @@ options:
   --fail-on-regression    (diff) exit 7 when regressions are found
   --verify                (optimize) exit 7 when the re-profile diff flags a
                           statistically significant regression
-  --seed-range A..B       (selfcheck) seeds to sweep, half-open (default: 0..10)
+  --seed-range A..B       (selfcheck/fuzz) seeds to sweep, half-open
+                          (selfcheck default: 0..10, fuzz default: 0..256)
+  --surface NAME          (fuzz) restrict to one decode surface; repeatable
+                          (profile, checkpoint, manifest, jsonl)
+  --max-line-bytes N      (optiwised) cap on one request line; longer lines
+                          get a typed error frame and the connection closes
+                          (default: 65536)
+  --min-headroom N        (optiwised) free bytes the archive filesystem must
+                          have to admit work; below it submits answer
+                          `overloaded` (default: 1048576)
+  --max-queued-bytes N    (optiwised) cap on admitted-but-unfinished request
+                          bytes; beyond it submits answer `overloaded`
+                          (default: 1048576)
   --archive DIR           (run/resume) also commit the profile to a crash-safe
                           multi-run archive; --max-runs/--max-bytes prune it
   --last N                (query) how many trailing runs to diff (default: 4)
@@ -1667,7 +1724,7 @@ exit codes:
   0 ok   2 load/disasm   3 exec fault   4 truncated   5 divergence
   6 parse error   7 regression   8 deadline/cancelled (SIGINT or SIGTERM)
   9 injected crash   10 selfcheck join bug   11 archive repaired by fsck
-  12 archive unrepairable   1 usage/other
+  12 archive unrepairable   13 fuzz invariant violation   1 usage/other
 ";
 
 /// The `optiwise` binary's entry point (`src/main.rs` is a one-liner into
@@ -1709,6 +1766,7 @@ pub fn cli_main() -> ExitCode {
                 "optimize" => cmd_optimize(&opts),
                 "resume" => cmd_resume(&opts),
                 "selfcheck" => cmd_selfcheck(&opts),
+                "fuzz" => fuzz::cmd_fuzz(&opts),
                 "fsck" => cmd_fsck(&opts),
                 "query" => cmd_query(&opts),
                 "submit" => cmd_submit(&opts),

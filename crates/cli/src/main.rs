@@ -1,5 +1,11 @@
 use std::process::ExitCode;
 
+// Meter per-thread heap usage so `optiwise fuzz` can enforce its
+// allocation-budget invariant; outside fuzzing the tracking is a few
+// thread-local counter updates per allocation.
+#[global_allocator]
+static ALLOC: wiser_chaos::alloc::TrackingAllocator = wiser_chaos::alloc::TrackingAllocator;
+
 fn main() -> ExitCode {
     optiwise_cli::cli_main()
 }

@@ -609,3 +609,59 @@ fn coverage_flip_diffs_as_coverage_change_not_regression() {
     assert!(!stdout.contains("REGRESSION"), "{stdout}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn fuzz_sweep_is_clean_and_jobs_invariant() {
+    let first = optiwise(&["fuzz", "--seed-range", "0..64", "--jobs", "1"]);
+    assert!(first.status.success(), "{first:?}");
+    let second = optiwise(&["fuzz", "--seed-range", "0..64", "--jobs", "8"]);
+    assert!(second.status.success(), "{second:?}");
+    assert_eq!(
+        first.stdout, second.stdout,
+        "fuzz report must be byte-identical for every --jobs value"
+    );
+    let report = String::from_utf8_lossy(&first.stdout);
+    for surface in ["profile", "checkpoint", "manifest", "jsonl"] {
+        assert!(report.contains(surface), "missing surface in report: {report}");
+    }
+    assert!(report.contains("0 violation(s)"), "{report}");
+}
+
+#[test]
+fn fuzz_restricts_surfaces_and_validates_names() {
+    let out = optiwise(&["fuzz", "--seed-range", "0..4", "--surface", "jsonl"]);
+    assert!(out.status.success(), "{out:?}");
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("jsonl"), "{report}");
+    assert!(!report.contains("manifest"), "{report}");
+
+    let out = optiwise(&["fuzz", "--surface", "bogus"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown fuzz surface"), "{err}");
+}
+
+#[test]
+fn reintroduced_decode_bomb_is_caught_with_exit_13() {
+    // WISER_STORE_UNSAFE_PREALLOC=1 bypasses the decode allocation clamps
+    // — deliberately re-introducing the decode-bomb bug class. The fuzz
+    // harness must catch it: planted wire-plausible bombs now allocate
+    // past the engine's budget, and the sweep exits 13 with reproducers.
+    let out = Command::new(env!("CARGO_BIN_EXE_optiwise"))
+        .args(["fuzz", "--seed-range", "0..64", "--surface", "profile"])
+        .env("WISER_STORE_UNSAFE_PREALLOC", "1")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(13), "{out:?}");
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("VIOLATION"), "{report}");
+    assert!(report.contains("alloc-budget"), "{report}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invariant violation"), "{err}");
+    assert!(err.contains("profile:"), "reproducer seeds missing: {err}");
+
+    // The same seeds with the clamps active: every bomb is a clean typed
+    // rejection, and the sweep passes.
+    let out = optiwise(&["fuzz", "--seed-range", "0..64", "--surface", "profile"]);
+    assert!(out.status.success(), "{out:?}");
+}

@@ -408,3 +408,99 @@ fn daemon_boot_heals_damaged_archive() {
     assert!(stderr.contains("repaired on startup"), "{stderr}");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn newline_free_flood_gets_typed_error_and_daemon_survives() {
+    let dir = scratch("flood");
+    let socket = dir.join("d.sock");
+    let sock = socket.to_str().unwrap();
+    let mut daemon = spawn_daemon(&[
+        "--archive", dir.join("archive").to_str().unwrap(),
+        "--socket", sock,
+        "--max-line-bytes", "4096",
+    ]);
+    wait_for_socket(&socket, &mut daemon);
+
+    // A hostile client: a megabyte of request with no newline in sight.
+    // The daemon must stop buffering at its cap, answer with a typed
+    // error frame and close — not grow its heap until the flood ends.
+    let mut stream = UnixStream::connect(&socket).unwrap();
+    let chunk = vec![b'x'; 64 << 10];
+    for _ in 0..16 {
+        // Once the daemon answers and closes, writes fail with EPIPE;
+        // that is the expected end of the flood, not a test failure.
+        if stream.write_all(&chunk).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut response = String::new();
+    let _ = BufReader::new(&stream).read_line(&mut response);
+    assert!(response.contains("\"ok\":false"), "{response}");
+    assert!(response.contains("exceeds 4096 bytes"), "{response}");
+
+    // The connection is closed: nothing follows the error frame.
+    let mut rest = Vec::new();
+    let mut reader = stream;
+    let _ = reader.read_to_end(&mut rest);
+    let after = String::from_utf8_lossy(&rest);
+    assert!(!after.contains("ok"), "connection stayed open: {after}");
+
+    // And the daemon still serves well-behaved clients.
+    let pong = raw_request(&socket, "{\"cmd\":\"ping\"}");
+    assert!(pong.contains("\"ok\":true"), "{pong}");
+
+    let out = optiwise(&["shutdown", "--socket", sock]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(daemon.wait().unwrap().code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_resource_budgets_answer_typed_overloaded() {
+    let dir = scratch("overloaded");
+
+    // Headroom no filesystem can satisfy: every submit is rejected at
+    // admission, before any job work happens.
+    let socket = dir.join("headroom.sock");
+    let sock = socket.to_str().unwrap();
+    let mut daemon = spawn_daemon(&[
+        "--archive", dir.join("archive-a").to_str().unwrap(),
+        "--socket", sock,
+        "--min-headroom", &u64::MAX.to_string(),
+    ]);
+    wait_for_socket(&socket, &mut daemon);
+    let response = raw_request(
+        &socket,
+        "{\"cmd\":\"submit\",\"workload\":\"loop_merge\",\"size\":\"test\"}",
+    );
+    assert!(response.contains("\"error\":\"overloaded\""), "{response}");
+    assert!(response.contains("disk headroom"), "{response}");
+    // Non-submit traffic is unaffected: the budget gates work, not health.
+    let pong = raw_request(&socket, "{\"cmd\":\"ping\"}");
+    assert!(pong.contains("\"ok\":true"), "{pong}");
+    let out = optiwise(&["shutdown", "--socket", sock]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(daemon.wait().unwrap().code(), Some(0));
+
+    // A queued-bytes budget smaller than any request line: same typed
+    // rejection, different reason.
+    let socket = dir.join("bytes.sock");
+    let sock = socket.to_str().unwrap();
+    let mut daemon = spawn_daemon(&[
+        "--archive", dir.join("archive-b").to_str().unwrap(),
+        "--socket", sock,
+        "--max-queued-bytes", "1",
+    ]);
+    wait_for_socket(&socket, &mut daemon);
+    let response = raw_request(
+        &socket,
+        "{\"cmd\":\"submit\",\"workload\":\"loop_merge\",\"size\":\"test\"}",
+    );
+    assert!(response.contains("\"error\":\"overloaded\""), "{response}");
+    assert!(response.contains("request bytes"), "{response}");
+    let out = optiwise(&["shutdown", "--socket", sock]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(daemon.wait().unwrap().code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -207,6 +207,16 @@ pub enum OptiwiseError {
         /// What made repair impossible.
         reason: String,
     },
+    /// The fuzz harness (`optiwise fuzz`) found at least one invariant
+    /// violation: a decoder panicked, allocated past its budget, or
+    /// re-encoded a successfully decoded input non-canonically. Each
+    /// violation is reproducible from `(surface, seed)` alone.
+    FuzzViolation {
+        /// Number of violations across the sweep.
+        violations: usize,
+        /// `surface:seed` reproducers, one per violating case (bounded).
+        cases: Vec<String>,
+    },
     /// A daemon (`optiwised`) job failed remotely. The daemon reports the
     /// failing job's own exit code over the wire; the client reproduces it
     /// so `optiwise submit` exits exactly as running the job locally would.
@@ -232,7 +242,8 @@ impl OptiwiseError {
     /// failing on them was requested, 8 = deadline exceeded or run
     /// cancelled, 9 = injected crash kill, 10 = self-check join bug,
     /// 11 = archive damaged but repaired by `fsck`, 12 = archive
-    /// unrepairable, 1 = everything else (usage, I/O).
+    /// unrepairable, 13 = fuzz invariant violation, 1 = everything else
+    /// (usage, I/O).
     pub fn exit_code(&self) -> u8 {
         match self {
             OptiwiseError::Load(_) | OptiwiseError::Disasm { .. } => 2,
@@ -246,6 +257,7 @@ impl OptiwiseError {
             OptiwiseError::SelfCheck { .. } => 10,
             OptiwiseError::ArchiveRepaired { .. } => 11,
             OptiwiseError::ArchiveUnrepairable { .. } => 12,
+            OptiwiseError::FuzzViolation { .. } => 13,
             // Forwarded verbatim: the remote job already classified itself.
             OptiwiseError::Daemon { exit, .. } => *exit,
             OptiwiseError::Usage(_) | OptiwiseError::Io(_) | OptiwiseError::Internal(_) => 1,
@@ -321,6 +333,13 @@ impl fmt::Display for OptiwiseError {
             ),
             OptiwiseError::ArchiveUnrepairable { reason } => {
                 write!(f, "archive is unrepairable: {reason}")
+            }
+            OptiwiseError::FuzzViolation { violations, cases } => {
+                write!(
+                    f,
+                    "fuzzing found {violations} invariant violation(s) ({})",
+                    cases.join(", ")
+                )
             }
             OptiwiseError::Daemon { message, exit } => {
                 write!(f, "daemon job failed (exit {exit}): {message}")
@@ -442,6 +461,13 @@ mod tests {
                     reason: "manifest unwritable".into(),
                 },
                 12,
+            ),
+            (
+                OptiwiseError::FuzzViolation {
+                    violations: 2,
+                    cases: vec!["profile:17".into(), "jsonl:40".into()],
+                },
+                13,
             ),
             (
                 OptiwiseError::Daemon {

@@ -1,0 +1,90 @@
+//! Resource budgets for untrusted inputs and shared capacity.
+//!
+//! Always-on production profiling must survive hostile and degraded
+//! conditions, not just clean crashes. Every byte the serving stack ingests
+//! — `.owp` profiles, checkpoints, archive manifests, daemon wire lines —
+//! is decoded under an explicit [`ResourceLimits`] budget, and the daemon's
+//! admission path consults the same budgets before accepting work. A
+//! budget violation is a typed, recoverable error (`StoreError` with a byte
+//! offset, or a typed `"overloaded"` wire reply), never an OOM abort.
+//!
+//! The limits are deliberately conservative multiples of anything a
+//! legitimate profile produces; they exist to bound *adversarial* inputs,
+//! not to squeeze honest ones.
+
+/// Budgets applied to untrusted inputs and shared daemon capacity.
+///
+/// Threaded through `wiser-store` decode (`max_decode_alloc`), the
+/// `optiwised` socket reader (`max_line_bytes`) and daemon admission
+/// (`max_queued_bytes`, `min_disk_headroom`). [`ResourceLimits::default`]
+/// is what production paths use; `ResourceLimits::unbounded` exists for
+/// trusted-input tests that need the old unlimited behavior.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResourceLimits {
+    /// Maximum bytes one decode may allocate in total (collections plus
+    /// strings, measured in in-memory element sizes). Oversized declared
+    /// counts fail closed with a byte-offset `StoreError` before any
+    /// allocation happens.
+    pub max_decode_alloc: u64,
+    /// Maximum bytes of one line on the daemon wire. A connection that
+    /// sends more without a newline gets a typed error frame and is
+    /// closed; the reader never buffers past this.
+    pub max_line_bytes: usize,
+    /// Maximum bytes of admitted-but-unfinished request payload the daemon
+    /// will hold. Admission beyond it answers `overloaded`.
+    pub max_queued_bytes: u64,
+    /// Minimum free bytes the archive filesystem must have for the daemon
+    /// to admit new work. Below it, admission answers `overloaded` instead
+    /// of running a job whose commit would hit ENOSPC.
+    pub min_disk_headroom: u64,
+}
+
+impl Default for ResourceLimits {
+    fn default() -> ResourceLimits {
+        ResourceLimits {
+            // Two orders of magnitude above the largest profile the test
+            // suite produces, far below anything that threatens the host.
+            max_decode_alloc: 256 << 20,
+            max_line_bytes: 64 << 10,
+            max_queued_bytes: 1 << 20,
+            min_disk_headroom: 1 << 20,
+        }
+    }
+}
+
+impl ResourceLimits {
+    /// No budgets at all: every limit at its maximum. For trusted-input
+    /// paths and tests that exercise the pre-hardening behavior.
+    pub fn unbounded() -> ResourceLimits {
+        ResourceLimits {
+            max_decode_alloc: u64::MAX,
+            max_line_bytes: usize::MAX,
+            max_queued_bytes: u64::MAX,
+            min_disk_headroom: 0,
+        }
+    }
+
+    /// A tight decode budget for fuzzing: small enough that an unclamped
+    /// pre-allocation overshoots it by orders of magnitude, large enough
+    /// for every legitimate corpus input.
+    pub fn fuzzing() -> ResourceLimits {
+        ResourceLimits {
+            max_decode_alloc: 16 << 20,
+            ..ResourceLimits::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_bounded_and_ordered() {
+        let l = ResourceLimits::default();
+        assert!(l.max_decode_alloc > 0 && l.max_decode_alloc < u64::MAX);
+        assert!(l.max_line_bytes >= 1024);
+        assert!(ResourceLimits::fuzzing().max_decode_alloc < l.max_decode_alloc);
+        assert_eq!(ResourceLimits::unbounded().min_disk_headroom, 0);
+    }
+}

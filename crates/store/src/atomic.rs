@@ -13,6 +13,123 @@ use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Injectable filesystem failures for the atomic-write protocol.
+///
+/// Production filesystems fail in ways kill-based chaos testing never
+/// exercises: `ENOSPC` mid-write, short writes, `EINTR` from a signal
+/// landing in `fsync`, rename failures. This module lets tests plant
+/// exactly one such failure at a chosen stage of [`atomic_write`]'s
+/// write/fsync/rename protocol — on the *calling thread* only, so
+/// parallel tests do not interfere — and proves the protocol's guarantees
+/// hold under it: the target file is never torn, the caller sees the
+/// error, and staging debris is removed (or left recognizable for fsck).
+///
+/// This is a test instrument in the same spirit as `FaultPlan`: compiled
+/// in unconditionally (the checks are a thread-local read on a path that
+/// ends in a syscall), armed only by tests and chaos sweeps.
+pub mod faults {
+    use std::cell::Cell;
+    use std::io;
+
+    /// One stage of the atomic write protocol, in execution order.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum WriteStage {
+        /// Creating the staging temp file.
+        Create,
+        /// Writing the payload bytes into the temp file.
+        Write,
+        /// `fsync` of the temp file.
+        Fsync,
+        /// `rename` of the temp file over the target.
+        Rename,
+        /// Best-effort `fsync` of the containing directory.
+        DirSync,
+    }
+
+    /// Every injectable stage, in protocol order — the sweep axis for
+    /// exhaustive write-failure chaos tests.
+    pub const ALL_STAGES: [WriteStage; 5] = [
+        WriteStage::Create,
+        WriteStage::Write,
+        WriteStage::Fsync,
+        WriteStage::Rename,
+        WriteStage::DirSync,
+    ];
+
+    /// How the injected stage fails.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum FaultKind {
+        /// `ENOSPC`: the filesystem is full. Fatal for the operation.
+        Enospc,
+        /// `EINTR`: a signal interrupted the syscall. Fires once; the
+        /// protocol must retry and succeed.
+        Eintr,
+        /// A short write — half the bytes land, then `ENOSPC`. Only
+        /// meaningful at [`WriteStage::Write`]; leaves a torn temp file
+        /// the error path must clean up.
+        ShortWrite,
+    }
+
+    #[derive(Clone, Copy)]
+    struct Plan {
+        stage: WriteStage,
+        kind: FaultKind,
+        /// Matching stage occurrences to skip before firing, so a sweep
+        /// can target the Nth write of a multi-write operation.
+        skip: u32,
+    }
+
+    thread_local! {
+        static PLAN: Cell<Option<Plan>> = const { Cell::new(None) };
+        static FIRED: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Arms one fault on the current thread: the `nth` (0-based) time
+    /// [`atomic_write`](super::atomic_write) reaches `stage`, it fails as
+    /// `kind` dictates. The fault fires once, then disarms itself.
+    pub fn inject_fault(stage: WriteStage, kind: FaultKind, nth: u32) {
+        PLAN.with(|p| p.set(Some(Plan { stage, kind, skip: nth })));
+    }
+
+    /// Disarms any pending fault on the current thread.
+    pub fn clear_faults() {
+        PLAN.with(|p| p.set(None));
+    }
+
+    /// How many injected faults have fired on this thread — lets a sweep
+    /// assert the fault it armed was actually reached.
+    pub fn faults_fired() -> u64 {
+        FIRED.with(|f| f.get())
+    }
+
+    /// The fault to apply at `stage`, if one is due. Consumes the plan.
+    pub(super) fn due(stage: WriteStage) -> Option<FaultKind> {
+        PLAN.with(|p| match p.get() {
+            Some(mut plan) if plan.stage == stage => {
+                if plan.skip > 0 {
+                    plan.skip -= 1;
+                    p.set(Some(plan));
+                    None
+                } else {
+                    p.set(None);
+                    FIRED.with(|f| f.set(f.get() + 1));
+                    Some(plan.kind)
+                }
+            }
+            _ => None,
+        })
+    }
+
+    pub(super) fn error_for(kind: FaultKind) -> io::Error {
+        match kind {
+            // Raw OS errors so `kind()` classifies them exactly like the
+            // real syscall failures would.
+            FaultKind::Enospc | FaultKind::ShortWrite => io::Error::from_raw_os_error(28),
+            FaultKind::Eintr => io::Error::from_raw_os_error(4),
+        }
+    }
+}
+
 /// Per-process sequence number appended to staged temp names, so two
 /// threads of the same process writing the *same* target never share a
 /// temp file (the pid alone cannot tell them apart). Monotonic, never
@@ -74,16 +191,16 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     }
     let tmp = temp_path(path);
     let result = (|| {
-        let mut f = File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
+        let mut f = retry_eintr(faults::WriteStage::Create, || File::create(&tmp))?;
+        write_payload(&mut f, bytes)?;
+        retry_eintr(faults::WriteStage::Fsync, || f.sync_all())?;
         drop(f);
-        fs::rename(&tmp, path)?;
+        retry_eintr(faults::WriteStage::Rename, || fs::rename(&tmp, path))?;
         // Make the rename durable. Some filesystems cannot fsync a
         // directory; losing that is a durability (not consistency) gap,
         // so it is best-effort.
         if let Ok(dir) = File::open(parent_dir(path)) {
-            let _ = dir.sync_all();
+            let _ = retry_eintr(faults::WriteStage::DirSync, || dir.sync_all());
         }
         Ok(())
     })();
@@ -91,6 +208,44 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
         let _ = fs::remove_file(&tmp);
     }
     result
+}
+
+/// Runs one protocol stage, injecting any armed fault and retrying
+/// `EINTR` (whether injected or real — a signal landing in `fsync` or
+/// `rename` must not fail the write).
+fn retry_eintr<T>(stage: faults::WriteStage, mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    loop {
+        if let Some(kind) = faults::due(stage) {
+            let err = faults::error_for(kind);
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue; // EINTR: retry the stage, which now succeeds
+            }
+            return Err(err);
+        }
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            r => return r,
+        }
+    }
+}
+
+/// The payload write, with short-write injection: a faulted write lands
+/// half the bytes in the temp file before failing, so the error path's
+/// cleanup is tested against a genuinely torn staging file.
+fn write_payload(f: &mut File, bytes: &[u8]) -> io::Result<()> {
+    if let Some(kind) = faults::due(faults::WriteStage::Write) {
+        if kind == faults::FaultKind::ShortWrite {
+            let _ = f.write_all(&bytes[..bytes.len() / 2]);
+        }
+        let err = faults::error_for(kind);
+        if err.kind() == io::ErrorKind::Interrupted {
+            // `write_all` retries EINTR internally; an injected one simply
+            // proves the full payload still lands.
+            return f.write_all(bytes);
+        }
+        return Err(err);
+    }
+    f.write_all(bytes)
 }
 
 #[cfg(test)]

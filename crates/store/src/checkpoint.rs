@@ -31,14 +31,15 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 use optiwise::{
-    CancelToken, OptiwiseConfig, OptiwiseError, PassEvent, ResumeState, StoreError,
+    CancelToken, OptiwiseConfig, OptiwiseError, PassEvent, ResourceLimits, ResumeState,
+    StoreError,
 };
 use wiser_dbi::{CountsProfile, DbiConfig};
 use wiser_sampler::{Attribution, SampleProfile, SamplerConfig, StackMode};
 use wiser_sim::CoreConfig;
 
 use crate::atomic::{atomic_write, temp_path};
-use crate::format::{read_sections, write_store, ByteReader, ByteWriter};
+use crate::format::{read_sections, write_store, ByteReader, ByteWriter, DecodeBudget};
 use crate::profile::{
     decode_counts, decode_samples, encode_counts, encode_samples, TAG_CNTS, TAG_SAMP,
 };
@@ -210,12 +211,32 @@ impl Checkpoint {
     ///
     /// Returns a [`StoreError`] locating the first problem.
     pub fn from_bytes(data: &[u8]) -> Result<Checkpoint, StoreError> {
+        Checkpoint::from_bytes_limited(data, &ResourceLimits::default())
+    }
+
+    /// [`Checkpoint::from_bytes`] under an explicit allocation budget —
+    /// declared counts are charged (cumulatively, across sections) against
+    /// `limits.max_decode_alloc` before any allocation, so a hostile image
+    /// fails closed instead of aborting on OOM.
+    ///
+    /// # Errors
+    ///
+    /// As [`Checkpoint::from_bytes`], plus budget-exceeded failures.
+    pub fn from_bytes_limited(
+        data: &[u8],
+        limits: &ResourceLimits,
+    ) -> Result<Checkpoint, StoreError> {
+        let budget = DecodeBudget::new(limits.max_decode_alloc);
         let mut ckpt = None;
         let mut samples = None;
         let mut counts = None;
         for section in read_sections(data)? {
-            let mut r =
-                ByteReader::new(section.payload, section.payload_offset, section.tag_name());
+            let mut r = ByteReader::with_budget(
+                section.payload,
+                section.payload_offset,
+                section.tag_name(),
+                budget.clone(),
+            );
             match section.tag {
                 TAG_CKPT => {
                     ckpt = Some(decode_ckpt(&mut r)?);
@@ -581,6 +602,27 @@ mod tests {
         let mut c = Checkpoint::fresh(spec());
         c.samples = Some(partial_samples());
         assert_eq!(c.to_bytes(), c.to_bytes());
+    }
+
+    #[test]
+    fn decode_bomb_counts_fail_closed_under_budget() {
+        // A SAMP section whose module-name count is wire-plausible (4
+        // bytes each) but memory-amplified (size_of::<String>() each):
+        // under a tight budget the checkpoint decode must return a typed
+        // error at the count, before the Vec::with_capacity call.
+        let mut w = ByteWriter::new();
+        w.u64(4096);
+        for _ in 0..4096 {
+            w.u32(0);
+        }
+        let image = write_store(&[(TAG_SAMP, w.into_bytes())]);
+        let limits = ResourceLimits {
+            max_decode_alloc: 1024,
+            ..ResourceLimits::default()
+        };
+        let err = Checkpoint::from_bytes_limited(&image, &limits).unwrap_err();
+        assert_eq!(err.section.as_deref(), Some("SAMP"), "{err}");
+        assert!(err.message.contains("budget"), "{err}");
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! Every decode error is an [`StoreError`] carrying the absolute byte
 //! offset where decoding failed and the section tag if inside one.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use optiwise::StoreError;
 
 /// File magic, first 8 bytes of every `.owp` file.
@@ -252,6 +255,59 @@ impl ByteWriter {
     }
 }
 
+/// Test instrument: when `WISER_STORE_UNSAFE_PREALLOC=1`, decoders skip
+/// the [`DecodeBudget`] charge and pre-allocate straight from declared
+/// counts — the exact decode-bomb the budget exists to stop. CI flips this
+/// on under the fuzz harness to prove the harness catches the bug class
+/// (exit 13); it must never be set in production.
+fn unsafe_prealloc() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("WISER_STORE_UNSAFE_PREALLOC").is_some_and(|v| v == "1"))
+}
+
+/// Cumulative allocation budget for one decode of untrusted bytes.
+///
+/// A single `.owp` image decodes through several [`ByteReader`]s (one per
+/// section); they share one budget via `Clone`, so the cap bounds the
+/// *whole* decode, not each section independently. Declared counts are
+/// charged at their in-memory element size *before* any `with_capacity`
+/// call, so an adversarial count fails closed with a byte-offset
+/// [`StoreError`] instead of driving a multi-gigabyte allocation.
+#[derive(Clone, Debug)]
+pub struct DecodeBudget {
+    limit: u64,
+    used: Rc<Cell<u64>>,
+}
+
+impl DecodeBudget {
+    /// A budget of `limit` bytes of decode-side allocation.
+    pub fn new(limit: u64) -> DecodeBudget {
+        DecodeBudget {
+            limit,
+            used: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// No cap. For trusted inputs and encode-side readers.
+    pub fn unbounded() -> DecodeBudget {
+        DecodeBudget::new(u64::MAX)
+    }
+
+    /// Bytes charged so far across every reader sharing this budget.
+    pub fn used(&self) -> u64 {
+        self.used.get()
+    }
+
+    fn charge(&self, bytes: u64) -> Result<(), u64> {
+        let total = self.used.get().saturating_add(bytes);
+        if total > self.limit && !unsafe_prealloc() {
+            return Err(self.limit);
+        }
+        self.used.set(total);
+        Ok(())
+    }
+}
+
 /// Bounds-checked decoder over one section's payload. Every failure
 /// reports the *absolute* file offset (the payload's base offset plus the
 /// cursor) and the section tag, so a corrupted file diagnoses to a byte.
@@ -260,17 +316,31 @@ pub struct ByteReader<'a> {
     pos: usize,
     base: u64,
     section: String,
+    budget: DecodeBudget,
 }
 
 impl<'a> ByteReader<'a> {
     /// A reader over `section`'s payload starting at absolute offset
-    /// `base`.
+    /// `base`, with no allocation budget (trusted input).
     pub fn new(payload: &'a [u8], base: u64, section: impl Into<String>) -> ByteReader<'a> {
+        ByteReader::with_budget(payload, base, section, DecodeBudget::unbounded())
+    }
+
+    /// A reader whose length and string reads charge `budget` before any
+    /// allocation. Share one budget (it is `Clone`) across the readers of
+    /// one decode so the cap is cumulative.
+    pub fn with_budget(
+        payload: &'a [u8],
+        base: u64,
+        section: impl Into<String>,
+        budget: DecodeBudget,
+    ) -> ByteReader<'a> {
         ByteReader {
             data: payload,
             pos: 0,
             base,
             section: section.into(),
+            budget,
         }
     }
 
@@ -328,10 +398,19 @@ impl<'a> ByteReader<'a> {
         Ok(u64::from_le_bytes(self.take(8, what)?.try_into().expect("8 bytes")))
     }
 
-    /// Reads a length-prefixed UTF-8 string.
+    /// Reads a length-prefixed UTF-8 string, charging its bytes against
+    /// the budget (the one decode-side allocation whose size the wire
+    /// dictates directly).
     pub fn string(&mut self, what: &str) -> Result<String, StoreError> {
         let at = self.offset();
         let len = self.u32(what)? as usize;
+        if self.budget.charge(len as u64).is_err() {
+            return Err(StoreError::in_section(
+                at,
+                self.section.clone(),
+                format!("{what} of {len} bytes exceeds the decode allocation budget"),
+            ));
+        }
         let bytes = self.take(len, what)?;
         String::from_utf8(bytes.to_vec()).map_err(|e| {
             StoreError::in_section(at, self.section.clone(), format!("{what} is not UTF-8: {e}"))
@@ -357,6 +436,49 @@ impl<'a> ByteReader<'a> {
             ));
         }
         Ok(n as usize)
+    }
+
+    /// Reads a collection length destined for a `with_capacity(n)` call
+    /// whose elements occupy `mem_elem_size` bytes *in memory* (as opposed
+    /// to `min_elem_size` on the wire). On top of the [`ByteReader::len`]
+    /// plausibility check, charges `n × mem_elem_size` against the decode
+    /// budget, so a count that is wire-plausible but memory-amplified — a
+    /// few wire bytes per element expanding to a fat in-memory struct —
+    /// still fails closed before the allocation happens.
+    pub fn len_mem(
+        &mut self,
+        min_elem_size: usize,
+        mem_elem_size: usize,
+        what: &str,
+    ) -> Result<usize, StoreError> {
+        let at = self.offset();
+        let n = self.len(min_elem_size, what)?;
+        self.charge_elems(n, mem_elem_size, at, what)?;
+        Ok(n)
+    }
+
+    /// Charges `n × mem_elem_size` bytes of upcoming allocation against
+    /// the budget. For capacity decisions made *after* the count was read
+    /// (e.g. a per-entry map sized from an already-validated count).
+    pub fn charge_elems(
+        &mut self,
+        n: usize,
+        mem_elem_size: usize,
+        at: u64,
+        what: &str,
+    ) -> Result<(), StoreError> {
+        let need = (n as u64).saturating_mul(mem_elem_size.max(1) as u64);
+        if let Err(limit) = self.budget.charge(need) {
+            return Err(StoreError::in_section(
+                at,
+                self.section.clone(),
+                format!(
+                    "{what} count {n} needs {need} bytes in memory, \
+                     exceeding the {limit}-byte decode allocation budget"
+                ),
+            ));
+        }
+        Ok(())
     }
 }
 

@@ -35,7 +35,9 @@ mod checkpoint;
 pub mod format;
 mod profile;
 
-pub use atomic::{atomic_write, is_temp_debris, temp_path};
+pub use atomic::{atomic_write, faults, is_temp_debris, temp_path};
 pub use checkpoint::{Checkpoint, CheckpointSpec, CheckpointWriter};
-pub use format::{crc32, read_sections, section_spans, write_store, FORMAT_VERSION, MAGIC};
+pub use format::{
+    crc32, read_sections, section_spans, write_store, DecodeBudget, FORMAT_VERSION, MAGIC,
+};
 pub use profile::{RunMeta, StoredProfile};

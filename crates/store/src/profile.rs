@@ -24,16 +24,17 @@
 //! same bytes whatever the thread count.
 
 use std::collections::HashMap;
+use std::mem::size_of;
 
 use optiwise::{
     AnalysisMode, Coverage, FuncStats, LineStats, LoopStats, OptiwiseError, OptiwiseRun,
-    ProfileTables, StoreError, TransformKind, TransformLog, TransformRecord,
+    ProfileTables, ResourceLimits, StoreError, TransformKind, TransformLog, TransformRecord,
 };
 use wiser_dbi::{BlockCount, CounterPlacement, CountsProfile, InstrumentationCost, TermKind};
 use wiser_sampler::{Sample, SampleProfile};
 use wiser_sim::{CodeLoc, ModuleId, TruncationReason};
 
-use crate::format::{read_sections, write_store, ByteReader, ByteWriter};
+use crate::format::{read_sections, write_store, ByteReader, ByteWriter, DecodeBudget};
 
 const TAG_META: [u8; 4] = *b"META";
 pub(crate) const TAG_SAMP: [u8; 4] = *b"SAMP";
@@ -122,6 +123,23 @@ impl StoredProfile {
     /// Returns a [`StoreError`] with the absolute byte offset and section
     /// of the first problem.
     pub fn from_bytes(data: &[u8]) -> Result<StoredProfile, StoreError> {
+        StoredProfile::from_bytes_limited(data, &ResourceLimits::default())
+    }
+
+    /// [`StoredProfile::from_bytes`] under an explicit allocation budget:
+    /// every declared count is charged at its in-memory element size
+    /// against `limits.max_decode_alloc` (cumulatively, across sections)
+    /// before any `with_capacity` call, so a hostile image fails closed
+    /// with a byte-offset error instead of aborting on OOM.
+    ///
+    /// # Errors
+    ///
+    /// As [`StoredProfile::from_bytes`], plus budget-exceeded failures.
+    pub fn from_bytes_limited(
+        data: &[u8],
+        limits: &ResourceLimits,
+    ) -> Result<StoredProfile, StoreError> {
+        let budget = DecodeBudget::new(limits.max_decode_alloc);
         let mut meta = None;
         let mut samples = None;
         let mut counts = None;
@@ -129,7 +147,12 @@ impl StoredProfile {
         let mut coverage: Option<(u64, Vec<Coverage>)> = None;
         let mut transforms = TransformLog::default();
         for section in read_sections(data)? {
-            let mut r = ByteReader::new(section.payload, section.payload_offset, section.tag_name());
+            let mut r = ByteReader::with_budget(
+                section.payload,
+                section.payload_offset,
+                section.tag_name(),
+                budget.clone(),
+            );
             match section.tag {
                 TAG_META => {
                     meta = Some(decode_meta(&mut r)?);
@@ -315,7 +338,7 @@ fn put_module_names(w: &mut ByteWriter, names: &[String]) {
 }
 
 fn get_module_names(r: &mut ByteReader<'_>) -> Result<Vec<String>, StoreError> {
-    let n = r.len(4, "module count")?;
+    let n = r.len_mem(4, size_of::<String>(), "module count")?;
     let mut names = Vec::with_capacity(n);
     for _ in 0..n {
         names.push(r.string("module name")?);
@@ -350,12 +373,12 @@ pub(crate) fn decode_samples(r: &mut ByteReader<'_>) -> Result<SampleProfile, St
     let unmapped = r.u64("unmapped")?;
     let retired = r.u64("retired")?;
     let truncated = get_truncation(r)?;
-    let n = r.len(28, "sample count")?;
+    let n = r.len_mem(28, size_of::<Sample>(), "sample count")?;
     let mut samples = Vec::with_capacity(n);
     for _ in 0..n {
         let loc = get_loc(r, "sample loc")?;
         let weight = r.u64("sample weight")?;
-        let depth = r.len(12, "stack depth")?;
+        let depth = r.len_mem(12, size_of::<CodeLoc>(), "stack depth")?;
         let mut stack = Vec::with_capacity(depth);
         for _ in 0..depth {
             stack.push(get_loc(r, "stack frame")?);
@@ -475,7 +498,7 @@ pub(crate) fn decode_counts(r: &mut ByteReader<'_>) -> Result<CountsProfile, Sto
         counters_suppressed: 0,
     };
     let truncated = get_truncation(r)?;
-    let n = r.len(43, "block count")?;
+    let n = r.len_mem(43, size_of::<BlockCount>(), "block count")?;
     let mut blocks = Vec::with_capacity(n);
     for _ in 0..n {
         let entry = get_loc(r, "block entry")?;
@@ -490,7 +513,7 @@ pub(crate) fn decode_counts(r: &mut ByteReader<'_>) -> Result<CountsProfile, Sto
             other => return Err(r.error(format!("bad target tag {other}"))),
         };
         let fallthrough = r.u64("fallthrough")?;
-        let n_targets = r.len(20, "indirect target count")?;
+        let n_targets = r.len_mem(20, size_of::<(CodeLoc, u64)>(), "indirect target count")?;
         let mut targets = Vec::with_capacity(n_targets);
         for _ in 0..n_targets {
             let loc = get_loc(r, "indirect target")?;
@@ -506,7 +529,9 @@ pub(crate) fn decode_counts(r: &mut ByteReader<'_>) -> Result<CountsProfile, Sto
             targets,
         });
     }
-    let n_callees = r.len(20, "callee count")?;
+    // A hash map over-allocates past its load factor: charge double the
+    // entry size so the budget covers what the table actually reserves.
+    let n_callees = r.len_mem(20, 2 * size_of::<(CodeLoc, u64)>(), "callee count")?;
     let mut callee_counts = HashMap::with_capacity(n_callees);
     for _ in 0..n_callees {
         let site = get_loc(r, "callee site")?;
@@ -526,12 +551,12 @@ pub(crate) fn decode_counts(r: &mut ByteReader<'_>) -> Result<CountsProfile, Sto
                     other => return Err(r.error(format!("bad recovered flag {other}"))),
                 };
                 let total_insns = r.u64("placement total")?;
-                let nv = r.len(4, "suppressed vertex count")?;
+                let nv = r.len_mem(4, size_of::<u32>(), "suppressed vertex count")?;
                 let mut vertex_suppressed = Vec::with_capacity(nv);
                 for _ in 0..nv {
                     vertex_suppressed.push(r.u32("suppressed vertex")?);
                 }
-                let nf = r.len(4, "suppressed fallthrough count")?;
+                let nf = r.len_mem(4, size_of::<u32>(), "suppressed fallthrough count")?;
                 let mut fallthrough_suppressed = Vec::with_capacity(nf);
                 for _ in 0..nf {
                     fallthrough_suppressed.push(r.u32("suppressed fallthrough")?);
@@ -578,7 +603,7 @@ fn encode_coverage(t: &ProfileTables) -> Vec<u8> {
 }
 
 fn decode_coverage(r: &mut ByteReader<'_>) -> Result<Vec<Coverage>, StoreError> {
-    let n = r.len(1, "coverage count")?;
+    let n = r.len_mem(1, size_of::<Coverage>(), "coverage count")?;
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(match r.u8("coverage")? {
@@ -610,7 +635,7 @@ fn encode_transforms(log: &TransformLog) -> Vec<u8> {
 }
 
 fn decode_transforms(r: &mut ByteReader<'_>) -> Result<TransformLog, StoreError> {
-    let n = r.len(7, "transform record count")?;
+    let n = r.len_mem(7, size_of::<TransformRecord>(), "transform record count")?;
     let mut records = Vec::with_capacity(n);
     for _ in 0..n {
         let module = r.u32("transform module")?;
@@ -626,7 +651,7 @@ fn decode_transforms(r: &mut ByteReader<'_>) -> Result<TransformLog, StoreError>
             detail,
         });
     }
-    let n = r.len(2, "transform note count")?;
+    let n = r.len_mem(2, size_of::<String>(), "transform note count")?;
     let mut notes = Vec::with_capacity(n);
     for _ in 0..n {
         notes.push(r.string("transform note")?);
@@ -702,7 +727,7 @@ fn decode_tables(r: &mut ByteReader<'_>) -> Result<ProfileTables, StoreError> {
     let total_cycles = r.u64("total_cycles")?;
     let total_insns = r.u64("total_insns")?;
     let modules = get_module_names(r)?;
-    let n = r.len(48, "function count")?;
+    let n = r.len_mem(48, size_of::<FuncStats>(), "function count")?;
     let mut functions = Vec::with_capacity(n);
     for _ in 0..n {
         functions.push(FuncStats {
@@ -718,7 +743,7 @@ fn decode_tables(r: &mut ByteReader<'_>) -> Result<ProfileTables, StoreError> {
             coverage: Coverage::Counted,
         });
     }
-    let n = r.len(74, "loop count")?;
+    let n = r.len_mem(74, size_of::<LoopStats>(), "loop count")?;
     let mut loops = Vec::with_capacity(n);
     for _ in 0..n {
         let module = r.u32("loop module")?;
@@ -761,7 +786,7 @@ fn decode_tables(r: &mut ByteReader<'_>) -> Result<ProfileTables, StoreError> {
             lines,
         });
     }
-    let n = r.len(36, "line count")?;
+    let n = r.len_mem(36, size_of::<LineStats>(), "line count")?;
     let mut lines = Vec::with_capacity(n);
     for _ in 0..n {
         lines.push(LineStats {
@@ -952,6 +977,60 @@ mod tests {
         p.counts.as_mut().unwrap().blocks[0].entry.module = ModuleId(5);
         let err = StoredProfile::from_bytes(&p.to_bytes()).unwrap_err();
         assert_eq!(err.section.as_deref(), Some("CNTS"), "{err}");
+    }
+
+    #[test]
+    fn decode_bomb_counts_fail_closed_under_budget() {
+        // A wire-*plausible* count (n × min_elem_size fits the payload)
+        // whose in-memory expansion is huge: 4096 empty module names cost
+        // 4 bytes each on the wire but size_of::<String>() each in memory.
+        // Under a small budget the decode must return a typed StoreError
+        // before allocating, never abort.
+        let mut w = ByteWriter::new();
+        let n = 4096u64;
+        w.u64(n);
+        for _ in 0..n {
+            w.u32(0); // empty string
+        }
+        let payload = w.into_bytes();
+        let image = write_store(&[(TAG_SAMP, payload)]);
+        let limits = ResourceLimits {
+            max_decode_alloc: 1024,
+            ..ResourceLimits::default()
+        };
+        let err = StoredProfile::from_bytes_limited(&image, &limits).unwrap_err();
+        assert_eq!(err.section.as_deref(), Some("SAMP"), "{err}");
+        assert!(err.message.contains("budget"), "{err}");
+        // The same image decodes fine under the default production budget
+        // (it is only 16 KiB of wire data) — up to the later truncation.
+        let err = StoredProfile::from_bytes(&image).unwrap_err();
+        assert!(!err.message.contains("budget"), "{err}");
+    }
+
+    #[test]
+    fn budget_is_cumulative_across_sections() {
+        // Each section alone fits the budget; together they exceed it.
+        // The cap must bound the whole decode, not each section. XFRM
+        // payloads decode completely (0 records, 64 empty notes), so only
+        // the cumulative charge can reject the second one.
+        let one_section = || {
+            let mut w = ByteWriter::new();
+            w.u64(0); // records
+            w.u64(64); // notes
+            for _ in 0..64 {
+                w.u32(0);
+            }
+            (TAG_XFRM, w.into_bytes())
+        };
+        let per_section = 64 * size_of::<String>() as u64;
+        let image = write_store(&[one_section(), one_section()]);
+        let limits = ResourceLimits {
+            max_decode_alloc: per_section + per_section / 2,
+            ..ResourceLimits::default()
+        };
+        let err = StoredProfile::from_bytes_limited(&image, &limits).unwrap_err();
+        assert_eq!(err.section.as_deref(), Some("XFRM"), "{err}");
+        assert!(err.message.contains("budget"), "{err}");
     }
 
     #[test]
