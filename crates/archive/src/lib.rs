@@ -689,6 +689,7 @@ mod tests {
                 lines: Vec::new(),
             },
             transforms: Default::default(),
+            uarch: None,
         }
         .to_bytes()
     }

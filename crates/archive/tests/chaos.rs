@@ -46,6 +46,7 @@ fn profile_bytes(label: &str, seed: u64) -> Vec<u8> {
             lines: Vec::new(),
         },
         transforms: Default::default(),
+        uarch: None,
     }
     .to_bytes()
 }

@@ -125,6 +125,7 @@ fn main() {
         counts: Some(counts.clone()),
         tables: ProfileTables::from_analysis(&analysis),
         transforms: Default::default(),
+        uarch: None,
     };
     bench("store_encode_mcf_test", || stored.to_bytes().len());
 

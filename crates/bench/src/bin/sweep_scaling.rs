@@ -1,0 +1,119 @@
+//! Config-sweep scaling benchmark: one grid of uarch configs × workloads
+//! (the `optiwise sweep` fleet) run cell-by-cell vs fanned out on the
+//! bounded worker pool.
+//!
+//! As everywhere else in the tool, the speedup is only admissible if the
+//! output cannot change: the reduced cross-config report of the parallel
+//! fleet is checked byte-for-byte against the sequential one.
+
+use std::sync::mpsc;
+use std::time::Instant;
+
+use optiwise::{
+    reduce_fleet, run_optiwise, DiffOptions, OptiwiseConfig, SweepConfig, SweepGrid, SweepResult,
+    SweepWorkload,
+};
+use wiser_bench::harness;
+use wiser_store::StoredProfile;
+use wiser_workloads::InputSize;
+
+const CONFIGS: &[&str] = &["xeon", "neoverse", "neoverse:rob_size=64"];
+const WORKLOADS: &[&str] = &["rand_walk", "loop_merge", "udiv_chain", "mcf_like"];
+
+fn grid() -> SweepGrid {
+    SweepGrid {
+        configs: CONFIGS
+            .iter()
+            .map(|s| SweepConfig::parse(s).expect("benchmark config spec"))
+            .collect(),
+        workloads: WORKLOADS
+            .iter()
+            .map(|name| SweepWorkload {
+                name: (*name).to_string(),
+                seed: 0,
+            })
+            .collect(),
+    }
+}
+
+fn run_cell(cell: &optiwise::SweepCell) -> SweepResult {
+    let modules = wiser_workloads::by_name(&cell.workload.name)
+        .unwrap_or_else(|| panic!("workload {} registered", cell.workload.name))
+        .build(InputSize::Test)
+        .unwrap();
+    let config = OptiwiseConfig {
+        core: cell.config.core(),
+        rand_seed: cell.workload.seed,
+        ..OptiwiseConfig::default()
+    };
+    let run = run_optiwise(&modules, &config).expect("pipeline");
+    let stored = StoredProfile::from_run(
+        cell.label(),
+        &run,
+        cell.workload.seed,
+        &cell.config.arch,
+        config.core,
+    );
+    SweepResult {
+        cell: cell.clone(),
+        tables: stored.tables,
+    }
+}
+
+fn reduce(results: &[SweepResult]) -> String {
+    reduce_fleet(results, DiffOptions::default(), 10)
+}
+
+fn main() {
+    let cells = grid().expand();
+    let threads = wiser_par::available_jobs();
+
+    let t = Instant::now();
+    let seq_results: Vec<SweepResult> = cells.iter().map(run_cell).collect();
+    let seq_ms = t.elapsed().as_secs_f64() * 1e3;
+    let seq_report = reduce(&seq_results);
+
+    let t = Instant::now();
+    let pool = wiser_par::WorkerPool::new(threads.max(2).min(cells.len()));
+    let (tx, rx) = mpsc::channel();
+    for cell in &cells {
+        let tx = tx.clone();
+        let cell = cell.clone();
+        pool.execute(move || {
+            let _ = tx.send(run_cell(&cell));
+        });
+    }
+    drop(tx);
+    pool.finish().expect("worker pool");
+    // Arrival order is whatever the pool produced; the reduction re-sorts.
+    let par_results: Vec<SweepResult> = rx.iter().collect();
+    let par_ms = t.elapsed().as_secs_f64() * 1e3;
+    let par_report = reduce(&par_results);
+
+    assert_eq!(
+        seq_report, par_report,
+        "parallel sweep reduction must be byte-identical to sequential"
+    );
+
+    let mut out = String::new();
+    out.push_str("Config-sweep scaling: sequential vs worker-pool fleet\n");
+    out.push_str(&format!(
+        "({} configs x {} workloads = {} cells; {} hardware thread(s))\n\n",
+        CONFIGS.len(),
+        WORKLOADS.len(),
+        cells.len(),
+        threads
+    ));
+    out.push_str(&format!(
+        "sequential fleet: {seq_ms:.1} ms\nworker-pool fleet: {par_ms:.1} ms ({:.2}x)\n",
+        par_ms / seq_ms
+    ));
+    out.push_str("\nreduced report (head):\n");
+    for line in seq_report.lines().take(cells.len() + 1) {
+        out.push_str(line);
+        out.push('\n');
+    }
+
+    print!("{out}");
+    harness::write_result("sweep_scaling.txt", &out);
+}

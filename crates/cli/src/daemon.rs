@@ -65,6 +65,11 @@ options:
                           archive retention applied after every commit
   --size test|train|ref   default workload size for jobs that name none
   --seed N                default random seed for jobs that name none
+  --arch xeon|neoverse|tiny
+                          default core model for jobs that name none
+  --set KEY=VALUE         default uarch overrides on top of --arch; a job
+                          naming its own `arch` starts from that preset
+                          instead (repeatable)
   --checkpoint-every N    job checkpoint cadence in committed instructions
                           (default: 1000000)
   --max-line-bytes N      cap on one request line (default: 65536); a
@@ -80,7 +85,10 @@ options:
 protocol (one JSON object per line):
   {\"cmd\":\"ping\"}
   {\"cmd\":\"status\"}
-  {\"cmd\":\"submit\",\"workload\":W[,\"size\":S][,\"seed\":N]}
+  {\"cmd\":\"submit\",\"workload\":W[,\"size\":S][,\"seed\":N]
+                   [,\"arch\":A][,\"set\":\"k=v,k=v\"]}
+  unknown arch names, unknown override keys and invalid values are
+  rejected with a typed error before the job is admitted
   {\"cmd\":\"shutdown\"}
 exit codes: 0 drained cleanly, 8 stopped by SIGINT/SIGTERM, 1 other
 ";
@@ -130,6 +138,7 @@ mod imp {
 
     use optiwise::{module_fingerprint, CancelToken, OptiwiseError, OptiwiseRun};
     use wiser_archive::{Archive, RetentionPolicy};
+    use wiser_sim::{CoreConfig, ARCH_NAMES};
     use wiser_store::{Checkpoint, CheckpointWriter, StoredProfile};
     use wiser_workloads::InputSize;
 
@@ -489,6 +498,47 @@ mod imp {
             Some(&Value::Int(n)) => n,
             Some(_) => return error_response("`seed` must be an integer"),
         };
+        // A job may pin its own core model: `arch` restarts from a preset
+        // (dropping the daemon's command-line `--set`s, which belong to
+        // the daemon's default config), `set` layers overrides on top.
+        // Unknown names, unknown keys and invalid values are all rejected
+        // here with a typed response — never deep inside a running job.
+        let (arch, mut core, mut overrides) = match request.get("arch") {
+            None => (
+                daemon.opts.arch_name.to_string(),
+                daemon.opts.core,
+                daemon.opts.overrides.clone(),
+            ),
+            Some(Value::Str(s)) => match CoreConfig::by_name(s) {
+                Some(core) => (s.clone(), core, Vec::new()),
+                None => {
+                    return error_response(&format!(
+                        "unknown arch `{s}`; one of: {}",
+                        ARCH_NAMES.join(", ")
+                    ))
+                }
+            },
+            Some(_) => return error_response("`arch` must be a string"),
+        };
+        match request.get("set") {
+            None => {}
+            Some(Value::Str(s)) => {
+                for entry in s.split(',').filter(|e| !e.is_empty()) {
+                    let (key, value) = match CoreConfig::parse_set(entry) {
+                        Ok(kv) => kv,
+                        Err(e) => return error_response(&format!("bad `set` entry: {e}")),
+                    };
+                    if let Err(e) = core.apply_override(&key, &value) {
+                        return error_response(&format!("bad `set` entry: {e}"));
+                    }
+                    overrides.push((key, value));
+                }
+            }
+            Some(_) => return error_response("`set` must be a string of key=value pairs"),
+        }
+        if let Err(e) = core.validate() {
+            return error_response(&format!("invalid config: {e}"));
+        }
 
         if daemon.draining.load(Ordering::Acquire) {
             return error_response("draining");
@@ -557,9 +607,13 @@ mod imp {
             let daemon = Arc::clone(daemon);
             let workload = workload.clone();
             let token = token.clone();
+            let arch = arch.clone();
+            let overrides = overrides.clone();
             Box::new(move || {
                 let _slot = CountGuard(&daemon.pending);
-                let result = run_job(&daemon, job_id, &token, &workload, size, seed);
+                let result = run_job(
+                    &daemon, job_id, &token, &workload, size, seed, &arch, core, &overrides,
+                );
                 lock(&daemon.tokens).retain(|(id, _)| *id != job_id);
                 let _ = tx.send(result);
             })
@@ -591,6 +645,7 @@ mod imp {
 
     /// Runs one admitted job end to end: build, profile (with checkpoint
     /// and bounded retries), commit to the archive, prune, clean up.
+    #[allow(clippy::too_many_arguments)]
     fn run_job(
         daemon: &Daemon,
         job_id: u64,
@@ -598,10 +653,14 @@ mod imp {
         workload: &str,
         size: InputSize,
         seed: u64,
+        arch: &str,
+        core: CoreConfig,
+        overrides: &[(String, String)],
     ) -> Result<u64, OptiwiseError> {
         let modules = crate::build_named_workload(workload, size)?;
         let mut config = crate::pipeline_config(&daemon.opts);
         config.rand_seed = seed;
+        config.core = core;
 
         let every = daemon
             .opts
@@ -610,6 +669,8 @@ mod imp {
         let mut spec = crate::checkpoint_spec(&daemon.opts, workload, &modules, &config, every);
         spec.size = size.name().to_string();
         spec.rand_seed = seed;
+        spec.arch = arch.to_string();
+        spec.overrides = overrides.to_vec();
         let checkpoint_path = lock(&daemon.archive)
             .checkpoints_dir()
             .join(format!("job-{job_id:06}.owp"));
@@ -638,7 +699,7 @@ mod imp {
             )
         })?;
 
-        let stored = StoredProfile::from_run(workload, &run, seed);
+        let stored = StoredProfile::from_run(workload, &run, seed, arch, core);
         let fingerprint = module_fingerprint(&modules);
         {
             let mut archive = lock(&daemon.archive);

@@ -57,7 +57,7 @@ fn pipeline_profile() -> Result<StoredProfile, OptiwiseError> {
     let modules = crate::build_named_workload("loop_merge", InputSize::Test)?;
     let config = OptiwiseConfig::default();
     let run = optiwise::run_optiwise(&modules, &config)?;
-    Ok(StoredProfile::from_run("fuzz-corpus", &run, config.rand_seed))
+    Ok(StoredProfile::from_run("fuzz-corpus", &run, config.rand_seed, "xeon", config.core))
 }
 
 fn profile_corpus() -> Result<Vec<Vec<u8>>, OptiwiseError> {
@@ -76,6 +76,7 @@ fn checkpoint_corpus() -> Result<Vec<Vec<u8>>, OptiwiseError> {
         workload: "loop_merge".into(),
         size: "test".into(),
         arch: "xeon".into(),
+        overrides: Vec::new(),
         rand_seed: 0,
         period: 2048,
         jitter: 512,

@@ -11,6 +11,8 @@
 //! optiwise show <profile.owp>                # report a saved profile
 //! optiwise report <profile.owp> [--format json]
 //! optiwise diff <old.owp> <new.owp>          # differential CPI analysis
+//! optiwise sweep [OPTIONS] <workload>... --archive DIR
+//!                                            # config-sweep fleet + reduction
 //! optiwise optimize [--verify] <workload|profile.owp>
 //!                                            # profile-guided rewrite + check
 //! optiwise resume <checkpoint.owp|archive>   # continue an interrupted run
@@ -64,22 +66,26 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use optiwise::{
-    diff_tables, module_fingerprint, report, run_optiwise, run_optiwise_ctl, Analysis,
-    AnalysisMode, AnalysisOptions, CancelToken, DiffOptions, OptiwiseConfig, OptiwiseError,
-    OptiwiseRun, Pass, PassEvent, ProfileKind, ProfileTables, ResourceLimits, RunControl,
-    StoreError, DEFAULT_DIVERGENCE_THRESHOLD,
+    diff_tables, module_fingerprint, reduce_fleet, report, run_optiwise, run_optiwise_ctl,
+    Analysis, AnalysisMode, AnalysisOptions, CancelToken, DiffOptions, OptiwiseConfig,
+    OptiwiseError, OptiwiseRun, Pass, PassEvent, ProfileKind, ProfileTables, ResourceLimits,
+    RunControl, StoreError, SweepCell, SweepConfig, SweepGrid, SweepResult, SweepWorkload,
+    DEFAULT_DIVERGENCE_THRESHOLD,
 };
 use wiser_store::{Checkpoint, CheckpointSpec, CheckpointWriter, StoredProfile};
 use wiser_dbi::{instrument_run, CountsProfile, DbiConfig};
 use wiser_isa::Module;
 use wiser_sampler::{sample_run, Attribution, SampleProfile, SamplerConfig};
-use wiser_sim::{CoreConfig, FaultPlan, LoadConfig, ProcessImage};
+use wiser_sim::{CoreConfig, FaultPlan, LoadConfig, ProcessImage, ARCH_NAMES};
 use wiser_workloads::InputSize;
 
 struct Options {
     size: InputSize,
     core: CoreConfig,
     arch_name: &'static str,
+    overrides: Vec<(String, String)>,
+    configs: Vec<String>,
+    strict_config: bool,
     sampler: SamplerConfig,
     stack_profiling: bool,
     merge_threshold: Option<u64>,
@@ -129,6 +135,9 @@ impl Default for Options {
             size: InputSize::Train,
             core: CoreConfig::xeon_like(),
             arch_name: "xeon",
+            overrides: Vec::new(),
+            configs: Vec::new(),
+            strict_config: false,
             sampler: SamplerConfig::default(),
             stack_profiling: true,
             merge_threshold: Some(wiser_cfg::MERGE_THRESHOLD),
@@ -191,12 +200,23 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
             }
             "--arch" => {
-                (opts.core, opts.arch_name) = match value(&mut i)?.as_str() {
-                    "xeon" => (CoreConfig::xeon_like(), "xeon"),
-                    "neoverse" => (CoreConfig::neoverse_like(), "neoverse"),
-                    other => return Err(format!("unknown arch `{other}`")),
-                }
+                let v = value(&mut i)?;
+                let Some(name) = ARCH_NAMES.iter().find(|&&n| n == v) else {
+                    return Err(format!(
+                        "unknown arch `{v}`; one of: {}",
+                        ARCH_NAMES.join(", ")
+                    ));
+                };
+                opts.arch_name = name;
+                opts.core = CoreConfig::by_name(name).expect("ARCH_NAMES entries are presets");
             }
+            "--set" => {
+                let (key, value) =
+                    CoreConfig::parse_set(&value(&mut i)?).map_err(|e| e.to_string())?;
+                opts.overrides.push((key, value));
+            }
+            "--config" => opts.configs.push(value(&mut i)?),
+            "--strict-config" => opts.strict_config = true,
             "--period" => {
                 let p: u64 = value(&mut i)?
                     .parse()
@@ -396,6 +416,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         }
         i += 1;
     }
+    // `--set` applies on top of whatever `--arch` picked, regardless of
+    // flag order, and the resulting config is validated before any command
+    // runs: nonsense like `rob_size=0` dies here, not deep in the model.
+    for (key, value) in &opts.overrides {
+        opts.core
+            .apply_override(key, value)
+            .map_err(|e| e.to_string())?;
+    }
+    opts.core.validate().map_err(|e| e.to_string())?;
     Ok(opts)
 }
 
@@ -552,6 +581,7 @@ fn checkpoint_spec(
         workload: name.to_string(),
         size: opts.size.name().to_string(),
         arch: opts.arch_name.to_string(),
+        overrides: opts.overrides.clone(),
         rand_seed: opts.seed,
         period: opts.sampler.period,
         jitter: opts.sampler.jitter,
@@ -688,17 +718,28 @@ fn cmd_run(opts: Options) -> Result<(), OptiwiseError> {
         writer.as_ref(),
         optiwise::ResumeState::default(),
     )?;
-    render_run(opts, &name, opts.seed, module_fingerprint(&modules), &run)
+    render_run(
+        opts,
+        &name,
+        opts.seed,
+        opts.arch_name,
+        config.core,
+        module_fingerprint(&modules),
+        &run,
+    )
 }
 
 /// Everything that happens after a (fresh or resumed) run settles: retry
 /// and degradation notices, `--save`, the report, `--function` annotation
 /// and `--csv-dir` exports. Shared by `run` and `resume` so a resumed run
 /// is rendered through the exact same path — byte-identical output.
+#[allow(clippy::too_many_arguments)]
 fn render_run(
     opts: &Options,
     name: &str,
     seed: u64,
+    arch: &str,
+    core: CoreConfig,
     fingerprint: u64,
     run: &OptiwiseRun,
 ) -> Result<(), OptiwiseError> {
@@ -712,12 +753,12 @@ fn render_run(
         eprintln!("optiwise: DEGRADED sampling-only analysis (see report header)");
     }
     if let Some(path) = &opts.save {
-        let stored = StoredProfile::from_run(name, run, seed);
+        let stored = StoredProfile::from_run(name, run, seed, arch, core);
         stored.save(std::path::Path::new(path))?;
         eprintln!("saved profile to {path}");
     }
     if let Some(dir) = &opts.archive {
-        let stored = StoredProfile::from_run(name, run, seed);
+        let stored = StoredProfile::from_run(name, run, seed, arch, core);
         let mut archive = wiser_archive::Archive::open_or_create(std::path::Path::new(dir))?;
         archive.set_faults(&opts.fault);
         let run_id = archive.add_run(&stored.to_bytes(), fingerprint)?;
@@ -855,6 +896,235 @@ fn cmd_run_batch(opts: Options) -> Result<(), OptiwiseError> {
     }
 }
 
+/// The pseudo-workload name that sweeps a generated program instead of a
+/// registered one; `generated:SEED` picks the generator seed.
+const GENERATED_WORKLOAD: &str = "generated";
+
+/// Parses one sweep workload argument: a registered workload name,
+/// `generated:SEED`, or plain `generated` (which takes `--seed`).
+fn parse_sweep_workload(arg: &str, default_seed: u64) -> Result<SweepWorkload, OptiwiseError> {
+    let (name, seed) = match arg.split_once(':') {
+        Some((n, s)) => {
+            if n != GENERATED_WORKLOAD {
+                return Err(OptiwiseError::Usage(format!(
+                    "only `{GENERATED_WORKLOAD}` takes a :SEED suffix, got `{arg}`"
+                )));
+            }
+            let seed = s
+                .parse()
+                .map_err(|e| OptiwiseError::Usage(format!("bad seed in `{arg}`: {e}")))?;
+            (n, seed)
+        }
+        None => (arg, default_seed),
+    };
+    if name != GENERATED_WORKLOAD && wiser_workloads::by_name(name).is_none() {
+        return Err(OptiwiseError::Usage(format!(
+            "unknown workload `{name}`; see `optiwise list`"
+        )));
+    }
+    Ok(SweepWorkload {
+        name: name.to_string(),
+        seed,
+    })
+}
+
+/// Builds one sweep cell's module set: a registered workload, or a
+/// generated program from the cell's seed.
+fn build_sweep_modules(w: &SweepWorkload, size: InputSize) -> Result<Vec<Module>, OptiwiseError> {
+    if w.name == GENERATED_WORKLOAD {
+        return wiser_workloads::generated::generate(w.seed)
+            .map_err(|e| OptiwiseError::Load(format!("generating seed {}: {e}", w.seed)));
+    }
+    build_named_workload(&w.name, size)
+}
+
+/// One freshly profiled sweep cell, ready to commit to the archive.
+struct SweepCellRun {
+    bytes: Vec<u8>,
+    fingerprint: u64,
+    tables: ProfileTables,
+    checkpoint: std::path::PathBuf,
+}
+
+/// Profiles one sweep cell under its own core config, checkpointing into
+/// the archive's `checkpoints/` directory like a daemon job so a killed
+/// sweep leaves resumable state behind.
+fn run_sweep_cell(
+    cell: &SweepCell,
+    opts: &Options,
+    token: &CancelToken,
+    checkpoints: &std::path::Path,
+) -> Result<SweepCellRun, OptiwiseError> {
+    let modules = build_sweep_modules(&cell.workload, opts.size)?;
+    let fingerprint = module_fingerprint(&modules);
+    let mut config = pipeline_config(opts);
+    config.core = cell.config.core();
+    config.rand_seed = cell.workload.seed;
+    let every = opts.checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY);
+    let mut spec = checkpoint_spec(opts, &cell.workload.name, &modules, &config, every);
+    spec.arch = cell.config.arch.clone();
+    spec.overrides = cell.config.overrides.clone();
+    spec.rand_seed = cell.workload.seed;
+    let checkpoint = checkpoints.join(format!("sweep-{}.owp", cell.label()));
+    let writer = CheckpointWriter::new(
+        &checkpoint,
+        Checkpoint::fresh(spec),
+        token.clone(),
+        opts.fault.kill_in_checkpoint_write,
+    );
+    writer.persist_initial()?;
+    let run = run_with_control(
+        &modules,
+        &config,
+        token,
+        every,
+        Some(&writer),
+        optiwise::ResumeState::default(),
+    )?;
+    let stored = StoredProfile::from_run(
+        cell.label(),
+        &run,
+        cell.workload.seed,
+        &cell.config.arch,
+        config.core,
+    );
+    Ok(SweepCellRun {
+        bytes: stored.to_bytes(),
+        fingerprint,
+        tables: stored.tables,
+        checkpoint,
+    })
+}
+
+/// `optiwise sweep <workload|generated:SEED>... --archive DIR
+/// [--config SPEC]...`: a declarative config-sweep fleet over the uarch
+/// model (paper figures 8/9).
+///
+/// The grid is the cross product of the `--config` specs (default: `xeon`
+/// and `neoverse`) and the positional workloads, expanded workload-major in
+/// declared order. Cells fan out on the shared worker pool; each one runs
+/// under its own [`CoreConfig`], checkpoints into the archive's
+/// `checkpoints/` directory, and is committed as a self-describing `.owp`
+/// run (with a `UCFG` section) labelled `workload-sSEED-config`. Cells
+/// whose label is already committed are loaded instead of re-run, so an
+/// interrupted sweep resumes without repeating finished work. Commits
+/// happen after the fleet settles, in grid order — `Archive::add_run`
+/// hands out ids in call order — and the reduction diffs every config
+/// against the first one per workload, so run ids, the `.owp` fleet and
+/// the report are byte-identical for every `--jobs` value.
+fn cmd_sweep(opts: Options) -> Result<(), OptiwiseError> {
+    let archive_dir = opts
+        .archive
+        .clone()
+        .ok_or_else(|| OptiwiseError::Usage("sweep needs --archive DIR for its cell fleet".into()))?;
+    if opts.workloads.is_empty() {
+        return Err(OptiwiseError::Usage(
+            "sweep needs at least one workload (a name from `optiwise list` or generated:SEED)"
+                .into(),
+        ));
+    }
+    let specs: Vec<String> = if opts.configs.is_empty() {
+        vec!["xeon".into(), "neoverse".into()]
+    } else {
+        opts.configs.clone()
+    };
+    let mut configs = Vec::with_capacity(specs.len());
+    for spec in &specs {
+        configs.push(SweepConfig::parse(spec)?);
+    }
+    let mut workloads = Vec::with_capacity(opts.workloads.len());
+    for arg in &opts.workloads {
+        workloads.push(parse_sweep_workload(arg, opts.seed)?);
+    }
+    let cells = SweepGrid { configs, workloads }.expand();
+
+    let mut archive = wiser_archive::Archive::open_or_create(std::path::Path::new(&archive_dir))?;
+    archive.set_faults(&opts.fault);
+    // Committed labels → run id: the sweep's resume state. Re-running the
+    // same grid against the same archive only profiles the missing cells.
+    let committed: std::collections::BTreeMap<String, u64> = archive
+        .manifest()
+        .committed()
+        .map(|e| (e.workload.clone(), e.run_id))
+        .collect();
+    let fresh: Vec<SweepCell> = cells
+        .iter()
+        .filter(|c| !committed.contains_key(&c.label()))
+        .cloned()
+        .collect();
+
+    let token = make_token(&opts);
+    let checkpoints = archive.checkpoints_dir();
+    let opts = std::sync::Arc::new(opts);
+    let pool =
+        wiser_par::WorkerPool::with_cancel(opts.jobs.min(fresh.len().max(1)), token.clone());
+    let (tx, rx) = std::sync::mpsc::channel();
+    for cell in fresh {
+        let tx = tx.clone();
+        let opts = std::sync::Arc::clone(&opts);
+        let token = token.clone();
+        let checkpoints = checkpoints.clone();
+        pool.execute(move || {
+            let _ = tx.send((
+                cell.index,
+                run_sweep_cell(&cell, &opts, &token, &checkpoints),
+            ));
+        });
+    }
+    drop(tx);
+    pool.finish()
+        .map_err(|e| OptiwiseError::Internal(format!("sweep worker: {e}")))?;
+    let mut done: Vec<(usize, Result<SweepCellRun, OptiwiseError>)> = rx.iter().collect();
+    done.sort_by_key(|&(index, _)| index);
+
+    // Commit after the barrier, in grid order: run ids stay deterministic
+    // across `--jobs`. Finished cells commit even when a sibling failed or
+    // the sweep was cancelled — that is what makes re-running it a resume.
+    let mut results: Vec<SweepResult> = Vec::with_capacity(cells.len());
+    let mut first_error: Option<OptiwiseError> = None;
+    for (index, outcome) in done {
+        let cell = &cells[index];
+        match outcome {
+            Ok(run) => {
+                archive.add_run(&run.bytes, run.fingerprint)?;
+                let _ = std::fs::remove_file(&run.checkpoint);
+                results.push(SweepResult {
+                    cell: cell.clone(),
+                    tables: run.tables,
+                });
+            }
+            Err(e) => {
+                eprintln!("optiwise: sweep cell `{}` failed: {e}", cell.label());
+                if first_error.is_none() {
+                    first_error = Some(e);
+                }
+            }
+        }
+    }
+    for cell in &cells {
+        if let Some(&run_id) = committed.get(&cell.label()) {
+            results.push(SweepResult {
+                cell: cell.clone(),
+                tables: archive.load_run(run_id)?.tables,
+            });
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    if let Some(cause) = token.cause() {
+        return Err(OptiwiseError::DeadlineExceeded {
+            retired: 0,
+            deadline: cause == optiwise::CancelCause::Deadline,
+        });
+    }
+    let options = DiffOptions {
+        threshold_pct: opts.threshold,
+        ..DiffOptions::default()
+    };
+    emit(&opts, &reduce_fleet(&results, options, opts.top))
+}
+
 /// `optiwise resume CHECKPOINT.owp`: continue an interrupted run.
 ///
 /// The checkpoint pins the run's whole configuration, so the command takes
@@ -920,7 +1190,18 @@ fn cmd_resume(opts: &Options) -> Result<(), OptiwiseError> {
         Some(&writer),
         ckpt.resume_state(),
     )?;
-    render_run(opts, &spec.workload, spec.rand_seed, fingerprint, &run)?;
+    // The stored label comes from the checkpoint's own arch and overrides,
+    // never this process's defaults: a resumed neoverse run must not be
+    // re-stamped "xeon".
+    render_run(
+        opts,
+        &spec.workload,
+        spec.rand_seed,
+        &spec.arch,
+        config.core,
+        fingerprint,
+        &run,
+    )?;
     // The run completed: the checkpoint has served its purpose. Only
     // daemon-style archive checkpoints are reclaimed; an explicit
     // `resume FILE` leaves the caller's file alone (tests re-resume them).
@@ -1145,6 +1426,20 @@ fn load_profile(path: &str) -> Result<StoredProfile, OptiwiseError> {
     StoredProfile::load(std::path::Path::new(path))
 }
 
+/// True when two stored profiles were recorded under different uarch
+/// configurations: a CPI shift between them is then a config consequence
+/// (paper figs. 8/9), not a code regression. Compares the `UCFG` sections
+/// when both runs carry one; older stores fall back to the arch label.
+fn config_mismatch(old: &StoredProfile, new: &StoredProfile) -> bool {
+    if old.meta.arch != new.meta.arch {
+        return true;
+    }
+    match (&old.uarch, &new.uarch) {
+        (Some(a), Some(b)) => a != b,
+        _ => false,
+    }
+}
+
 fn cmd_show(opts: &Options) -> Result<(), OptiwiseError> {
     let path = profile_arg(opts, "show")?;
     let stored = load_profile(path)?;
@@ -1194,8 +1489,12 @@ fn cmd_diff(opts: &Options) -> Result<(), OptiwiseError> {
     };
     let old = load_profile(old_path)?;
     let new = load_profile(new_path)?;
+    // Runs recorded under different uarch configs classify their shifts as
+    // `config`, not regressions — unless `--strict-config` insists the
+    // comparison gate anyway.
     let options = DiffOptions {
         threshold_pct: opts.threshold,
+        config_changed: config_mismatch(&old, &new) && !opts.strict_config,
         ..DiffOptions::default()
     };
     let diff = diff_tables(&old.tables, &new.tables, options);
@@ -1312,7 +1611,8 @@ fn cmd_optimize(opts: &Options) -> Result<(), OptiwiseError> {
     );
 
     if let Some(path) = &opts.save {
-        let mut profile = StoredProfile::from_run(&name, &verify_run, seed);
+        let mut profile =
+            StoredProfile::from_run(&name, &verify_run, seed, opts.arch_name, config.core);
         profile.transforms = log.clone();
         profile.save(std::path::Path::new(path))?;
         eprintln!("saved optimized-run profile to {path}");
@@ -1465,11 +1765,16 @@ fn cmd_query(opts: &Options) -> Result<(), OptiwiseError> {
         runs.push(r?);
     }
     let pairs: Vec<(usize, usize)> = (1..runs.len()).map(|i| (i - 1, i)).collect();
-    let options = DiffOptions {
-        threshold_pct: opts.threshold,
-        ..DiffOptions::default()
-    };
+    let threshold_pct = opts.threshold;
+    let strict_config = opts.strict_config;
     let diffs = wiser_par::par_map(opts.jobs, pairs, |_, (a, b)| {
+        // Mismatch is per pair: an archive can interleave configs, and only
+        // the cross-config pairs demote their shifts to `config`.
+        let options = DiffOptions {
+            threshold_pct,
+            config_changed: config_mismatch(&runs[a].1, &runs[b].1) && !strict_config,
+            ..DiffOptions::default()
+        };
         diff_tables(&runs[a].1.tables, &runs[b].1.tables, options)
     })
     .map_err(|e| OptiwiseError::Internal(format!("query worker: {e}")))?;
@@ -1581,7 +1886,7 @@ fn cmd_submit(opts: &Options) -> Result<(), OptiwiseError> {
             ))
         }
     };
-    let request = jsonl::to_line(&std::collections::BTreeMap::from([
+    let mut fields = std::collections::BTreeMap::from([
         ("cmd".to_string(), jsonl::Value::Str("submit".into())),
         ("workload".to_string(), jsonl::Value::Str(workload.clone())),
         (
@@ -1589,7 +1894,21 @@ fn cmd_submit(opts: &Options) -> Result<(), OptiwiseError> {
             jsonl::Value::Str(opts.size.name().to_string()),
         ),
         ("seed".to_string(), jsonl::Value::Int(opts.seed)),
-    ]));
+        (
+            "arch".to_string(),
+            jsonl::Value::Str(opts.arch_name.to_string()),
+        ),
+    ]);
+    if !opts.overrides.is_empty() {
+        let set = opts
+            .overrides
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        fields.insert("set".to_string(), jsonl::Value::Str(set));
+    }
+    let request = jsonl::to_line(&fields);
     render_response(opts, &daemon_request(opts, &request)?)
 }
 
@@ -1626,7 +1945,20 @@ commands:
   show <profile.owp>    report a saved binary profile
   report <profile.owp>  tables from a saved profile (--format text|json)
   diff <old.owp> <new.owp>
-                        differential CPI analysis between two saved runs
+                        differential CPI analysis between two saved runs;
+                        runs recorded under different uarch configs classify
+                        their shifts as `config`, not regressions (see
+                        --strict-config)
+  sweep <workload|generated:SEED>... --archive DIR
+                        config-sweep fleet: the cross product of --config
+                        specs (default: xeon and neoverse) and workloads
+                        runs on the worker pool; every cell commits to the
+                        archive as a self-describing .owp run (UCFG section)
+                        and checkpoints while running; committed cells are
+                        skipped on re-run, and the reduction diffs every
+                        config against the first one per workload; run ids,
+                        the .owp fleet and the report are byte-identical
+                        for every --jobs value
   optimize <workload|profile.owp>
                         profile-guided rewrite (block layout, call promotion,
                         loop-invariant hoisting), checked by a differential
@@ -1662,7 +1994,19 @@ commands:
   status --socket S     one-line daemon health check
   shutdown --socket S   ask the daemon to drain and exit
 options:
-  --size test|train|ref   --arch xeon|neoverse   --period N
+  --size test|train|ref   --arch xeon|neoverse|tiny   --period N
+  --set KEY=VALUE         override one uarch config field on top of --arch
+                          (rob_size=128, l1d.size=65536, commit_mode=early);
+                          repeatable, applied in order, validated up front
+  --config SPEC           (sweep) one grid configuration: an arch preset
+                          name with optional overrides, e.g.
+                          neoverse:rob_size=64,commit_mode=early_release;
+                          repeatable, declared order is grid order and the
+                          first config is the per-workload baseline
+  --strict-config         (diff/query) gate regressions even across runs
+                          recorded under different uarch configs; without
+                          it cross-config shifts classify as `config` and
+                          never trip --fail-on-regression
   --attribution interrupt|precise|predecessor
   --no-stack-profiling    --merge-threshold N|off
   --seed N  --top N  --out FILE  --csv-dir DIR
@@ -1745,17 +2089,19 @@ pub fn cli_main() -> ExitCode {
         }
         cmd => match parse_options(rest) {
             Err(e) => Err(OptiwiseError::Usage(e)),
-            // `run` fans out over several workloads and `diff` takes two file
-            // paths; every other command takes exactly one positional.
+            // `run` and `sweep` fan out over several workloads and `diff`
+            // takes two file paths; every other command takes exactly one
+            // positional.
             Ok(opts)
-                if !matches!(cmd, "run" | "diff") && opts.workloads.len() > 1 =>
+                if !matches!(cmd, "run" | "diff" | "sweep") && opts.workloads.len() > 1 =>
             {
                 Err(OptiwiseError::Usage(format!(
-                    "`{cmd}` takes one workload; only `run` accepts several"
+                    "`{cmd}` takes one workload; only `run` and `sweep` accept several"
                 )))
             }
             Ok(opts) => match cmd {
                 "run" => cmd_run(opts),
+                "sweep" => cmd_sweep(opts),
                 "sample" => cmd_sample(&opts),
                 "instrument" => cmd_instrument(&opts),
                 "analyze" => cmd_analyze(&opts),
@@ -1977,6 +2323,61 @@ mod tests {
         assert_eq!(parse(&["x"]).unwrap().arch_name, "xeon");
         let o = parse(&["--arch", "neoverse", "x"]).unwrap();
         assert_eq!(o.arch_name, "neoverse");
+        // Every preset in ARCH_NAMES is addressable, not just the two the
+        // old hardcoded match knew.
+        let o = parse(&["--arch", "tiny", "x"]).unwrap();
+        assert_eq!(o.arch_name, "tiny");
+        assert!(parse(&["--arch", "warp9", "x"]).is_err());
+    }
+
+    #[test]
+    fn set_overrides_apply_and_validate() {
+        let o = parse(&["--set", "rob_size=128", "x"]).unwrap();
+        assert_eq!(
+            o.overrides,
+            vec![("rob_size".to_string(), "128".to_string())]
+        );
+        assert_eq!(o.core.rob_size, 128);
+        // Overrides win over --arch regardless of flag order.
+        let o = parse(&["--set", "rob_size=128", "--arch", "neoverse", "x"]).unwrap();
+        assert_eq!(o.core.rob_size, 128);
+        assert_eq!(o.arch_name, "neoverse");
+        // Malformed specs, unknown keys and invalid values all die at
+        // parse time with a field-naming message.
+        assert!(parse(&["--set", "rob_size", "x"]).is_err());
+        assert!(parse(&["--set", "warp_drive=9", "x"]).is_err());
+        let err = parse(&["--set", "rob_size=0", "x"]).err().unwrap();
+        assert!(err.contains("rob_size"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn sweep_flags_parse() {
+        let o = parse(&[
+            "--config",
+            "xeon",
+            "--config",
+            "neoverse:rob_size=64",
+            "x",
+        ])
+        .unwrap();
+        assert_eq!(
+            o.configs,
+            vec!["xeon".to_string(), "neoverse:rob_size=64".to_string()]
+        );
+        assert!(!o.strict_config);
+        assert!(parse(&["--strict-config", "x"]).unwrap().strict_config);
+    }
+
+    #[test]
+    fn sweep_workloads_parse() {
+        let w = parse_sweep_workload("loop_merge", 3).unwrap();
+        assert_eq!((w.name.as_str(), w.seed), ("loop_merge", 3));
+        let w = parse_sweep_workload("generated:9", 3).unwrap();
+        assert_eq!((w.name.as_str(), w.seed), ("generated", 9));
+        let w = parse_sweep_workload("generated", 3).unwrap();
+        assert_eq!(w.seed, 3);
+        assert!(parse_sweep_workload("loop_merge:9", 3).is_err());
+        assert!(parse_sweep_workload("no_such_workload", 3).is_err());
     }
 
     #[test]

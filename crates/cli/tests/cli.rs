@@ -665,3 +665,232 @@ fn reintroduced_decode_bomb_is_caught_with_exit_13() {
     let out = optiwise(&["fuzz", "--seed-range", "0..64", "--surface", "profile"]);
     assert!(out.status.success(), "{out:?}");
 }
+
+#[test]
+fn mixed_arch_diff_classifies_config_change_not_regression() {
+    // The paper's central comparison — the same workload under two
+    // machines (figs. 8/9) — must never read as a code regression. A
+    // cross-arch diff attributes significant deltas to the config and
+    // keeps the `--fail-on-regression` gate closed; `--strict-config`
+    // restores the old, gating behaviour for single-machine CI.
+    let dir = std::env::temp_dir().join(format!("optiwise-mixed-arch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let xeon = dir.join("xeon.owp");
+    let neoverse = dir.join("neoverse.owp");
+    for (arch, path) in [("xeon", &xeon), ("neoverse", &neoverse)] {
+        let out = optiwise(&[
+            "run", "udiv_chain", "--size", "test", "--seed", "3", "--arch", arch,
+            "--save", path.to_str().unwrap(), "--out", "/dev/null",
+        ]);
+        assert!(out.status.success(), "{out:?}");
+    }
+
+    for (old, new) in [(&xeon, &neoverse), (&neoverse, &xeon)] {
+        let out = optiwise(&[
+            "diff", old.to_str().unwrap(), new.to_str().unwrap(), "--fail-on-regression",
+        ]);
+        assert_eq!(out.status.code(), Some(0), "{out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("uarch configs differ"), "{stdout}");
+        assert!(stdout.contains("regressions: 0"), "{stdout}");
+        assert!(!stdout.contains("REGRESSION"), "{stdout}");
+
+        // Same pair, strict mode: the delta gates again, exit 7.
+        let out = optiwise(&[
+            "diff", old.to_str().unwrap(), new.to_str().unwrap(),
+            "--fail-on-regression", "--strict-config",
+        ]);
+        assert_eq!(out.status.code(), Some(7), "{out:?}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(!stdout.contains("uarch configs differ"), "{stdout}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resumed_profile_round_trips_its_arch() {
+    // A run profiled under `--arch neoverse`, killed, and resumed must
+    // store exactly the bytes of the uninterrupted neoverse run — in
+    // particular META.arch and the UCFG section. (The resume path once
+    // re-stamped a hardcoded model name, poisoning cross-config diffs.)
+    let dir = std::env::temp_dir().join(format!("optiwise-resume-arch-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let golden = dir.join("golden.owp");
+    let out = optiwise(&[
+        "run", "long_haul", "--size", "test", "--seed", "5", "--arch", "neoverse",
+        "--save", golden.to_str().unwrap(), "--out", "/dev/null",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+
+    let ck = dir.join("ck.owp");
+    let out = optiwise(&[
+        "run", "long_haul", "--size", "test", "--seed", "5", "--arch", "neoverse",
+        "--checkpoint", ck.to_str().unwrap(), "--checkpoint-every", "2000",
+        "--inject", "kill-after=8000", "--out", "/dev/null",
+    ]);
+    assert_eq!(out.status.code(), Some(9), "{out:?}");
+
+    let resumed = dir.join("resumed.owp");
+    let out = optiwise(&[
+        "resume", ck.to_str().unwrap(),
+        "--save", resumed.to_str().unwrap(), "--out", "/dev/null",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(
+        std::fs::read(&golden).unwrap(),
+        std::fs::read(&resumed).unwrap(),
+        "resumed neoverse profile differs from the uninterrupted one"
+    );
+
+    // Cross-check the stamp end-to-end: against a xeon profile of the
+    // same workload the resumed file diffs as a config change.
+    let xeon = dir.join("xeon.owp");
+    let out = optiwise(&[
+        "run", "long_haul", "--size", "test", "--seed", "5",
+        "--save", xeon.to_str().unwrap(), "--out", "/dev/null",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = optiwise(&[
+        "diff", xeon.to_str().unwrap(), resumed.to_str().unwrap(), "--fail-on-regression",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("uarch configs differ"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sweep_report_and_fleet_are_byte_identical_across_jobs() {
+    // The sweep inherits the tool-wide determinism contract: the reduced
+    // comparison tables AND the committed `.owp` fleet (run ids included)
+    // must not depend on worker count.
+    let base = std::env::temp_dir().join(format!("optiwise-sweep-jobs-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let mut reports = Vec::new();
+    for jobs in ["1", "8"] {
+        let archive = base.join(format!("archive-{jobs}"));
+        let out = optiwise(&[
+            "sweep", "loop_merge", "generated:7", "--size", "test",
+            "--config", "xeon", "--config", "neoverse:rob_size=64",
+            "--archive", archive.to_str().unwrap(), "--jobs", jobs,
+        ]);
+        assert!(out.status.success(), "{out:?}");
+        reports.push(out.stdout);
+    }
+    assert_eq!(reports[0], reports[1], "sweep report differs across --jobs");
+    let text = String::from_utf8_lossy(&reports[0]);
+    assert!(text.contains("== OptiWISE sweep: 4 cell(s) =="), "{text}");
+    assert!(text.contains("loop_merge-s0-neoverse:rob_size=64"), "{text}");
+    assert!(
+        text.contains("sweep diff: generated (seed 7): xeon -> neoverse:rob_size=64"),
+        "{text}"
+    );
+
+    for id in 1..=4u64 {
+        let name = format!("run-{id:06}.owp");
+        let seq = std::fs::read(base.join("archive-1").join("runs").join(&name)).unwrap();
+        let par = std::fs::read(base.join("archive-8").join("runs").join(&name)).unwrap();
+        assert_eq!(seq, par, "{name} differs between --jobs 1 and --jobs 8");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn interrupted_sweep_resumes_without_rerunning_finished_cells() {
+    // Kill a sweep after its short cells finished but before the long
+    // ones do (loop_merge fits the injected crash budget, long_haul does
+    // not). The finished cells commit; re-running the same sweep command
+    // resumes: committed cells are loaded, not re-profiled, and the final
+    // fleet + report are byte-identical to a never-interrupted sweep.
+    let base = std::env::temp_dir().join(format!("optiwise-sweep-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    let archive = base.join("archive");
+    let root = archive.to_str().unwrap();
+    let grid = ["sweep", "loop_merge", "long_haul", "--size", "test", "--archive", root];
+
+    let mut killed = grid.to_vec();
+    killed.extend(["--jobs", "2", "--inject", "kill-after=15000"]);
+    let out = optiwise(&killed);
+    assert_eq!(out.status.code(), Some(9), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("sweep cell `long_haul-s0-xeon` failed"), "{stderr}");
+    let committed = |n: u64| std::fs::read(archive.join("runs").join(format!("run-{n:06}.owp")));
+    let first = committed(1).expect("short cells commit despite the crash");
+    let second = committed(2).expect("short cells commit despite the crash");
+    assert!(committed(3).is_err(), "killed cells must not commit");
+    // The killed cells leave their checkpoints behind for inspection.
+    assert!(archive.join("checkpoints").join("sweep-long_haul-s0-xeon.owp").is_file());
+
+    // Re-run with a budget no fresh cell survives: only the missing cells
+    // are profiled (and die) — the committed ones are never re-run, or
+    // they too would crash and be named in stderr.
+    let mut probe = grid.to_vec();
+    probe.extend(["--jobs", "2", "--inject", "kill-after=1"]);
+    let out = optiwise(&probe);
+    assert_eq!(out.status.code(), Some(9), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("long_haul"), "{stderr}");
+    assert!(!stderr.contains("loop_merge"), "committed cells re-ran: {stderr}");
+    assert_eq!(committed(1).unwrap(), first, "resume must not rewrite committed runs");
+
+    // The clean re-run finishes the grid and reclaims the checkpoints.
+    let mut finish = grid.to_vec();
+    finish.extend(["--jobs", "2"]);
+    let out = optiwise(&finish);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let resumed_report = out.stdout;
+    assert_eq!(committed(1).unwrap(), first);
+    assert_eq!(committed(2).unwrap(), second);
+    assert!(committed(3).is_ok() && committed(4).is_ok(), "resume must finish the grid");
+    assert!(!archive.join("checkpoints").join("sweep-long_haul-s0-xeon.owp").exists());
+
+    // A sweep that was never interrupted produces the same fleet and the
+    // same report.
+    let fresh = base.join("fresh");
+    let out = optiwise(&[
+        "sweep", "loop_merge", "long_haul", "--size", "test",
+        "--archive", fresh.to_str().unwrap(), "--jobs", "2",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(out.stdout, resumed_report, "resumed sweep report diverged");
+    for id in 1..=4u64 {
+        let name = format!("run-{id:06}.owp");
+        assert_eq!(
+            std::fs::read(archive.join("runs").join(&name)).unwrap(),
+            std::fs::read(fresh.join("runs").join(&name)).unwrap(),
+            "{name} diverged between resumed and uninterrupted sweeps"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn sweep_rejects_bad_grids_before_running() {
+    // Grid validation is all-up-front: no cell runs, no archive mutation.
+    let dir = std::env::temp_dir().join(format!("optiwise-sweep-usage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let root = dir.to_str().unwrap();
+    for (args, expect) in [
+        (vec!["sweep", "loop_merge"], "needs --archive"),
+        (vec!["sweep", "--archive", root], "at least one workload"),
+        (vec!["sweep", "no_such", "--archive", root], "unknown workload"),
+        (vec!["sweep", "loop_merge:9", "--archive", root], "takes a :SEED suffix"),
+        (
+            vec!["sweep", "loop_merge", "--archive", root, "--config", "vax"],
+            "unknown arch",
+        ),
+        (
+            vec!["sweep", "loop_merge", "--archive", root, "--config", "xeon:rob_size=0"],
+            "rob_size",
+        ),
+    ] {
+        let out = optiwise(&args);
+        assert_eq!(out.status.code(), Some(1), "{args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(expect), "{args:?}: {stderr}");
+    }
+    assert!(!dir.exists(), "a rejected sweep must not create the archive");
+    let _ = std::fs::remove_dir_all(&dir);
+}

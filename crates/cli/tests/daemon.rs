@@ -504,3 +504,70 @@ fn exhausted_resource_budgets_answer_typed_overloaded() {
     assert_eq!(daemon.wait().unwrap().code(), Some(0));
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn daemon_submit_accepts_arch_and_overrides_and_rejects_bad_ones() {
+    let dir = scratch("arch-submit");
+    let root = dir.to_str().unwrap().to_string();
+    let socket = dir.join("d.sock");
+    let sock = socket.to_str().unwrap();
+    let mut daemon = spawn_daemon(&["--archive", &root, "--socket", sock, "--size", "test"]);
+    wait_for_socket(&socket, &mut daemon);
+
+    // A submission may carry its own machine: `--arch` restarts from the
+    // named preset and `--set` tunes it, exactly like the offline CLI.
+    let out = optiwise(&[
+        "submit", "--socket", sock, "udiv_chain", "--seed", "3",
+        "--arch", "neoverse", "--set", "rob_size=64",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"run\":1"), "{out:?}");
+    // And one under the daemon's default (xeon) config.
+    let out = optiwise(&["submit", "--socket", sock, "udiv_chain", "--seed", "3"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"run\":2"), "{out:?}");
+
+    // Unknown or invalid configuration is refused at admission with a
+    // typed error — never half-admitted, never a crashed job.
+    for (request, expect) in [
+        (
+            "{\"cmd\":\"submit\",\"workload\":\"udiv_chain\",\"arch\":\"vax\"}",
+            "unknown arch `vax`",
+        ),
+        (
+            "{\"cmd\":\"submit\",\"workload\":\"udiv_chain\",\"arch\":7}",
+            "`arch` must be a string",
+        ),
+        (
+            "{\"cmd\":\"submit\",\"workload\":\"udiv_chain\",\"set\":\"rob_size=banana\"}",
+            "bad `set` entry",
+        ),
+        (
+            "{\"cmd\":\"submit\",\"workload\":\"udiv_chain\",\"set\":\"warp_drive=9\"}",
+            "bad `set` entry",
+        ),
+        (
+            "{\"cmd\":\"submit\",\"workload\":\"udiv_chain\",\"set\":\"rob_size=0\"}",
+            "invalid config",
+        ),
+    ] {
+        let response = raw_request(&socket, request);
+        assert!(response.contains("\"ok\":false"), "{request} -> {response}");
+        assert!(response.contains(expect), "{request} -> {response}");
+    }
+    // Rejections happened before admission: still exactly two runs.
+    let status = raw_request(&socket, "{\"cmd\":\"status\"}");
+    assert!(status.contains("\"runs\":2"), "{status}");
+
+    let out = optiwise(&["shutdown", "--socket", sock]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(daemon.wait().unwrap().code(), Some(0));
+
+    // The arch was stamped into the archived runs: the same workload under
+    // two machines queries as a config change, not a regression.
+    let out = optiwise(&["query", &root, "--last", "2", "--fail-on-regression"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("uarch configs differ"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

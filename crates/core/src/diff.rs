@@ -30,6 +30,12 @@ pub struct DiffOptions {
     pub threshold_pct: f64,
     /// Confidence multiplier `z` applied to the sampling-error estimate.
     pub confidence: f64,
+    /// The two runs were produced under different uarch configurations
+    /// (mismatched `META.arch` or `UCFG`). Significant deltas are then
+    /// config-driven, not code-driven: they classify as
+    /// [`DiffClass::ConfigChange`] instead of regression/improvement, so a
+    /// xeon-vs-neoverse comparison cannot trip `--fail-on-regression`.
+    pub config_changed: bool,
 }
 
 impl Default for DiffOptions {
@@ -37,6 +43,7 @@ impl Default for DiffOptions {
         DiffOptions {
             threshold_pct: 5.0,
             confidence: 1.96,
+            config_changed: false,
         }
     }
 }
@@ -58,6 +65,11 @@ pub enum DiffClass {
     /// skipped the function in one run only): the metrics are not comparable,
     /// so no performance verdict is issued.
     CoverageChange,
+    /// The runs simulated different uarch configurations
+    /// ([`DiffOptions::config_changed`]), so this significant delta is
+    /// attributed to the configuration, not the code. Never counts toward
+    /// `--fail-on-regression`.
+    ConfigChange,
 }
 
 impl DiffClass {
@@ -65,10 +77,11 @@ impl DiffClass {
         match self {
             DiffClass::Regression => 0,
             DiffClass::Improvement => 1,
-            DiffClass::Added => 2,
-            DiffClass::Removed => 3,
-            DiffClass::CoverageChange => 4,
-            DiffClass::Noise => 5,
+            DiffClass::ConfigChange => 2,
+            DiffClass::Added => 3,
+            DiffClass::Removed => 4,
+            DiffClass::CoverageChange => 5,
+            DiffClass::Noise => 6,
         }
     }
 }
@@ -82,6 +95,7 @@ impl fmt::Display for DiffClass {
             DiffClass::Added => "added",
             DiffClass::Removed => "removed",
             DiffClass::CoverageChange => "coverage",
+            DiffClass::ConfigChange => "config",
         })
     }
 }
@@ -169,10 +183,20 @@ impl DiffReport {
                 DiffClass::Regression => reg += 1,
                 DiffClass::Improvement => imp += 1,
                 DiffClass::Noise => noise += 1,
-                DiffClass::Added | DiffClass::Removed | DiffClass::CoverageChange => {}
+                DiffClass::Added
+                | DiffClass::Removed
+                | DiffClass::CoverageChange
+                | DiffClass::ConfigChange => {}
             }
         }
         (reg, imp, noise)
+    }
+
+    /// Number of rows attributed to a configuration difference.
+    pub fn config_changes(&self) -> usize {
+        self.rows()
+            .filter(|r| r.class == DiffClass::ConfigChange)
+            .count()
     }
 
     /// Number of rows classified as regressions.
@@ -432,6 +456,11 @@ fn classify(
         DiffClass::CoverageChange
     } else if !significant {
         DiffClass::Noise
+    } else if options.config_changed {
+        // A significant delta between runs of different uarch configs is
+        // the config's doing; calling it a regression would misattribute
+        // a machine difference to the code (the fig. 8/9 trap).
+        DiffClass::ConfigChange
     } else if delta_pct > 0.0 {
         DiffClass::Regression
     } else {
@@ -595,6 +624,7 @@ mod tests {
         let opts = DiffOptions {
             threshold_pct: 0.5,
             confidence: 0.0,
+            ..DiffOptions::default()
         };
         let report = diff_tables(&tables(1000, 400, 1000), &tables(1020, 400, 1000), opts);
         assert_eq!(report.functions[0].class, DiffClass::Regression);
@@ -662,6 +692,29 @@ mod tests {
         let row = &report.functions[0];
         assert_ne!(row.metric, DiffMetric::Execs, "{row:?}");
         assert_eq!(row.class, DiffClass::Noise, "{row:?}");
+    }
+
+    #[test]
+    fn config_mismatch_reports_config_changes_not_regressions() {
+        // Same workload, different uarch config: the CPI doubling is the
+        // machine's doing. Under `config_changed` it must not read as a
+        // regression (and must not drive --fail-on-regression).
+        let old = tables(1000, 400, 1000);
+        let new = tables(2000, 400, 1000);
+        let opts = DiffOptions {
+            config_changed: true,
+            ..DiffOptions::default()
+        };
+        let report = diff_tables(&old, &new, opts);
+        let row = &report.functions[0];
+        assert_eq!(row.class, DiffClass::ConfigChange, "{row:?}");
+        assert!(!report.has_regressions());
+        assert_eq!(report.config_changes(), 3); // function + loop + line
+        // Insignificant rows stay noise — config awareness does not
+        // manufacture significance.
+        let quiet = diff_tables(&tables(1000, 400, 1000), &tables(1010, 400, 1000), opts);
+        assert_eq!(quiet.functions[0].class, DiffClass::Noise);
+        assert_eq!(quiet.config_changes(), 0);
     }
 
     #[test]

@@ -28,6 +28,7 @@ mod limits;
 pub mod report;
 mod runner;
 pub mod selfcheck;
+pub mod sweep;
 mod tables;
 mod types;
 mod xfrm;
@@ -44,6 +45,7 @@ pub use runner::{
     module_fingerprint, run_optiwise, run_optiwise_ctl, OptiwiseConfig, OptiwiseRun, PassEvent,
     ResumeState, RetryPolicy, RunControl, DEFAULT_HOT_THRESHOLD,
 };
+pub use sweep::{reduce_fleet, SweepCell, SweepConfig, SweepGrid, SweepResult, SweepWorkload};
 pub use wiser_sim::{CancelCause, CancelToken};
 pub use tables::ProfileTables;
 pub use types::{Coverage, FuncStats, InsnRow, LineStats, LoopStats};

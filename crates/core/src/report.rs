@@ -312,6 +312,13 @@ pub fn diff_report(report: &DiffReport, limit: usize) -> String {
         "threshold: {:.1}%   confidence: {:.2}   regressions: {reg}   improvements: {imp}   noise: {noise}",
         report.options.threshold_pct, report.options.confidence,
     );
+    if report.options.config_changed {
+        let _ = writeln!(
+            out,
+            "uarch configs differ: {} significant row(s) attributed to the config, not the code",
+            report.config_changes(),
+        );
+    }
     let _ = writeln!(
         out,
         "\n-- functions --\n{}",

@@ -391,6 +391,14 @@ pub fn run_optiwise_ctl(
     config: &OptiwiseConfig,
     ctl: RunControl<'_>,
 ) -> Result<OptiwiseRun, OptiwiseError> {
+    // Central chokepoint for uarch-config validation: every entry into the
+    // pipeline — CLI run/resume, daemon jobs, sweep cells — passes through
+    // here, so a user-supplied grid can never reach the timing model with a
+    // divide-by-zero cache geometry or a zero-width pipeline.
+    config
+        .core
+        .validate()
+        .map_err(|e| OptiwiseError::Usage(e.to_string()))?;
     let allow_partial = config.allow_partial && !config.strict;
     let RunControl {
         cancel,

@@ -29,7 +29,7 @@ pub use timed::{run_timed, run_timed_partial, run_timed_partial_ctl, RunControl,
 // direct `wiser-par` dependency.
 pub use wiser_par::{CancelCause, CancelToken};
 pub use uarch::{
-    BpredConfig, BpredStats, CacheConfig, CacheStats, CommitMode, CoreConfig, CoreStats,
-    MemHierConfig, NoProbes, OoOCore, ProbePoint, Prober,
+    BpredConfig, BpredStats, CacheConfig, CacheStats, CommitMode, ConfigError, CoreConfig,
+    CoreStats, MemHierConfig, NoProbes, OoOCore, ProbePoint, Prober, ARCH_NAMES,
 };
 pub use trace::{BranchOutcome, ExecRecord, FlowEvent};

@@ -17,8 +17,53 @@ pub enum CommitMode {
     EarlyRelease,
 }
 
+/// A typed configuration error: which field was invalid and why.
+///
+/// Returned by [`CoreConfig::validate`] and the override parser so that
+/// user-supplied grids (CLI `--set`, daemon job specs, sweep config specs)
+/// surface as usage errors instead of panicking inside the timing model —
+/// e.g. the `CacheConfig::sets()` divide-by-zero a zero `assoc` used to hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The offending field or override key (e.g. `l1d.line`).
+    pub field: String,
+    /// What is wrong with its value.
+    pub message: String,
+    /// True when the key itself was unrecognised (possibly a field from a
+    /// newer tool version) rather than its value being invalid. Decoders
+    /// of persisted override lists use this to skip unknown keys for
+    /// forward compatibility while still failing closed on corrupt values.
+    pub unknown_key: bool,
+}
+
+impl ConfigError {
+    fn new(field: &str, message: impl Into<String>) -> ConfigError {
+        ConfigError {
+            field: field.to_string(),
+            message: message.into(),
+            unknown_key: false,
+        }
+    }
+
+    fn unknown(field: &str) -> ConfigError {
+        ConfigError {
+            field: field.to_string(),
+            message: "unknown config key".to_string(),
+            unknown_key: true,
+        }
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "config field `{}`: {}", self.field, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// One cache level.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total size in bytes.
     pub size: u64,
@@ -31,14 +76,52 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
-    /// Number of sets.
+    /// Number of sets. Degenerate geometries (zero line/assoc, which
+    /// [`CacheConfig::validate`] rejects anyway) clamp to one set rather
+    /// than dividing by zero.
     pub fn sets(&self) -> usize {
-        (self.size / (self.line * self.assoc as u64)).max(1) as usize
+        let set_bytes = (self.line * self.assoc as u64).max(1);
+        (self.size / set_bytes).max(1) as usize
+    }
+
+    /// Checks the geometry this level needs to index correctly: non-zero
+    /// size/assoc/line and a power-of-two line (set indexing is a shift,
+    /// so a non-power-of-two line silently mis-indexes).
+    pub fn validate(&self, level: &str) -> Result<(), ConfigError> {
+        let field = |suffix: &str| format!("{level}.{suffix}");
+        if self.size == 0 {
+            return Err(ConfigError::new(&field("size"), "must be non-zero"));
+        }
+        if self.assoc == 0 {
+            return Err(ConfigError::new(&field("assoc"), "must be non-zero"));
+        }
+        if self.line == 0 {
+            return Err(ConfigError::new(&field("line"), "must be non-zero"));
+        }
+        if !self.line.is_power_of_two() {
+            return Err(ConfigError::new(
+                &field("line"),
+                format!("must be a power of two, got {}", self.line),
+            ));
+        }
+        if self.size < self.line.saturating_mul(self.assoc as u64) {
+            return Err(ConfigError::new(
+                &field("size"),
+                format!(
+                    "smaller than one set ({} B line x {} ways)",
+                    self.line, self.assoc
+                ),
+            ));
+        }
+        if self.latency == 0 {
+            return Err(ConfigError::new(&field("latency"), "must be non-zero"));
+        }
+        Ok(())
     }
 }
 
 /// The three-level data hierarchy plus an instruction cache.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MemHierConfig {
     /// L1 instruction cache.
     pub l1i: CacheConfig,
@@ -53,7 +136,7 @@ pub struct MemHierConfig {
 }
 
 /// Branch-predictor sizing.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BpredConfig {
     /// log2 of the gshare pattern-history table size.
     pub pht_bits: u32,
@@ -64,7 +147,7 @@ pub struct BpredConfig {
 }
 
 /// Full core configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CoreConfig {
     /// Instructions fetched per cycle.
     pub fetch_width: u32,
@@ -123,6 +206,47 @@ pub struct CoreConfig {
     pub mem: MemHierConfig,
     /// Branch predictor.
     pub bpred: BpredConfig,
+}
+
+/// Architecture names accepted by [`CoreConfig::by_name`] — the single
+/// naming source shared by the CLI `--arch` flag, daemon job specs,
+/// checkpoint resume and sweep config specs.
+pub const ARCH_NAMES: &[&str] = &["xeon", "neoverse", "tiny"];
+
+fn parse_u32(field: &str, value: &str) -> Result<u32, ConfigError> {
+    value
+        .parse()
+        .map_err(|_| ConfigError::new(field, format!("expected an unsigned integer, got `{value}`")))
+}
+
+fn parse_u64(field: &str, value: &str) -> Result<u64, ConfigError> {
+    value
+        .parse()
+        .map_err(|_| ConfigError::new(field, format!("expected an unsigned integer, got `{value}`")))
+}
+
+fn parse_usize(field: &str, value: &str) -> Result<usize, ConfigError> {
+    value
+        .parse()
+        .map_err(|_| ConfigError::new(field, format!("expected an unsigned integer, got `{value}`")))
+}
+
+fn parse_commit_mode(value: &str) -> Result<CommitMode, ConfigError> {
+    match value {
+        "in_order" | "inorder" => Ok(CommitMode::InOrder),
+        "early_release" | "early" => Ok(CommitMode::EarlyRelease),
+        other => Err(ConfigError::new(
+            "commit_mode",
+            format!("expected `in_order` or `early_release`, got `{other}`"),
+        )),
+    }
+}
+
+fn commit_mode_name(mode: CommitMode) -> &'static str {
+    match mode {
+        CommitMode::InOrder => "in_order",
+        CommitMode::EarlyRelease => "early_release",
+    }
 }
 
 impl CoreConfig {
@@ -210,6 +334,197 @@ impl CoreConfig {
         cfg.mem.l3.size = 64 * 1024;
         cfg
     }
+
+    /// Looks up a preset by its canonical name (see [`ARCH_NAMES`]).
+    pub fn by_name(name: &str) -> Option<CoreConfig> {
+        match name {
+            "xeon" => Some(CoreConfig::xeon_like()),
+            "neoverse" => Some(CoreConfig::neoverse_like()),
+            "tiny" => Some(CoreConfig::tiny()),
+            _ => None,
+        }
+    }
+
+    /// Checks every field a user-supplied grid can break: pipeline widths,
+    /// window sizes, unit/port counts and latencies must be non-zero, and
+    /// each cache level must have an indexable geometry. The first invalid
+    /// field wins.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let nonzero_u32 = |field: &str, v: u32| {
+            if v == 0 {
+                Err(ConfigError::new(field, "must be non-zero"))
+            } else {
+                Ok(())
+            }
+        };
+        let nonzero_u64 = |field: &str, v: u64| {
+            if v == 0 {
+                Err(ConfigError::new(field, "must be non-zero"))
+            } else {
+                Ok(())
+            }
+        };
+        nonzero_u32("fetch_width", self.fetch_width)?;
+        nonzero_u32("dispatch_width", self.dispatch_width)?;
+        nonzero_u32("issue_width", self.issue_width)?;
+        nonzero_u32("commit_width", self.commit_width)?;
+        if self.rob_size == 0 {
+            return Err(ConfigError::new("rob_size", "must be non-zero"));
+        }
+        if self.iq_size == 0 {
+            return Err(ConfigError::new("iq_size", "must be non-zero"));
+        }
+        nonzero_u32("int_alu_units", self.int_alu_units)?;
+        nonzero_u32("int_mul_units", self.int_mul_units)?;
+        nonzero_u32("int_div_units", self.int_div_units)?;
+        nonzero_u32("fp_units", self.fp_units)?;
+        nonzero_u32("fp_div_units", self.fp_div_units)?;
+        nonzero_u32("load_ports", self.load_ports)?;
+        nonzero_u32("store_ports", self.store_ports)?;
+        nonzero_u32("mshrs", self.mshrs)?;
+        nonzero_u64("int_mul_latency", self.int_mul_latency)?;
+        nonzero_u64("int_div_latency", self.int_div_latency)?;
+        nonzero_u64("fp_latency", self.fp_latency)?;
+        nonzero_u64("fp_div_latency", self.fp_div_latency)?;
+        nonzero_u64("fp_sqrt_latency", self.fp_sqrt_latency)?;
+        self.mem.l1i.validate("l1i")?;
+        self.mem.l1d.validate("l1d")?;
+        self.mem.l2.validate("l2")?;
+        self.mem.l3.validate("l3")?;
+        nonzero_u64("mem_latency", self.mem.mem_latency)?;
+        if self.bpred.pht_bits == 0 || self.bpred.pht_bits > 30 {
+            return Err(ConfigError::new(
+                "pht_bits",
+                format!("must be in 1..=30, got {}", self.bpred.pht_bits),
+            ));
+        }
+        if self.bpred.btb_entries == 0 {
+            return Err(ConfigError::new("btb_entries", "must be non-zero"));
+        }
+        if self.bpred.ras_depth == 0 {
+            return Err(ConfigError::new("ras_depth", "must be non-zero"));
+        }
+        Ok(())
+    }
+
+    /// Sets one field by its override key (the names emitted by
+    /// [`CoreConfig::to_pairs`]). Cache fields are dotted (`l1d.size`);
+    /// `commit_mode` accepts `in_order`/`inorder` and
+    /// `early_release`/`early`. Unknown keys and unparsable values return a
+    /// typed error; the value is **not** re-validated here — call
+    /// [`CoreConfig::validate`] once all overrides are applied.
+    pub fn apply_override(&mut self, key: &str, value: &str) -> Result<(), ConfigError> {
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "fetch_width" => self.fetch_width = parse_u32(key, value)?,
+            "dispatch_width" => self.dispatch_width = parse_u32(key, value)?,
+            "issue_width" => self.issue_width = parse_u32(key, value)?,
+            "commit_width" => self.commit_width = parse_u32(key, value)?,
+            "rob_size" => self.rob_size = parse_usize(key, value)?,
+            "iq_size" => self.iq_size = parse_usize(key, value)?,
+            "frontend_latency" => self.frontend_latency = parse_u64(key, value)?,
+            "mispredict_penalty" => self.mispredict_penalty = parse_u64(key, value)?,
+            "commit_mode" => self.commit_mode = parse_commit_mode(value)?,
+            "int_alu_units" => self.int_alu_units = parse_u32(key, value)?,
+            "int_mul_units" => self.int_mul_units = parse_u32(key, value)?,
+            "int_div_units" => self.int_div_units = parse_u32(key, value)?,
+            "fp_units" => self.fp_units = parse_u32(key, value)?,
+            "fp_div_units" => self.fp_div_units = parse_u32(key, value)?,
+            "load_ports" => self.load_ports = parse_u32(key, value)?,
+            "store_ports" => self.store_ports = parse_u32(key, value)?,
+            "mshrs" => self.mshrs = parse_u32(key, value)?,
+            "int_mul_latency" => self.int_mul_latency = parse_u64(key, value)?,
+            "int_div_latency" => self.int_div_latency = parse_u64(key, value)?,
+            "fp_latency" => self.fp_latency = parse_u64(key, value)?,
+            "fp_div_latency" => self.fp_div_latency = parse_u64(key, value)?,
+            "fp_sqrt_latency" => self.fp_sqrt_latency = parse_u64(key, value)?,
+            "syscall_latency" => self.syscall_latency = parse_u64(key, value)?,
+            "mem_latency" => self.mem.mem_latency = parse_u64(key, value)?,
+            "pht_bits" => self.bpred.pht_bits = parse_u32(key, value)?,
+            "btb_entries" => self.bpred.btb_entries = parse_usize(key, value)?,
+            "ras_depth" => self.bpred.ras_depth = parse_usize(key, value)?,
+            _ => {
+                let (level, field) = key
+                    .split_once('.')
+                    .ok_or_else(|| ConfigError::unknown(key))?;
+                let cache = match level {
+                    "l1i" => &mut self.mem.l1i,
+                    "l1d" => &mut self.mem.l1d,
+                    "l2" => &mut self.mem.l2,
+                    "l3" => &mut self.mem.l3,
+                    _ => return Err(ConfigError::unknown(key)),
+                };
+                match field {
+                    "size" => cache.size = parse_u64(key, value)?,
+                    "assoc" => cache.assoc = parse_usize(key, value)?,
+                    "line" => cache.line = parse_u64(key, value)?,
+                    "latency" => cache.latency = parse_u64(key, value)?,
+                    _ => return Err(ConfigError::unknown(key)),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Splits a `key=value` override spec (as passed to `--set`) into its
+    /// halves, trimming whitespace.
+    pub fn parse_set(spec: &str) -> Result<(String, String), ConfigError> {
+        match spec.split_once('=') {
+            Some((k, v)) if !k.trim().is_empty() && !v.trim().is_empty() => {
+                Ok((k.trim().to_string(), v.trim().to_string()))
+            }
+            _ => Err(ConfigError::new(spec, "expected key=value")),
+        }
+    }
+
+    /// Serialises the full configuration as `(key, value)` pairs in a fixed
+    /// order, exhaustively covering every field [`CoreConfig::apply_override`]
+    /// accepts: applying the pairs of any config onto any base reconstructs
+    /// it exactly. This is the wire form of the `UCFG` store section.
+    pub fn to_pairs(&self) -> Vec<(String, String)> {
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        let mut p = |k: &str, v: String| pairs.push((k.to_string(), v));
+        p("fetch_width", self.fetch_width.to_string());
+        p("dispatch_width", self.dispatch_width.to_string());
+        p("issue_width", self.issue_width.to_string());
+        p("commit_width", self.commit_width.to_string());
+        p("rob_size", self.rob_size.to_string());
+        p("iq_size", self.iq_size.to_string());
+        p("frontend_latency", self.frontend_latency.to_string());
+        p("mispredict_penalty", self.mispredict_penalty.to_string());
+        p("commit_mode", commit_mode_name(self.commit_mode).to_string());
+        p("int_alu_units", self.int_alu_units.to_string());
+        p("int_mul_units", self.int_mul_units.to_string());
+        p("int_div_units", self.int_div_units.to_string());
+        p("fp_units", self.fp_units.to_string());
+        p("fp_div_units", self.fp_div_units.to_string());
+        p("load_ports", self.load_ports.to_string());
+        p("store_ports", self.store_ports.to_string());
+        p("mshrs", self.mshrs.to_string());
+        p("int_mul_latency", self.int_mul_latency.to_string());
+        p("int_div_latency", self.int_div_latency.to_string());
+        p("fp_latency", self.fp_latency.to_string());
+        p("fp_div_latency", self.fp_div_latency.to_string());
+        p("fp_sqrt_latency", self.fp_sqrt_latency.to_string());
+        p("syscall_latency", self.syscall_latency.to_string());
+        for (name, c) in [
+            ("l1i", &self.mem.l1i),
+            ("l1d", &self.mem.l1d),
+            ("l2", &self.mem.l2),
+            ("l3", &self.mem.l3),
+        ] {
+            p(&format!("{name}.size"), c.size.to_string());
+            p(&format!("{name}.assoc"), c.assoc.to_string());
+            p(&format!("{name}.line"), c.line.to_string());
+            p(&format!("{name}.latency"), c.latency.to_string());
+        }
+        p("mem_latency", self.mem.mem_latency.to_string());
+        p("pht_bits", self.bpred.pht_bits.to_string());
+        p("btb_entries", self.bpred.btb_entries.to_string());
+        p("ras_depth", self.bpred.ras_depth.to_string());
+        pairs
+    }
 }
 
 impl Default for CoreConfig {
@@ -236,5 +551,105 @@ mod tests {
         assert_eq!(x.commit_mode, CommitMode::InOrder);
         assert_eq!(n.commit_mode, CommitMode::EarlyRelease);
         assert_eq!(n.iq_size, 48);
+    }
+
+    #[test]
+    fn sets_never_divides_by_zero() {
+        // Degenerate geometries used to panic on `size / (line * assoc)`.
+        for (assoc, line) in [(0usize, 64u64), (8, 0), (0, 0)] {
+            let c = CacheConfig {
+                size: 32 * 1024,
+                assoc,
+                line,
+                latency: 4,
+            };
+            assert!(c.sets() >= 1);
+        }
+    }
+
+    #[test]
+    fn validate_accepts_presets() {
+        for name in ARCH_NAMES {
+            CoreConfig::by_name(name).unwrap().validate().unwrap();
+        }
+    }
+
+    fn expect_invalid(mutate: impl FnOnce(&mut CoreConfig), field: &str) {
+        let mut cfg = CoreConfig::xeon_like();
+        mutate(&mut cfg);
+        let err = cfg.validate().expect_err(field);
+        assert_eq!(err.field, field, "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_each_invalid_field() {
+        expect_invalid(|c| c.fetch_width = 0, "fetch_width");
+        expect_invalid(|c| c.dispatch_width = 0, "dispatch_width");
+        expect_invalid(|c| c.issue_width = 0, "issue_width");
+        expect_invalid(|c| c.commit_width = 0, "commit_width");
+        expect_invalid(|c| c.rob_size = 0, "rob_size");
+        expect_invalid(|c| c.iq_size = 0, "iq_size");
+        expect_invalid(|c| c.int_alu_units = 0, "int_alu_units");
+        expect_invalid(|c| c.int_div_units = 0, "int_div_units");
+        expect_invalid(|c| c.load_ports = 0, "load_ports");
+        expect_invalid(|c| c.store_ports = 0, "store_ports");
+        expect_invalid(|c| c.mshrs = 0, "mshrs");
+        expect_invalid(|c| c.int_div_latency = 0, "int_div_latency");
+        expect_invalid(|c| c.mem.l1d.assoc = 0, "l1d.assoc");
+        expect_invalid(|c| c.mem.l1d.line = 0, "l1d.line");
+        expect_invalid(|c| c.mem.l2.line = 48, "l2.line");
+        expect_invalid(|c| c.mem.l3.size = 0, "l3.size");
+        expect_invalid(|c| c.mem.l1i.latency = 0, "l1i.latency");
+        expect_invalid(|c| c.mem.mem_latency = 0, "mem_latency");
+        expect_invalid(|c| c.bpred.pht_bits = 0, "pht_bits");
+        expect_invalid(|c| c.bpred.btb_entries = 0, "btb_entries");
+        expect_invalid(|c| c.bpred.ras_depth = 0, "ras_depth");
+    }
+
+    #[test]
+    fn by_name_covers_arch_names() {
+        for name in ARCH_NAMES {
+            assert!(CoreConfig::by_name(name).is_some(), "{name}");
+        }
+        assert!(CoreConfig::by_name("wiser-ooo").is_none());
+        assert!(CoreConfig::by_name("").is_none());
+    }
+
+    #[test]
+    fn pairs_round_trip_onto_any_base() {
+        // Applying the pairs of one preset onto another reconstructs the
+        // source exactly — the property the UCFG store section relies on.
+        for name in ARCH_NAMES {
+            let source = CoreConfig::by_name(name).unwrap();
+            let mut rebuilt = CoreConfig::neoverse_like();
+            for (k, v) in source.to_pairs() {
+                rebuilt.apply_override(&k, &v).unwrap();
+            }
+            assert_eq!(rebuilt, source, "round trip for {name}");
+        }
+    }
+
+    #[test]
+    fn overrides_parse_and_reject() {
+        let mut cfg = CoreConfig::xeon_like();
+        cfg.apply_override("rob_size", "128").unwrap();
+        cfg.apply_override("commit_mode", "early").unwrap();
+        cfg.apply_override("l1d.size", "16384").unwrap();
+        assert_eq!(cfg.rob_size, 128);
+        assert_eq!(cfg.commit_mode, CommitMode::EarlyRelease);
+        assert_eq!(cfg.mem.l1d.size, 16384);
+
+        assert!(cfg.apply_override("warp_drive", "9").unwrap_err().unknown_key);
+        assert!(cfg.apply_override("l4.size", "1").unwrap_err().unknown_key);
+        assert!(cfg.apply_override("l1d.colour", "1").unwrap_err().unknown_key);
+        assert!(!cfg.apply_override("rob_size", "lots").unwrap_err().unknown_key);
+        assert!(!cfg.apply_override("commit_mode", "sideways").unwrap_err().unknown_key);
+
+        assert_eq!(
+            CoreConfig::parse_set("rob_size=64").unwrap(),
+            ("rob_size".to_string(), "64".to_string())
+        );
+        assert!(CoreConfig::parse_set("rob_size").is_err());
+        assert!(CoreConfig::parse_set("=64").is_err());
     }
 }

@@ -7,5 +7,7 @@ pub mod core;
 
 pub use bpred::{BpredStats, BranchPredictor};
 pub use cache::{Cache, CacheStats, Hierarchy};
-pub use config::{BpredConfig, CacheConfig, CommitMode, CoreConfig, MemHierConfig};
+pub use config::{
+    BpredConfig, CacheConfig, CommitMode, ConfigError, CoreConfig, MemHierConfig, ARCH_NAMES,
+};
 pub use core::{CoreStats, NoProbes, OoOCore, ProbePoint, Prober};

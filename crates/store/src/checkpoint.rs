@@ -57,8 +57,12 @@ pub struct CheckpointSpec {
     pub workload: String,
     /// Input size name (`test`/`train`/`ref`).
     pub size: String,
-    /// Core model name (`xeon`/`neoverse`).
+    /// Core model name (see `wiser_sim::ARCH_NAMES`).
     pub arch: String,
+    /// Uarch overrides (`--set key=value`) applied on top of the named
+    /// preset, in application order. Encoded as an optional tail so
+    /// checkpoints written before overrides existed still decode.
+    pub overrides: Vec<(String, String)>,
     /// Deterministic input seed.
     pub rand_seed: u64,
     /// Sampling period in cycles.
@@ -86,21 +90,27 @@ pub struct CheckpointSpec {
 }
 
 impl CheckpointSpec {
-    /// The core model this spec names.
+    /// The core model this spec names, with any recorded overrides applied
+    /// and the result validated. Name resolution delegates to
+    /// [`CoreConfig::by_name`] — the same source the CLI and daemon use —
+    /// so a resumed run cannot drift from the label it will be stored under.
     ///
     /// # Errors
     ///
-    /// [`OptiwiseError::Store`]-class failure on an unknown arch name.
+    /// [`OptiwiseError::Store`]-class failure on an unknown arch name, an
+    /// unknown override key, or an override grid that fails
+    /// `CoreConfig::validate`.
     pub fn core_config(&self) -> Result<CoreConfig, OptiwiseError> {
-        match self.arch.as_str() {
-            "xeon" => Ok(CoreConfig::xeon_like()),
-            "neoverse" => Ok(CoreConfig::neoverse_like()),
-            other => Err(OptiwiseError::Store(StoreError::in_section(
-                0,
-                "CKPT",
-                format!("unknown core model `{other}` in checkpoint"),
-            ))),
+        let in_ckpt = |m: String| OptiwiseError::Store(StoreError::in_section(0, "CKPT", m));
+        let mut core = CoreConfig::by_name(&self.arch)
+            .ok_or_else(|| in_ckpt(format!("unknown core model `{}` in checkpoint", self.arch)))?;
+        for (key, value) in &self.overrides {
+            core.apply_override(key, value)
+                .map_err(|e| in_ckpt(format!("bad override in checkpoint: {e}")))?;
         }
+        core.validate()
+            .map_err(|e| in_ckpt(format!("invalid config in checkpoint: {e}")))?;
+        Ok(core)
     }
 
     /// Reconstructs the pipeline configuration of the interrupted run.
@@ -328,6 +338,13 @@ fn encode_ckpt(c: &Checkpoint) -> Vec<u8> {
     w.u64(s.checkpoint_every);
     w.u64(c.sample_pos);
     w.u64(c.counts_pos);
+    // Optional tail (newer than the base format): uarch overrides. Old
+    // images simply end here; the decoder gates on remaining bytes.
+    w.u64(s.overrides.len() as u64);
+    for (key, value) in &s.overrides {
+        w.string(key);
+        w.string(value);
+    }
     w.into_bytes()
 }
 
@@ -371,12 +388,23 @@ fn decode_ckpt(r: &mut ByteReader<'_>) -> Result<(CheckpointSpec, u64, u64), Sto
     let checkpoint_every = r.u64("checkpoint_every")?;
     let sample_pos = r.u64("sample_pos")?;
     let counts_pos = r.u64("counts_pos")?;
+    let mut overrides = Vec::new();
+    if r.remaining() > 0 {
+        let n = r.len_mem(16, 2 * std::mem::size_of::<String>(), "override count")?;
+        overrides.reserve(n);
+        for _ in 0..n {
+            let key = r.string("override key")?;
+            let value = r.string("override value")?;
+            overrides.push((key, value));
+        }
+    }
     Ok((
         CheckpointSpec {
             module_hash,
             workload,
             size,
             arch,
+            overrides,
             rand_seed,
             period,
             jitter,
@@ -542,6 +570,7 @@ mod tests {
             workload: "counted_loop".into(),
             size: "test".into(),
             arch: "xeon".into(),
+            overrides: vec![("rob_size".into(), "96".into())],
             rand_seed: 7,
             period: 2048,
             jitter: 512,
@@ -595,6 +624,39 @@ mod tests {
         let back = Checkpoint::from_bytes(&done.to_bytes()).unwrap();
         assert!(back.sample_done());
         assert!(back.resume_state().samples.is_some());
+    }
+
+    #[test]
+    fn pre_override_images_decode_with_empty_overrides() {
+        // An image written before the overrides tail existed ends right
+        // after counts_pos; decoding must yield an empty override list,
+        // not an error.
+        let mut c = Checkpoint::fresh(spec());
+        c.spec.overrides.clear();
+        let full = encode_ckpt(&c);
+        let legacy = full[..full.len() - 8].to_vec(); // drop the zero count
+        let image = write_store(&[(TAG_CKPT, legacy)]);
+        let back = Checkpoint::from_bytes(&image).unwrap();
+        assert_eq!(back.spec, c.spec);
+    }
+
+    #[test]
+    fn core_config_resolves_name_and_overrides() {
+        let s = spec();
+        let core = s.core_config().unwrap();
+        assert_eq!(core.rob_size, 96, "override applied");
+
+        let mut unknown = s.clone();
+        unknown.arch = "wiser-ooo".into();
+        assert!(unknown.core_config().is_err(), "stale label must not resolve");
+
+        let mut bad_key = s.clone();
+        bad_key.overrides.push(("warp_drive".into(), "9".into()));
+        assert!(bad_key.core_config().is_err());
+
+        let mut invalid = s;
+        invalid.overrides.push(("rob_size".into(), "0".into()));
+        assert!(invalid.core_config().is_err(), "grid must be validated");
     }
 
     #[test]

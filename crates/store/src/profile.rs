@@ -11,12 +11,18 @@
 //! | `CNTS` | raw [`CountsProfile`]               | optional |
 //! | `TABL` | joined [`ProfileTables`]            | required |
 //! | `COVR` | per-function [`Coverage`] markers   | optional |
+//! | `UCFG` | full resolved [`CoreConfig`]        | optional |
 //!
 //! Forward compatibility: `CNTS` carries the counter-placement tallies and
 //! suppression lists as an *optional tail* (older images simply end before
 //! it and decode with exhaustive defaults), and `COVR` is a separate
 //! section so pre-selective readers skip it as unknown. Decoders lacking
 //! `COVR` derive every function's coverage from the analysis mode.
+//! `UCFG` records the run's complete resolved uarch configuration as
+//! `(key, value)` string pairs (the `CoreConfig::to_pairs` wire form), so
+//! an archived run is self-describing even when its `META.arch` preset
+//! name later changes meaning; readers predating `UCFG` skip it as
+//! unknown, and unknown *keys* inside it are skipped as future fields.
 //!
 //! Encoding is fully deterministic — collections are written in their
 //! already-deterministic in-memory order and the one `HashMap`
@@ -32,7 +38,7 @@ use optiwise::{
 };
 use wiser_dbi::{BlockCount, CounterPlacement, CountsProfile, InstrumentationCost, TermKind};
 use wiser_sampler::{Sample, SampleProfile};
-use wiser_sim::{CodeLoc, ModuleId, TruncationReason};
+use wiser_sim::{CodeLoc, CoreConfig, ModuleId, TruncationReason};
 
 use crate::format::{read_sections, write_store, ByteReader, ByteWriter, DecodeBudget};
 
@@ -42,6 +48,7 @@ pub(crate) const TAG_CNTS: [u8; 4] = *b"CNTS";
 const TAG_TABL: [u8; 4] = *b"TABL";
 const TAG_COVR: [u8; 4] = *b"COVR";
 const TAG_XFRM: [u8; 4] = *b"XFRM";
+const TAG_UCFG: [u8; 4] = *b"UCFG";
 
 /// Identity of a stored run, for labelling reports and diffs.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -72,22 +79,36 @@ pub struct StoredProfile {
     /// binary (empty for ordinary profiling runs; stored as an `XFRM`
     /// section only when non-empty, so older readers skip it).
     pub transforms: TransformLog,
+    /// The full resolved uarch configuration the run simulated (stored as a
+    /// `UCFG` section). `None` for images written before `UCFG` existed.
+    pub uarch: Option<CoreConfig>,
 }
 
 impl StoredProfile {
-    /// Packages a finished pipeline run for persistence.
-    pub fn from_run(label: impl Into<String>, run: &OptiwiseRun, rand_seed: u64) -> StoredProfile {
+    /// Packages a finished pipeline run for persistence. `arch` is the
+    /// preset name the run was configured with (`wiser_sim::ARCH_NAMES` —
+    /// the same source the CLI's `--arch` resolves through) and `core` the
+    /// fully resolved configuration, overrides included; both are recorded
+    /// so the stored run is self-describing.
+    pub fn from_run(
+        label: impl Into<String>,
+        run: &OptiwiseRun,
+        rand_seed: u64,
+        arch: &str,
+        core: CoreConfig,
+    ) -> StoredProfile {
         StoredProfile {
             meta: RunMeta {
                 label: label.into(),
                 rand_seed,
                 tool_version: env!("CARGO_PKG_VERSION").to_string(),
-                arch: "wiser-ooo".to_string(),
+                arch: arch.to_string(),
             },
             samples: Some(run.samples.clone()),
             counts: Some(run.counts.clone()),
             tables: ProfileTables::from_analysis(&run.analysis),
             transforms: TransformLog::default(),
+            uarch: Some(core),
         }
     }
 
@@ -105,6 +126,9 @@ impl StoredProfile {
         sections.push((TAG_COVR, encode_coverage(&self.tables)));
         if !self.transforms.is_empty() {
             sections.push((TAG_XFRM, encode_transforms(&self.transforms)));
+        }
+        if let Some(core) = &self.uarch {
+            sections.push((TAG_UCFG, encode_uarch(core)));
         }
         write_store(&sections)
     }
@@ -146,6 +170,7 @@ impl StoredProfile {
         let mut tables = None;
         let mut coverage: Option<(u64, Vec<Coverage>)> = None;
         let mut transforms = TransformLog::default();
+        let mut uarch = None;
         for section in read_sections(data)? {
             let mut r = ByteReader::with_budget(
                 section.payload,
@@ -196,6 +221,10 @@ impl StoredProfile {
                     r.expect_end()?;
                     transforms = t;
                 }
+                TAG_UCFG => {
+                    uarch = Some(decode_uarch(&mut r)?);
+                    r.expect_end()?;
+                }
                 _ => {} // unknown but checksum-valid: skip (forward compat)
             }
         }
@@ -237,6 +266,7 @@ impl StoredProfile {
             counts,
             tables,
             transforms,
+            uarch,
         })
     }
 
@@ -279,6 +309,36 @@ fn decode_meta(r: &mut ByteReader<'_>) -> Result<RunMeta, StoreError> {
         tool_version: r.string("tool_version")?,
         arch: r.string("arch")?,
     })
+}
+
+fn encode_uarch(core: &CoreConfig) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let pairs = core.to_pairs();
+    w.u64(pairs.len() as u64);
+    for (key, value) in &pairs {
+        w.string(key);
+        w.string(value);
+    }
+    w.into_bytes()
+}
+
+fn decode_uarch(r: &mut ByteReader<'_>) -> Result<CoreConfig, StoreError> {
+    let n = r.len_mem(16, 2 * size_of::<String>(), "uarch pair count")?;
+    let mut core = CoreConfig::xeon_like();
+    for _ in 0..n {
+        let at = r.offset();
+        let key = r.string("uarch key")?;
+        let value = r.string("uarch value")?;
+        // An unrecognised key is a field from a newer tool: skip it
+        // (forward compat within the section). A known key with an
+        // unparsable value is corruption and fails closed.
+        if let Err(e) = core.apply_override(&key, &value) {
+            if !e.unknown_key {
+                return Err(StoreError::in_section(at, "UCFG", e.to_string()));
+            }
+        }
+    }
+    Ok(core)
 }
 
 fn put_loc(w: &mut ByteWriter, loc: CodeLoc) {
@@ -839,7 +899,72 @@ mod tests {
         )
         .unwrap();
         let run = run_optiwise(&[module], &OptiwiseConfig::default()).unwrap();
-        StoredProfile::from_run("store_test", &run, 0)
+        StoredProfile::from_run("store_test", &run, 0, "xeon", CoreConfig::xeon_like())
+    }
+
+    #[test]
+    fn from_run_stamps_the_arch_it_is_given() {
+        let p = stored();
+        assert_eq!(p.meta.arch, "xeon");
+        assert_eq!(p.uarch, Some(CoreConfig::xeon_like()));
+    }
+
+    #[test]
+    fn uarch_section_round_trips() {
+        let mut p = stored();
+        let mut core = CoreConfig::neoverse_like();
+        core.apply_override("rob_size", "96").unwrap();
+        p.meta.arch = "neoverse".into();
+        p.uarch = Some(core);
+        let back = StoredProfile::from_bytes(&p.to_bytes()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.uarch, Some(core));
+    }
+
+    #[test]
+    fn images_without_ucfg_decode_with_no_uarch() {
+        // A pre-UCFG writer's image: same sections, minus UCFG.
+        let p = stored();
+        let image = write_store(&[
+            (TAG_META, encode_meta(&p.meta)),
+            (TAG_TABL, encode_tables(&p.tables)),
+            (TAG_COVR, encode_coverage(&p.tables)),
+        ]);
+        let back = StoredProfile::from_bytes(&image).unwrap();
+        assert_eq!(back.uarch, None);
+    }
+
+    #[test]
+    fn ucfg_skips_unknown_keys_but_rejects_corrupt_values() {
+        let p = stored();
+        // A "newer writer" pair list: known pairs plus a future key.
+        let mut w = ByteWriter::new();
+        w.u64(2);
+        w.string("rob_size");
+        w.string("64");
+        w.string("quantum_bits");
+        w.string("12");
+        let image = write_store(&[
+            (TAG_META, encode_meta(&p.meta)),
+            (TAG_TABL, encode_tables(&p.tables)),
+            (TAG_UCFG, w.into_bytes()),
+        ]);
+        let back = StoredProfile::from_bytes(&image).unwrap();
+        let core = back.uarch.unwrap();
+        assert_eq!(core.rob_size, 64, "known key applied");
+
+        // A known key with garbage is corruption, not future-ness.
+        let mut w = ByteWriter::new();
+        w.u64(1);
+        w.string("rob_size");
+        w.string("lots");
+        let image = write_store(&[
+            (TAG_META, encode_meta(&p.meta)),
+            (TAG_TABL, encode_tables(&p.tables)),
+            (TAG_UCFG, w.into_bytes()),
+        ]);
+        let err = StoredProfile::from_bytes(&image).unwrap_err();
+        assert!(err.message.contains("rob_size"), "{err}");
     }
 
     #[test]

@@ -38,6 +38,7 @@ fn spec(modules: &[wiser_isa::Module]) -> CheckpointSpec {
         workload: WORKLOAD.into(),
         size: "test".into(),
         arch: "xeon".into(),
+        overrides: Vec::new(),
         rand_seed: SEED,
         period: defaults.sampler.period,
         jitter: defaults.sampler.jitter,
@@ -90,7 +91,7 @@ fn run_checkpointed(
 }
 
 fn profile_bytes(run: &OptiwiseRun) -> Vec<u8> {
-    StoredProfile::from_run(WORKLOAD, run, SEED).to_bytes()
+    StoredProfile::from_run(WORKLOAD, run, SEED, "xeon", wiser_sim::CoreConfig::xeon_like()).to_bytes()
 }
 
 fn expect_kill(result: Result<OptiwiseRun, OptiwiseError>) -> OptiwiseError {
@@ -263,6 +264,14 @@ fn resume_is_jobs_invariant() {
         golden,
         "concurrent resume diverged from the sequential golden profile"
     );
+
+    // The stored profile round-trips the spec's arch name and carries its
+    // full uarch config — never a hardcoded model id. (The store once
+    // stamped every profile "wiser-ooo", which poisoned cross-config
+    // diffs: a xeon-vs-neoverse pair looked like the same machine.)
+    let stored = StoredProfile::from_bytes(&golden).unwrap();
+    assert_eq!(stored.meta.arch, spec.arch);
+    assert_eq!(stored.uarch, Some(wiser_sim::CoreConfig::xeon_like()));
     let _ = std::fs::remove_file(&path);
 }
 

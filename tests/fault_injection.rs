@@ -177,6 +177,7 @@ fn spec_for(modules: &[Module], cfg: &OptiwiseConfig, every: u64) -> CheckpointS
         workload: "counted_loop".into(),
         size: "test".into(),
         arch: "xeon".into(),
+        overrides: Vec::new(),
         rand_seed: cfg.rand_seed,
         period: cfg.sampler.period,
         jitter: cfg.sampler.jitter,

@@ -13,7 +13,7 @@ fn profile() -> StoredProfile {
         .build(wiser_workloads::InputSize::Test)
         .unwrap();
     let run = run_optiwise(&modules, &OptiwiseConfig::default()).unwrap();
-    StoredProfile::from_run("recip_loop", &run, 0)
+    StoredProfile::from_run("recip_loop", &run, 0, "xeon", wiser_sim::CoreConfig::xeon_like())
 }
 
 #[test]
@@ -45,7 +45,7 @@ fn stored_bytes_are_identical_for_every_thread_count() {
         cfg.analysis.jobs = jobs;
         cfg.concurrent_passes = jobs > 1;
         let run = run_optiwise(&modules, &cfg).unwrap();
-        images.push(StoredProfile::from_run("recip_loop", &run, 0).to_bytes());
+        images.push(StoredProfile::from_run("recip_loop", &run, 0, "xeon", wiser_sim::CoreConfig::xeon_like()).to_bytes());
     }
     assert_eq!(images[0], images[1], "--jobs 2 must not change the file");
     assert_eq!(images[0], images[2], "--jobs 8 must not change the file");
@@ -57,9 +57,9 @@ fn every_section_rejects_targeted_bit_flips() {
     let spans = section_spans(&bytes).unwrap();
     assert!(
         spans.iter().map(|(tag, _, _)| tag.as_str()).eq([
-            "META", "SAMP", "CNTS", "TABL", "COVR"
+            "META", "SAMP", "CNTS", "TABL", "COVR", "UCFG"
         ]),
-        "fixture should carry all five sections, got {spans:?}"
+        "fixture should carry all six sections, got {spans:?}"
     );
     for (tag, start, end) in &spans {
         // First, middle and last payload byte of each section; the store's
